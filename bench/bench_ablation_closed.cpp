@@ -1,0 +1,80 @@
+// Ablation — closed patterns vs all frequent patterns as feature candidates.
+//
+// The paper argues for closed patterns (Section 3.3): a non-closed pattern is
+// completely redundant w.r.t. its closure under the Eq. 9 measure. This bench
+// quantifies the candidate-set compression and shows accuracy is preserved.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "core/pipeline.hpp"
+#include "ml/svm/svm.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace dfp;
+
+namespace {
+
+struct Outcome {
+    std::size_t candidates = 0;
+    double train_seconds = 0.0;
+    double accuracy = 0.0;
+    bool ok = false;
+};
+
+Outcome RunOnce(const TransactionDatabase& train, const TransactionDatabase& test,
+                MinerKind kind, double min_sup_rel) {
+    PipelineConfig config;
+    config.miner_kind = kind;
+    config.miner.min_sup_rel = min_sup_rel;
+    config.miner.max_pattern_len = 5;
+    config.mmrfs.coverage_delta = 4;
+    PatternClassifierPipeline pipeline(config);
+    Stopwatch watch;
+    Outcome out;
+    if (!pipeline.Train(train, std::make_unique<SvmClassifier>()).ok()) return out;
+    out.ok = true;
+    out.train_seconds = watch.ElapsedSeconds();
+    out.candidates = pipeline.stats().num_candidates;
+    out.accuracy = pipeline.Accuracy(test);
+    return out;
+}
+
+}  // namespace
+
+int main(int, char**) {
+    std::puts("Ablation: closed patterns vs all frequent patterns as candidates\n");
+    TablePrinter table({"dataset", "#closed", "#all-freq", "compression",
+                        "acc closed %", "acc all %", "time closed s", "time all s"});
+    for (const std::string name : {"austral", "breast", "horse", "iono", "sonar"}) {
+        const auto spec = GetSpecByName(name);
+        const auto db = PrepareTransactions(*spec);
+        // 80/20 split.
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t r = 0; r < db.num_transactions(); ++r) {
+            (r % 5 == 0 ? test_rows : train_rows).push_back(r);
+        }
+        const auto train = db.Subset(train_rows);
+        const auto test = db.Subset(test_rows);
+
+        const Outcome closed = RunOnce(train, test, MinerKind::kClosed, spec->bench_min_sup);
+        const Outcome all = RunOnce(train, test, MinerKind::kFpGrowth, spec->bench_min_sup);
+        if (!closed.ok || !all.ok) {
+            table.AddRow({name, "mining failed"});
+            continue;
+        }
+        table.AddRow({name, StrFormat("%zu", closed.candidates),
+                      StrFormat("%zu", all.candidates),
+                      StrFormat("%.2fx", static_cast<double>(all.candidates) /
+                                             static_cast<double>(std::max<std::size_t>(
+                                                 closed.candidates, 1))),
+                      FormatPercent(closed.accuracy), FormatPercent(all.accuracy),
+                      StrFormat("%.3f", closed.train_seconds),
+                      StrFormat("%.3f", all.train_seconds)});
+        std::fprintf(stderr, "  done %s\n", name.c_str());
+    }
+    table.Print();
+    std::puts("\nshape: closed candidates are a (often much) smaller set with"
+              " equivalent accuracy.");
+    return 0;
+}

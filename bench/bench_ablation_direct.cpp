@@ -1,0 +1,99 @@
+// Ablation — two-step (mine frequent, then select) vs direct branch-and-bound
+// top-k discriminative mining (the DDPMine-style follow-up to this paper).
+//
+// Both produce k pattern features; the direct search explores far fewer nodes
+// than full enumeration when the IG bound prunes aggressively, at equal or
+// better feature quality.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "core/direct_miner.hpp"
+#include "core/feature_space.hpp"
+#include "core/mmrfs.hpp"
+#include "core/pipeline.hpp"
+#include "ml/svm/svm.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace dfp;
+
+namespace {
+
+double AccuracyWith(const TransactionDatabase& train,
+                    const TransactionDatabase& test,
+                    std::vector<Pattern> features) {
+    const FeatureSpace space =
+        FeatureSpace::Build(train.num_items(), std::move(features));
+    SvmClassifier svm;
+    if (!svm.Train(space.Transform(train), train.labels(), train.num_classes())
+             .ok()) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    std::vector<double> enc(space.dim());
+    for (std::size_t t = 0; t < test.num_transactions(); ++t) {
+        space.Encode(test.transaction(t), enc);
+        if (svm.Predict(enc) == test.label(t)) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.num_transactions());
+}
+
+}  // namespace
+
+int main(int, char**) {
+    std::puts("Ablation: two-step (closed mining + MMRFS) vs direct top-k"
+              " discriminative mining\n");
+    TablePrinter table({"dataset", "k", "two-step acc %", "direct acc %",
+                        "two-step #cand", "direct nodes", "pruned",
+                        "two-step s", "direct s"});
+    for (const std::string name : {"austral", "breast", "cleve", "heart"}) {
+        const auto spec = GetSpecByName(name);
+        const auto db = PrepareTransactions(*spec);
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t r = 0; r < db.num_transactions(); ++r) {
+            (r % 5 == 0 ? test_rows : train_rows).push_back(r);
+        }
+        const auto train = db.Subset(train_rows);
+        const auto test = db.Subset(test_rows);
+
+        // Two-step: closed mining + MMRFS.
+        Stopwatch watch;
+        PipelineConfig pc;
+        pc.miner.min_sup_rel = spec->bench_min_sup;
+        pc.miner.max_pattern_len = 4;
+        PatternClassifierPipeline pipeline(pc);
+        auto candidates = pipeline.MineCandidates(train);
+        if (!candidates.ok()) continue;
+        MmrfsConfig mmrfs;
+        mmrfs.coverage_delta = 2;
+        const auto selected = SelectPatterns(train, *candidates, mmrfs);
+        const double two_step_seconds = watch.ElapsedSeconds();
+        const std::size_t k = selected.size();
+        const double two_step_acc = AccuracyWith(train, test, selected);
+
+        // Direct: top-k by IG with branch-and-bound.
+        watch.Reset();
+        DirectMinerConfig dc;
+        dc.top_k = k;
+        dc.miner.min_sup_rel = spec->bench_min_sup;
+        dc.miner.max_pattern_len = 4;
+        dc.miner.include_singletons = false;
+        DirectMinerStats stats;
+        auto direct = MineTopKDiscriminative(train, dc, &stats);
+        if (!direct.ok()) continue;
+        const double direct_seconds = watch.ElapsedSeconds();
+        const double direct_acc = AccuracyWith(train, test, *direct);
+
+        table.AddRow({name, StrFormat("%zu", k), FormatPercent(two_step_acc),
+                      FormatPercent(direct_acc),
+                      StrFormat("%zu", candidates->size()),
+                      StrFormat("%zu", stats.nodes_explored),
+                      StrFormat("%zu", stats.nodes_pruned_bound),
+                      StrFormat("%.3f", two_step_seconds),
+                      StrFormat("%.3f", direct_seconds)});
+        std::fprintf(stderr, "  done %s\n", name.c_str());
+    }
+    table.Print();
+    return 0;
+}

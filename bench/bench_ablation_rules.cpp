@@ -1,0 +1,81 @@
+// Ablation — the framework vs associative classification (Section 5's
+// comparison with rule-based classifiers like CBA/CMAR/HARMONY).
+//
+// Pat_FS represents data in a feature space and lets any learner decide;
+// the CBA-style baseline predicts with a confidence-ordered rule list built
+// from the same mined patterns. The paper reports the feature-space approach
+// winning ("improvement up to 11.94% on Waveform over HARMONY").
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "ml/rules/cba.hpp"
+#include "ml/rules/harmony.hpp"
+#include "ml/svm/svm.hpp"
+#include "ml/dtree/c45.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace dfp;
+
+int main(int, char**) {
+    std::puts(
+        "Ablation: pattern feature space (Pat_FS) vs CBA-style rule classifier\n");
+    TablePrinter table({"dataset", "Pat_FS+SVM %", "Pat_FS+C4.5 %", "CBA rules %",
+                        "HARMONY %", "#cba", "#harmony"});
+    for (const std::string name :
+         {"austral", "breast", "cleve", "heart", "lymph", "waveform"}) {
+        const auto spec = GetSpecByName(name);
+        const auto db = PrepareTransactions(*spec);
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t r = 0; r < db.num_transactions(); ++r) {
+            (r % 5 == 0 ? test_rows : train_rows).push_back(r);
+        }
+        const auto train = db.Subset(train_rows);
+        const auto test = db.Subset(test_rows);
+
+        PipelineConfig config;
+        config.miner.min_sup_rel = spec->bench_min_sup;
+        config.miner.max_pattern_len = 5;
+        config.mmrfs.coverage_delta = 4;
+
+        PatternClassifierPipeline svm_pipe(config);
+        double svm_acc = 0.0;
+        if (svm_pipe.Train(train, std::make_unique<SvmClassifier>()).ok()) {
+            svm_acc = svm_pipe.Accuracy(test);
+        }
+        PatternClassifierPipeline c45_pipe(config);
+        double c45_acc = 0.0;
+        if (c45_pipe.Train(train, std::make_unique<C45Classifier>()).ok()) {
+            c45_acc = c45_pipe.Accuracy(test);
+        }
+
+        CbaConfig cba_config;
+        cba_config.miner.min_sup_rel = spec->bench_min_sup;
+        cba_config.miner.max_pattern_len = 5;
+        cba_config.min_confidence = 0.6;
+        CbaClassifier cba(cba_config);
+        double cba_acc = 0.0;
+        std::size_t rules = 0;
+        if (cba.Train(train).ok()) {
+            cba_acc = cba.Accuracy(test);
+            rules = cba.rules().size();
+        }
+        HarmonyConfig harmony_config;
+        harmony_config.miner.min_sup_rel = spec->bench_min_sup;
+        harmony_config.miner.max_pattern_len = 5;
+        harmony_config.min_confidence = 0.6;
+        HarmonyClassifier harmony(harmony_config);
+        double harmony_acc = 0.0;
+        std::size_t harmony_rules = 0;
+        if (harmony.Train(train).ok()) {
+            harmony_acc = harmony.Accuracy(test);
+            harmony_rules = harmony.rules().size();
+        }
+        table.AddRow({name, FormatPercent(svm_acc), FormatPercent(c45_acc),
+                      FormatPercent(cba_acc), FormatPercent(harmony_acc),
+                      StrFormat("%zu", rules), StrFormat("%zu", harmony_rules)});
+        std::fprintf(stderr, "  done %s\n", name.c_str());
+    }
+    table.Print();
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the core framework machinery: MMRFS selection, feature-
+// space transformation, measures/bounds, and BitVector cover kernels.
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.hpp"
+#include "core/feature_space.hpp"
+#include "core/measures.hpp"
+#include "core/mmrfs.hpp"
+#include "core/pipeline.hpp"
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+
+namespace dfp {
+namespace {
+
+struct Fixture {
+    TransactionDatabase db;
+    std::vector<Pattern> candidates;
+};
+
+const Fixture& BenchFixture() {
+    static const Fixture fixture = [] {
+        SyntheticSpec spec;
+        spec.rows = 800;
+        spec.attributes = 12;
+        spec.arity = 3;
+        spec.classes = 2;
+        spec.seed = 17;
+        const Dataset data = GenerateSynthetic(spec);
+        const auto encoder = ItemEncoder::FromSchema(data);
+        Fixture f{TransactionDatabase::FromDataset(data, *encoder), {}};
+        PipelineConfig config;
+        config.miner.min_sup_rel = 0.05;
+        config.miner.max_pattern_len = 5;
+        PatternClassifierPipeline pipeline(config);
+        f.candidates = std::move(*pipeline.MineCandidates(f.db));
+        return f;
+    }();
+    return fixture;
+}
+
+void BM_Mmrfs(benchmark::State& state) {
+    const auto& f = BenchFixture();
+    MmrfsConfig config;
+    config.coverage_delta = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const auto result = RunMmrfs(f.db, f.candidates, config);
+        benchmark::DoNotOptimize(result.selected.size());
+    }
+    state.counters["candidates"] = static_cast<double>(f.candidates.size());
+}
+BENCHMARK(BM_Mmrfs)->Arg(1)->Arg(3)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureTransform(benchmark::State& state) {
+    const auto& f = BenchFixture();
+    const auto k = std::min<std::size_t>(f.candidates.size(),
+                                         static_cast<std::size_t>(state.range(0)));
+    std::vector<Pattern> selected(f.candidates.begin(), f.candidates.begin() + k);
+    const FeatureSpace space =
+        FeatureSpace::Build(f.db.num_items(), std::move(selected));
+    for (auto _ : state) {
+        const FeatureMatrix x = space.Transform(f.db);
+        benchmark::DoNotOptimize(x.rows());
+    }
+}
+BENCHMARK(BM_FeatureTransform)->Arg(50)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_PatternRelevance(benchmark::State& state) {
+    const auto& f = BenchFixture();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const Pattern& p : f.candidates) {
+            total += PatternRelevance(RelevanceMeasure::kInfoGain, f.db, p);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_PatternRelevance)->Unit(benchmark::kMillisecond);
+
+void BM_IgUpperBound(benchmark::State& state) {
+    for (auto _ : state) {
+        double total = 0.0;
+        for (int i = 1; i < 1000; ++i) total += IgUpperBound(i / 1000.0, 0.37);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_IgUpperBound);
+
+void BM_CoverAndCount(benchmark::State& state) {
+    const auto& f = BenchFixture();
+    const BitVector& a = f.db.ItemCover(0);
+    const BitVector& b = f.db.ItemCover(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.AndCount(b));
+    }
+}
+BENCHMARK(BM_CoverAndCount);
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,73 @@
+// Microbenchmarks: frequent-itemset miner throughput vs min_sup and density.
+// Run with --benchmark_min_time=0.1x for a quick pass.
+#include <benchmark/benchmark.h>
+
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "fpm/apriori.hpp"
+#include "fpm/closed_miner.hpp"
+#include "fpm/eclat.hpp"
+#include "fpm/fpgrowth.hpp"
+#include "fpm/fptree.hpp"
+
+namespace dfp {
+namespace {
+
+const TransactionDatabase& BenchDb() {
+    static const TransactionDatabase db = [] {
+        SyntheticSpec spec;
+        spec.rows = 1000;
+        spec.attributes = 14;
+        spec.arity = 3;
+        spec.classes = 2;
+        spec.marginal_skew = 0.35;
+        spec.seed = 31;
+        const Dataset data = GenerateSynthetic(spec);
+        const auto encoder = ItemEncoder::FromSchema(data);
+        return TransactionDatabase::FromDataset(data, *encoder);
+    }();
+    return db;
+}
+
+template <typename MinerT>
+void MineAt(benchmark::State& state) {
+    const auto& db = BenchDb();
+    MinerConfig config;
+    config.min_sup_rel = static_cast<double>(state.range(0)) / 100.0;
+    config.max_pattern_len = 6;
+    MinerT miner;
+    std::size_t patterns = 0;
+    for (auto _ : state) {
+        auto result = miner.Mine(db, config);
+        if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+        patterns = result->size();
+        benchmark::DoNotOptimize(patterns);
+    }
+    state.counters["patterns"] = static_cast<double>(patterns);
+}
+
+void BM_FpGrowth(benchmark::State& state) { MineAt<FpGrowthMiner>(state); }
+void BM_Apriori(benchmark::State& state) { MineAt<AprioriMiner>(state); }
+void BM_Eclat(benchmark::State& state) { MineAt<EclatMiner>(state); }
+void BM_Closed(benchmark::State& state) { MineAt<ClosedMiner>(state); }
+
+BENCHMARK(BM_FpGrowth)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Apriori)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eclat)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Closed)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// FP-tree construction alone (the shared substrate of FP-growth).
+void BM_FpTreeBuild(benchmark::State& state) {
+    const auto& db = BenchDb();
+    std::vector<FpTree::WeightedTransaction> txns;
+    for (const auto& t : db.transactions()) txns.push_back({t, 1});
+    const auto min_sup = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const FpTree tree = FpTree::Build(txns, min_sup);
+        benchmark::DoNotOptimize(tree.num_nodes());
+    }
+}
+BENCHMARK(BM_FpTreeBuild)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,45 @@
+// Shared helpers for the paper-table bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "exp/experiment.hpp"
+#include "exp/table_printer.hpp"
+
+namespace dfp::bench {
+
+/// The three datasets used in Figures 1–3 of the paper, with a per-dataset
+/// mining threshold (sonar's 60 attributes need a higher floor to keep the
+/// candidate space enumerable, as in the paper's own support settings).
+struct FigureDataset {
+    std::string name;
+    double min_sup_rel;
+};
+
+inline std::vector<FigureDataset> FigureDatasets() {
+    return {{"austral", 0.05}, {"breast", 0.05}, {"sonar", 0.30}};
+}
+
+/// Prints a section header.
+inline void Section(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Parses "--folds=N"-style flags very loosely; returns fallback when absent.
+inline long FlagValue(int argc, char** argv, const std::string& name,
+                      long fallback) {
+    const std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0) {
+            long v = fallback;
+            if (ParseInt(arg.substr(prefix.size()), &v)) return v;
+        }
+    }
+    return fallback;
+}
+
+}  // namespace dfp::bench

@@ -1,0 +1,58 @@
+// The paper's second §6 extension direction: frequent-pattern-based
+// classification of labeled graphs — the chemical-compound setting of its
+// reference [7] (Deshpande et al.). Molecule-like random graphs carry hidden
+// per-class "functional group" path motifs; the pipeline mines frequent
+// labeled paths per class, MMR-selects the discriminative ones, and an SVM
+// learns on "atom counts ∪ selected paths".
+#include <cstdio>
+
+#include "core/graph_pipeline.hpp"
+#include "ml/svm/svm.hpp"
+
+int main() {
+    using namespace dfp;
+
+    GraphSpec spec;
+    spec.rows = 500;
+    spec.classes = 2;
+    spec.vertex_labels = 8;   // "atom types"
+    spec.edge_labels = 3;     // "bond types"
+    spec.motifs_per_class = 2;
+    spec.motif_edges = 3;
+    spec.carrier_prob = 0.85;
+    spec.seed = 21;
+    const GraphDatabase db = GenerateGraphs(spec);
+
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        (i % 5 == 0 ? test_rows : train_rows).push_back(i);
+    }
+    const auto train = db.Subset(train_rows);
+    const auto test = db.Subset(test_rows);
+
+    GraphPipelineConfig config;
+    config.miner.min_sup_rel = 0.25;
+    config.miner.max_edges = 3;
+    config.max_features = 60;
+
+    GraphClassifierPipeline pipeline(config);
+    const Status st = pipeline.Train(train, std::make_unique<SvmClassifier>());
+    if (!st.ok()) {
+        std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+        return 1;
+    }
+
+    std::printf("path candidates: %zu, selected: %zu\n", pipeline.num_candidates(),
+                pipeline.features().size());
+    std::puts("top selected path features (IG relevance):");
+    for (std::size_t f = 0;
+         f < std::min<std::size_t>(5, pipeline.features().size()); ++f) {
+        const auto& feature = pipeline.features()[f];
+        std::printf("  %-28s support=%zu  IG=%.3f\n",
+                    feature.pattern.ToString().c_str(), feature.pattern.support,
+                    feature.relevance);
+    }
+    std::printf("test accuracy: %.2f%%\n", 100.0 * pipeline.Accuracy(test));
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: train a frequent-pattern classifier in ~40 lines.
+//
+//   1. get a class-labelled transaction database (here: synthetic data),
+//   2. configure the pipeline (min_sup, MMRFS coverage δ),
+//   3. train any learner on the augmented feature space I ∪ Fs,
+//   4. predict.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "ml/svm/svm.hpp"
+
+int main() {
+    using namespace dfp;
+
+    // 1. A dataset with hidden multi-attribute structure, split 80/20.
+    SyntheticSpec spec;
+    spec.name = "quickstart";
+    spec.rows = 1000;
+    spec.attributes = 12;
+    spec.classes = 2;
+    spec.seed = 7;
+    const Dataset data = GenerateSynthetic(spec);
+    const auto encoder = ItemEncoder::FromSchema(data);
+    const auto db = TransactionDatabase::FromDataset(data, *encoder);
+
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t r = 0; r < db.num_transactions(); ++r) {
+        (r % 5 == 0 ? test_rows : train_rows).push_back(r);
+    }
+    const auto train = db.Subset(train_rows);
+    const auto test = db.Subset(test_rows);
+
+    // 2. Pipeline: closed patterns at 10% per-class support, MMRFS with δ=4.
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.10;
+    config.miner.max_pattern_len = 5;
+    config.mmrfs.coverage_delta = 4;
+
+    // 3. Train a linear SVM on single items + selected patterns.
+    PatternClassifierPipeline pipeline(config);
+    const Status st = pipeline.Train(train, std::make_unique<SvmClassifier>());
+    if (!st.ok()) {
+        std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+        return 1;
+    }
+
+    // 4. Evaluate, and peek at what the pipeline built.
+    std::printf("candidates mined : %zu closed patterns\n",
+                pipeline.stats().num_candidates);
+    std::printf("features selected: %zu patterns (+ %zu single items)\n",
+                pipeline.stats().num_selected, train.num_items());
+    std::printf("test accuracy    : %.2f%%\n", 100.0 * pipeline.Accuracy(test));
+
+    // Bonus: what does the pipeline say about one unseen transaction?
+    const auto& example = test.transaction(0);
+    std::printf("first test row   -> predicted class %u (true %u)\n",
+                pipeline.Predict(example), test.label(0));
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Pattern-analysis workbench: mine closed patterns from a dataset, rank them
+// by information gain / Fisher score against their theoretical upper bounds,
+// run MMRFS, and report the selected set with coverage statistics.
+//
+// Usage: rule_explorer [dataset] [min_sup_rel] [delta]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bounds.hpp"
+#include "core/measures.hpp"
+#include "core/mmrfs.hpp"
+#include "core/pipeline.hpp"
+#include "exp/experiment.hpp"
+#include "common/string_util.hpp"
+#include "exp/table_printer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dfp;
+
+    const std::string name = argc > 1 ? argv[1] : "breast";
+    const double min_sup = argc > 2 ? std::atof(argv[2]) : 0.15;
+    const std::size_t delta =
+        argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 3;
+
+    auto spec = GetSpecByName(name);
+    if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 1;
+    }
+    const auto db = PrepareTransactions(*spec);
+    std::printf("dataset %s: %zu rows, %zu items, %zu classes\n", name.c_str(),
+                db.num_transactions(), db.num_items(), db.num_classes());
+
+    PipelineConfig config;
+    config.miner.min_sup_rel = min_sup;
+    config.miner.max_pattern_len = 5;
+    PatternClassifierPipeline pipeline(config);
+    auto mined = pipeline.MineCandidates(db);
+    if (!mined.ok()) {
+        std::fprintf(stderr, "mining failed: %s\n", mined.status().ToString().c_str());
+        return 1;
+    }
+    std::vector<Pattern> patterns = std::move(*mined);
+    std::printf("mined %zu closed pattern candidates at min_sup=%.2f\n\n",
+                patterns.size(), min_sup);
+
+    // Rank by IG; show the top 10 against the theoretical bound.
+    std::vector<std::size_t> order(patterns.size());
+    std::vector<double> ig(patterns.size());
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        order[i] = i;
+        ig[i] = PatternRelevance(RelevanceMeasure::kInfoGain, db, patterns[i]);
+    }
+    std::sort(order.begin(), order.end(),
+              [&ig](std::size_t a, std::size_t b) { return ig[a] > ig[b]; });
+
+    const auto priors = db.ClassPriors();
+    TablePrinter top({"pattern", "support", "IG", "IG_ub(theta)", "conf"});
+    for (std::size_t k = 0; k < std::min<std::size_t>(10, order.size()); ++k) {
+        const Pattern& p = patterns[order[k]];
+        const double theta = p.RelativeSupport(db.num_transactions());
+        top.AddRow({ItemsetToString(p.items, &db), StrFormat("%zu", p.support),
+                    StrFormat("%.4f", ig[order[k]]),
+                    StrFormat("%.4f", IgUpperBoundMulticlass(theta, priors)),
+                    StrFormat("%.2f", p.Confidence())});
+    }
+    std::puts("top-10 patterns by information gain:");
+    top.Print();
+
+    // MMRFS selection with coverage stats.
+    MmrfsConfig mmrfs;
+    mmrfs.coverage_delta = delta;
+    const auto result = RunMmrfs(db, patterns, mmrfs);
+    std::printf("\nMMRFS (delta=%zu) selected %zu of %zu patterns\n", delta,
+                result.selected.size(), patterns.size());
+    std::size_t fully = 0;
+    for (std::size_t c : result.coverage) fully += (c >= delta);
+    std::printf("instances covered >= delta times: %zu / %zu\n", fully,
+                db.num_transactions());
+
+    TablePrinter sel({"#", "pattern", "gain", "majority class"});
+    for (std::size_t k = 0;
+         k < std::min<std::size_t>(10, result.selected.size()); ++k) {
+        const Pattern& p = patterns[result.selected[k]];
+        sel.AddRow({StrFormat("%zu", k + 1), ItemsetToString(p.items, &db),
+                    StrFormat("%.4f", result.gains[k]),
+                    StrFormat("%u", p.MajorityClass())});
+    }
+    std::puts("\nfirst selections (in MMRFS order):");
+    sel.Print();
+    return 0;
+}

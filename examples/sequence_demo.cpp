@@ -1,0 +1,58 @@
+// The paper's §6 extension: frequent-pattern-based classification over
+// sequences. Hidden per-class motifs are planted into random event sequences;
+// PrefixSpan mines frequent subsequences per class, MMR selection keeps the
+// discriminative ones, and an SVM learns on "events ∪ subsequences".
+#include <cstdio>
+
+#include "core/sequence_pipeline.hpp"
+#include "ml/svm/svm.hpp"
+
+int main() {
+    using namespace dfp;
+
+    SequenceSpec spec;
+    spec.rows = 800;
+    spec.classes = 3;
+    spec.alphabet = 14;
+    spec.motifs_per_class = 2;
+    spec.motif_len = 3;
+    spec.carrier_prob = 0.8;
+    spec.seed = 11;
+    const SequenceDatabase db = GenerateSequences(spec);
+
+    // 80/20 split.
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        (i % 5 == 0 ? test_rows : train_rows).push_back(i);
+    }
+    const auto train = db.Subset(train_rows);
+    const auto test = db.Subset(test_rows);
+
+    SequencePipelineConfig config;
+    config.miner.min_sup_rel = 0.25;
+    config.miner.max_pattern_len = 4;
+    config.max_features = 80;
+
+    SequenceClassifierPipeline pipeline(config);
+    const Status st = pipeline.Train(train, std::make_unique<SvmClassifier>());
+    if (!st.ok()) {
+        std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+        return 1;
+    }
+
+    std::printf("subsequence candidates: %zu, selected: %zu\n",
+                pipeline.num_candidates(), pipeline.features().size());
+    std::puts("top selected subsequences (IG relevance):");
+    for (std::size_t f = 0; f < std::min<std::size_t>(5, pipeline.features().size());
+         ++f) {
+        const auto& feature = pipeline.features()[f];
+        std::printf("  <");
+        for (std::size_t i = 0; i < feature.items.size(); ++i) {
+            std::printf("%s%u", i ? " " : "", feature.items[i]);
+        }
+        std::printf(">  support=%zu  IG=%.3f\n", feature.support, feature.relevance);
+    }
+    std::printf("test accuracy: %.2f%%\n", 100.0 * pipeline.Accuracy(test));
+    return 0;
+}

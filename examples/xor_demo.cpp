@@ -1,0 +1,66 @@
+// The paper's §3.1.1 motivation, run end to end.
+//
+// XOR data is the canonical case where no single feature carries any class
+// information, yet the feature *combination* separates the classes perfectly.
+// This demo shows the single-feature information gains (all ≈ 0), the pattern
+// information gains (≈ 1 bit), and the accuracy gap between an items-only
+// linear SVM and the frequent-pattern pipeline.
+#include <cstdio>
+
+#include "core/measures.hpp"
+#include "core/pipeline.hpp"
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "ml/eval/feature_filter.hpp"
+#include "ml/svm/svm.hpp"
+
+int main() {
+    using namespace dfp;
+
+    const Dataset data = GenerateXor(/*rows=*/800, /*distractors=*/3,
+                                     /*noise=*/0.02, /*seed=*/42);
+    const auto encoder = ItemEncoder::FromSchema(data);
+    const auto db = TransactionDatabase::FromDataset(data, *encoder);
+
+    std::puts("== Single features (items) ==");
+    const auto item_ig = ItemRelevances(db, RelevanceMeasure::kInfoGain);
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        std::printf("  IG(%-10s) = %.4f bits\n", db.ItemName(i).c_str(),
+                    item_ig[i]);
+    }
+
+    std::puts("\n== Length-2 frequent patterns over {x, y} ==");
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.1;
+    config.miner.max_pattern_len = 2;
+    config.mmrfs.coverage_delta = 2;
+    PatternClassifierPipeline pipeline(config);
+    auto candidates = pipeline.MineCandidates(db);
+    if (!candidates.ok()) {
+        std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
+        return 1;
+    }
+    for (const Pattern& p : *candidates) {
+        const double ig = PatternRelevance(RelevanceMeasure::kInfoGain, db, p);
+        if (ig > 0.2) {
+            std::printf("  IG(%-24s) = %.4f bits  support=%zu\n",
+                        ItemsetToString(p.items, &db).c_str(), ig, p.support);
+        }
+    }
+
+    std::puts("\n== Classification ==");
+    // Items-only linear SVM: stuck at chance.
+    PipelineConfig no_patterns = config;
+    no_patterns.miner.min_sup_rel = 0.999;
+    PatternClassifierPipeline items_only(no_patterns);
+    (void)items_only.Train(db, std::make_unique<SvmClassifier>());
+    std::printf("  linear SVM, items only        : %.1f%%\n",
+                100.0 * items_only.Accuracy(db));
+
+    // Pattern pipeline: separable.
+    PatternClassifierPipeline with_patterns(config);
+    (void)with_patterns.Train(db, std::make_unique<SvmClassifier>());
+    std::printf("  linear SVM, items + patterns  : %.1f%%\n",
+                100.0 * with_patterns.Accuracy(db));
+    return 0;
+}

@@ -1,0 +1,131 @@
+#include "common/bitvector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfp {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t WordCount(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t size) : size_(size), words_(WordCount(size), 0) {}
+
+void BitVector::Set(std::size_t i) {
+    assert(i < size_);
+    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVector::Clear(std::size_t i) {
+    assert(i < size_);
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool BitVector::Test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVector::Fill() {
+    std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+    MaskTail();
+}
+
+void BitVector::MaskTail() {
+    const std::size_t rem = size_ % kWordBits;
+    if (rem != 0 && !words_.empty()) {
+        words_.back() &= (std::uint64_t{1} << rem) - 1;
+    }
+}
+
+std::size_t BitVector::Count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVector& BitVector::AndNot(const BitVector& other) {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+}
+
+std::size_t BitVector::AndCount(const BitVector& other) const {
+    assert(size_ == other.size_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        n += static_cast<std::size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return n;
+}
+
+std::size_t BitVector::OrCount(const BitVector& other) const {
+    assert(size_ == other.size_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        n += static_cast<std::size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
+    }
+    return n;
+}
+
+bool BitVector::IsSubsetOf(const BitVector& other) const {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+}
+
+bool BitVector::IsDisjointWith(const BitVector& other) const {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if ((words_[i] & other.words_[i]) != 0) return false;
+    }
+    return true;
+}
+
+std::vector<std::uint32_t> BitVector::ToIndices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(Count());
+    ForEach([&out](std::uint32_t i) { out.push_back(i); });
+    return out;
+}
+
+std::string BitVector::ToString() const {
+    std::string s(size_, '0');
+    ForEach([&s](std::uint32_t i) { s[i] = '1'; });
+    return s;
+}
+
+std::uint64_t BitVector::Hash() const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (std::uint64_t w : words_) {
+        h ^= w;
+        h *= 1099511628211ull;  // FNV prime
+    }
+    return h ^ size_;
+}
+
+}  // namespace dfp

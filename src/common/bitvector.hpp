@@ -1,0 +1,91 @@
+// Fixed-size packed bit vector used for transaction cover sets.
+//
+// Pattern mining and MMRFS work over per-pattern cover sets (which rows of the
+// database contain a pattern). Those sets are dense and of fixed universe size
+// (the number of transactions), so a 64-bit-packed vector with popcount-based
+// intersection counting is both the fastest and the simplest representation.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+/// Fixed-universe bit set. All binary operations require equal sizes.
+class BitVector {
+  public:
+    BitVector() = default;
+    /// Creates a vector of `size` bits, all clear.
+    explicit BitVector(std::size_t size);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void Set(std::size_t i);
+    void Clear(std::size_t i);
+    bool Test(std::size_t i) const;
+
+    /// Sets all bits to zero without changing size.
+    void Reset();
+    /// Sets all bits (respecting the tail mask).
+    void Fill();
+
+    /// Number of set bits.
+    std::size_t Count() const;
+
+    /// this &= other.
+    BitVector& operator&=(const BitVector& other);
+    /// this |= other.
+    BitVector& operator|=(const BitVector& other);
+    /// this ^= other.
+    BitVector& operator^=(const BitVector& other);
+    /// Clears every bit of this that is set in other (this &= ~other).
+    BitVector& AndNot(const BitVector& other);
+
+    friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+    friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+    friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+    bool operator==(const BitVector& other) const = default;
+
+    /// |this ∧ other| without materializing the intersection.
+    std::size_t AndCount(const BitVector& other) const;
+    /// |this ∨ other| without materializing the union.
+    std::size_t OrCount(const BitVector& other) const;
+    /// True iff every set bit of this is also set in other.
+    bool IsSubsetOf(const BitVector& other) const;
+    /// True iff the two vectors share no set bit.
+    bool IsDisjointWith(const BitVector& other) const;
+
+    /// Indices of set bits, ascending.
+    std::vector<std::uint32_t> ToIndices() const;
+
+    /// Calls fn(index) for every set bit, ascending.
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits != 0) {
+                const int tz = __builtin_ctzll(bits);
+                fn(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(tz)));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// "0101..."-style debug string (bit 0 first).
+    std::string ToString() const;
+
+    /// 64-bit hash of the contents (FNV-1a over words), for dedup maps.
+    std::uint64_t Hash() const;
+
+  private:
+    void MaskTail();
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dfp

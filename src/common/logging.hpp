@@ -1,0 +1,26 @@
+// Minimal leveled logging for the experiment harness.
+//
+// The library itself stays silent by default (level = kWarn); benches and
+// examples raise the level for progress reporting. Not thread-safe by design —
+// the library is single-threaded per pipeline.
+#pragma once
+
+#include <string>
+
+namespace dfp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` to stderr if `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace dfp
+
+#define DFP_LOG_DEBUG(msg) ::dfp::LogMessage(::dfp::LogLevel::kDebug, (msg))
+#define DFP_LOG_INFO(msg) ::dfp::LogMessage(::dfp::LogLevel::kInfo, (msg))
+#define DFP_LOG_WARN(msg) ::dfp::LogMessage(::dfp::LogLevel::kWarn, (msg))
+#define DFP_LOG_ERROR(msg) ::dfp::LogMessage(::dfp::LogLevel::kError, (msg))

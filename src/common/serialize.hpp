@@ -1,0 +1,91 @@
+// Tiny token-stream helpers for the text model format (core/model_io).
+//
+// Everything is whitespace-separated tokens; doubles round-trip exactly via
+// max_digits10 precision.
+#pragma once
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dfp {
+
+/// Writes a double with enough precision to round-trip exactly.
+inline void WriteDouble(std::ostream& out, double v) {
+    const auto old = out.precision(std::numeric_limits<double>::max_digits10);
+    out << v;
+    out.precision(old);
+}
+
+/// Sequential whitespace-token reader with Status-based errors.
+class TokenReader {
+  public:
+    explicit TokenReader(std::istream& in) : in_(in) {}
+
+    /// Reads a token and checks it equals `literal`.
+    Status Expect(const std::string& literal) {
+        std::string token;
+        if (!(in_ >> token)) {
+            return Status::ParseError("unexpected end of model stream, wanted '" +
+                                      literal + "'");
+        }
+        if (token != literal) {
+            return Status::ParseError("expected '" + literal + "', got '" + token +
+                                      "'");
+        }
+        return Status::Ok();
+    }
+
+    Status Read(std::string* out) {
+        if (!(in_ >> *out)) return Status::ParseError("unexpected end of model stream");
+        return Status::Ok();
+    }
+
+    Status Read(double* out) {
+        if (!(in_ >> *out)) return Status::ParseError("malformed double in model");
+        return Status::Ok();
+    }
+
+    Status Read(std::size_t* out) {
+        long long v = 0;
+        if (!(in_ >> v) || v < 0) {
+            return Status::ParseError("malformed count in model");
+        }
+        *out = static_cast<std::size_t>(v);
+        return Status::Ok();
+    }
+
+    Status Read(std::int32_t* out) {
+        long long v = 0;
+        if (!(in_ >> v)) return Status::ParseError("malformed int in model");
+        *out = static_cast<std::int32_t>(v);
+        return Status::Ok();
+    }
+
+    Status Read(std::uint32_t* out) {
+        long long v = 0;
+        if (!(in_ >> v) || v < 0) {
+            return Status::ParseError("malformed unsigned in model");
+        }
+        *out = static_cast<std::uint32_t>(v);
+        return Status::Ok();
+    }
+
+    /// Reads `n` doubles into a pre-sized span-like container.
+    template <typename Container>
+    Status ReadDoubles(std::size_t n, Container* out) {
+        out->resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            DFP_RETURN_NOT_OK(Read(&(*out)[i]));
+        }
+        return Status::Ok();
+    }
+
+  private:
+    std::istream& in_;
+};
+
+}  // namespace dfp

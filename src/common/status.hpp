@@ -1,0 +1,136 @@
+// Status / Result error-handling primitives, in the style of Arrow / RocksDB.
+//
+// Library code returns Status (or Result<T>) for recoverable errors instead of
+// throwing; exceptions are reserved for programming errors at API boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dfp {
+
+/// Coarse error taxonomy for recoverable failures.
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kParseError,
+    kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("Ok", "ParseError", ...).
+inline const char* StatusCodeName(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return "Ok";
+        case StatusCode::kInvalidArgument: return "InvalidArgument";
+        case StatusCode::kNotFound: return "NotFound";
+        case StatusCode::kOutOfRange: return "OutOfRange";
+        case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+        case StatusCode::kResourceExhausted: return "ResourceExhausted";
+        case StatusCode::kParseError: return "ParseError";
+        case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+}
+
+/// Lightweight success-or-error value. Copyable; Ok status carries no message.
+class Status {
+  public:
+    Status() : code_(StatusCode::kOk) {}
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status Ok() { return Status(); }
+    static Status InvalidArgument(std::string m) {
+        return Status(StatusCode::kInvalidArgument, std::move(m));
+    }
+    static Status NotFound(std::string m) {
+        return Status(StatusCode::kNotFound, std::move(m));
+    }
+    static Status OutOfRange(std::string m) {
+        return Status(StatusCode::kOutOfRange, std::move(m));
+    }
+    static Status FailedPrecondition(std::string m) {
+        return Status(StatusCode::kFailedPrecondition, std::move(m));
+    }
+    static Status ResourceExhausted(std::string m) {
+        return Status(StatusCode::kResourceExhausted, std::move(m));
+    }
+    static Status ParseError(std::string m) {
+        return Status(StatusCode::kParseError, std::move(m));
+    }
+    static Status Internal(std::string m) {
+        return Status(StatusCode::kInternal, std::move(m));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /// "Ok" or "<CodeName>: <message>".
+    std::string ToString() const {
+        if (ok()) return "Ok";
+        return std::string(StatusCodeName(code_)) + ": " + message_;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+        return os << s.ToString();
+    }
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/// A value of type T or an error Status. Dereference only when ok().
+template <typename T>
+class Result {
+  public:
+    Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+    Result(Status status) : status_(std::move(status)) {  // NOLINT
+        assert(!status_.ok() && "Result constructed from Ok status without value");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status& status() const { return status_; }
+
+    T& value() & {
+        assert(ok());
+        return *value_;
+    }
+    const T& value() const& {
+        assert(ok());
+        return *value_;
+    }
+    T&& value() && {
+        assert(ok());
+        return std::move(*value_);
+    }
+
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+    /// Returns the contained value or `fallback` if this holds an error.
+    T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+}  // namespace dfp
+
+/// Propagates a non-Ok Status from an expression, Arrow-style.
+#define DFP_RETURN_NOT_OK(expr)                       \
+    do {                                              \
+        ::dfp::Status _st = (expr);                   \
+        if (!_st.ok()) return _st;                    \
+    } while (0)

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the experiment harness and benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace dfp {
+
+/// Monotonic wall-clock timer. Starts running on construction.
+class Stopwatch {
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Restarts the timer.
+    void Reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction / last Reset().
+    double ElapsedSeconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction / last Reset().
+    double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace dfp

@@ -1,0 +1,23 @@
+// Cover-based MMR feature selection, shared by the sequence and graph
+// pipelines.
+//
+// Works on any pattern language: given each candidate's cover (the rows it
+// matches) and relevance, greedily selects by marginal gain
+//     g(α) = S(α) − max_{β selected} Jaccard(cover α, cover β)·min(S(α),S(β))
+// — Eq. 9's redundancy applied verbatim — stopping when no candidate has
+// positive marginal gain or the feature budget is reached.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace dfp {
+
+/// Returns indices of the selected candidates, in selection order.
+std::vector<std::size_t> GreedyMmrSelect(const std::vector<BitVector>& covers,
+                                         const std::vector<double>& relevance,
+                                         std::size_t max_features);
+
+}  // namespace dfp

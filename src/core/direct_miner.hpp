@@ -1,0 +1,51 @@
+// Direct discriminative pattern mining (branch-and-bound top-k search).
+//
+// The paper's framework is two-step: enumerate frequent patterns, then select
+// discriminative ones. Its follow-up line of work (DDPMine, Cheng et al.
+// ICDE'08) integrates the two: search the itemset lattice directly for the
+// top-k highest-information-gain patterns, pruning any branch whose best
+// achievable IG cannot beat the current k-th best. The pruning bound is the
+// natural sharpening of this paper's Section 3.1.2 analysis: a superset of α
+// covers a subset of cover(α), and among all sub-covers the most informative
+// are "all class-c rows of cover(α)" — so
+//     IG(β) ≤ max_c IG(feature covering exactly the class-c rows of cover(α))
+// for every β ⊇ α.
+#pragma once
+
+#include "common/status.hpp"
+#include "core/measures.hpp"
+#include "data/transaction_db.hpp"
+#include "fpm/itemset.hpp"
+#include "fpm/miner.hpp"
+
+namespace dfp {
+
+struct DirectMinerConfig {
+    /// Number of top patterns to return.
+    std::size_t top_k = 50;
+    /// Support floor (patterns below it are never considered), plus length and
+    /// exploration-budget limits. min_sup prunes exactly as in the paper: the
+    /// IG of any pattern below θ* is bounded by IG_ub(θ*).
+    MinerConfig miner;
+    /// Nodes explored before giving up with ResourceExhausted.
+    std::size_t max_nodes = 5'000'000;
+};
+
+struct DirectMinerStats {
+    std::size_t nodes_explored = 0;
+    std::size_t nodes_pruned_bound = 0;    ///< cut by the IG upper bound
+    std::size_t nodes_pruned_support = 0;  ///< cut by min_sup
+};
+
+/// Mines the top-k patterns by information gain directly. Returned patterns
+/// have metadata attached and are sorted by descending IG.
+Result<std::vector<Pattern>> MineTopKDiscriminative(
+    const TransactionDatabase& db, const DirectMinerConfig& config,
+    DirectMinerStats* stats = nullptr);
+
+/// The branch-and-bound bound: best achievable IG of any pattern whose cover
+/// is a subset of `cover` (exposed for tests).
+double SubCoverIgBound(const TransactionDatabase& db, const BitVector& cover,
+                       std::size_t min_sup);
+
+}  // namespace dfp

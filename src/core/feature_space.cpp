@@ -1,0 +1,47 @@
+#include "core/feature_space.hpp"
+
+#include <algorithm>
+
+namespace dfp {
+
+FeatureSpace FeatureSpace::Build(std::size_t num_items,
+                                 std::vector<Pattern> patterns) {
+    FeatureSpace fs;
+    fs.num_items_ = num_items;
+    patterns.erase(std::remove_if(patterns.begin(), patterns.end(),
+                                  [](const Pattern& p) { return p.length() <= 1; }),
+                   patterns.end());
+    fs.patterns_ = std::move(patterns);
+    return fs;
+}
+
+FeatureSpace FeatureSpace::ItemsOnly(std::size_t num_items) {
+    FeatureSpace fs;
+    fs.num_items_ = num_items;
+    return fs;
+}
+
+void FeatureSpace::Encode(const std::vector<ItemId>& transaction,
+                          std::span<double> out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (ItemId i : transaction) {
+        if (i < num_items_) out[i] = 1.0;
+    }
+    for (std::size_t p = 0; p < patterns_.size(); ++p) {
+        const Itemset& items = patterns_[p].items;
+        if (std::includes(transaction.begin(), transaction.end(), items.begin(),
+                          items.end())) {
+            out[num_items_ + p] = 1.0;
+        }
+    }
+}
+
+FeatureMatrix FeatureSpace::Transform(const TransactionDatabase& db) const {
+    FeatureMatrix x(db.num_transactions(), dim());
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+        Encode(db.transaction(t), x.MutableRow(t));
+    }
+    return x;
+}
+
+}  // namespace dfp

@@ -1,0 +1,122 @@
+#include "core/graph_pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/cover_select.hpp"
+#include "core/measures.hpp"
+#include "ml/feature_matrix.hpp"
+
+namespace dfp {
+
+namespace {
+
+// IG of a cover against the graph labels.
+double CoverInformationGain(const GraphDatabase& db, const BitVector& cover) {
+    FeatureStats stats;
+    stats.n = db.size();
+    stats.support = cover.Count();
+    stats.class_totals = db.ClassCounts();
+    stats.class_support.assign(db.num_classes(), 0);
+    cover.ForEach([&](std::uint32_t t) { stats.class_support[db.label(t)]++; });
+    return InformationGain(stats);
+}
+
+}  // namespace
+
+Status GraphClassifierPipeline::Train(const GraphDatabase& train,
+                                      std::unique_ptr<Classifier> learner) {
+    if (learner == nullptr) {
+        return Status::InvalidArgument("graph pipeline requires a learner");
+    }
+    if (train.size() == 0) {
+        return Status::InvalidArgument("empty graph database");
+    }
+    num_vertex_labels_ = train.num_vertex_labels();
+
+    // 1. Feature generation: frequent paths per class partition, pooled.
+    std::set<PathPattern> seen;
+    std::vector<PathPattern> pooled;
+    auto mine_into = [&](const GraphDatabase& part) -> Status {
+        auto mined = MinePaths(part, config_.miner);
+        if (!mined.ok()) return mined.status();
+        for (PathPattern& p : *mined) {
+            if (p.length() < config_.min_pattern_edges) continue;
+            if (seen.insert(p).second) pooled.push_back(std::move(p));
+        }
+        return Status::Ok();
+    };
+    if (config_.per_class_mining) {
+        for (ClassLabel c = 0; c < train.num_classes(); ++c) {
+            const GraphDatabase part = train.FilterByClass(c);
+            if (part.size() == 0) continue;
+            DFP_RETURN_NOT_OK(mine_into(part));
+        }
+    } else {
+        DFP_RETURN_NOT_OK(mine_into(train));
+    }
+    num_candidates_ = pooled.size();
+
+    // 2. Covers + relevance over the full training set, MMR selection.
+    std::vector<BitVector> covers;
+    std::vector<double> relevance;
+    covers.reserve(pooled.size());
+    for (const PathPattern& p : pooled) {
+        BitVector cover(train.size());
+        for (std::size_t g = 0; g < train.size(); ++g) {
+            if (ContainsPath(train.graph(g), p)) cover.Set(g);
+        }
+        relevance.push_back(CoverInformationGain(train, cover));
+        covers.push_back(std::move(cover));
+    }
+    const auto chosen = GreedyMmrSelect(covers, relevance, config_.max_features);
+    features_.clear();
+    for (std::size_t i : chosen) {
+        PathPattern p = pooled[i];
+        p.support = covers[i].Count();
+        features_.push_back({std::move(p), relevance[i]});
+    }
+
+    // 3. Learn on vertex-label counts ∪ selected paths.
+    FeatureMatrix x(train.size(), num_vertex_labels_ + features_.size());
+    std::vector<double> row(x.cols());
+    for (std::size_t g = 0; g < train.size(); ++g) {
+        Encode(train.graph(g), &row);
+        auto dst = x.MutableRow(g);
+        std::copy(row.begin(), row.end(), dst.begin());
+    }
+    DFP_RETURN_NOT_OK(learner->Train(x, train.labels(), train.num_classes()));
+    learner_ = std::move(learner);
+    return Status::Ok();
+}
+
+void GraphClassifierPipeline::Encode(const LabeledGraph& graph,
+                                     std::vector<double>* out) const {
+    out->assign(num_vertex_labels_ + features_.size(), 0.0);
+    for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+        const VertexLabel vl = graph.vertex_label(v);
+        if (vl < num_vertex_labels_) (*out)[vl] += 1.0;
+    }
+    for (std::size_t f = 0; f < features_.size(); ++f) {
+        if (ContainsPath(graph, features_[f].pattern)) {
+            (*out)[num_vertex_labels_ + f] = 1.0;
+        }
+    }
+}
+
+ClassLabel GraphClassifierPipeline::Predict(const LabeledGraph& graph) const {
+    std::vector<double> encoded;
+    Encode(graph, &encoded);
+    return learner_->Predict(encoded);
+}
+
+double GraphClassifierPipeline::Accuracy(const GraphDatabase& test) const {
+    if (test.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t g = 0; g < test.size(); ++g) {
+        if (Predict(test.graph(g)) == test.label(g)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace dfp

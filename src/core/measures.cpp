@@ -1,0 +1,119 @@
+#include "core/measures.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.hpp"
+
+namespace dfp {
+
+FeatureStats StatsOfCover(const TransactionDatabase& db, const BitVector& cover) {
+    FeatureStats s;
+    s.n = db.num_transactions();
+    s.support = cover.Count();
+    s.class_totals = db.ClassCounts();
+    s.class_support = db.ClassCountsOf(cover);
+    return s;
+}
+
+FeatureStats StatsOfPattern(const TransactionDatabase& db, const Pattern& pattern) {
+    assert(pattern.cover.size() == db.num_transactions() &&
+           "pattern metadata not attached; call AttachMetadata first");
+    FeatureStats s;
+    s.n = db.num_transactions();
+    s.support = pattern.support;
+    s.class_totals = db.ClassCounts();
+    s.class_support = pattern.class_counts;
+    return s;
+}
+
+double ClassEntropy(const FeatureStats& stats) {
+    return EntropyCounts(stats.class_totals);
+}
+
+double InformationGain(const FeatureStats& stats) {
+    if (stats.n == 0) return 0.0;
+    const double n = static_cast<double>(stats.n);
+    const double n1 = static_cast<double>(stats.support);
+    const double n0 = n - n1;
+
+    std::vector<std::size_t> c0(stats.class_totals.size());
+    for (std::size_t c = 0; c < c0.size(); ++c) {
+        c0[c] = stats.class_totals[c] - stats.class_support[c];
+    }
+    const double h_cond = (n1 / n) * EntropyCounts(stats.class_support) +
+                          (n0 / n) * EntropyCounts(c0);
+    const double ig = ClassEntropy(stats) - h_cond;
+    return ig < 0.0 ? 0.0 : ig;  // clamp away negative rounding noise
+}
+
+double FisherScore(const FeatureStats& stats) {
+    if (stats.n == 0) return 0.0;
+    const double mu = stats.theta();
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (std::size_t c = 0; c < stats.class_totals.size(); ++c) {
+        const double nc = static_cast<double>(stats.class_totals[c]);
+        if (nc == 0.0) continue;
+        const double mu_c = static_cast<double>(stats.class_support[c]) / nc;
+        numerator += nc * (mu_c - mu) * (mu_c - mu);
+        // Population variance of a Bernoulli feature within class c.
+        denominator += nc * mu_c * (1.0 - mu_c);
+    }
+    if (denominator <= 0.0) {
+        return numerator <= 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return numerator / denominator;
+}
+
+double GiniGain(const FeatureStats& stats) {
+    if (stats.n == 0) return 0.0;
+    auto gini = [](const std::vector<double>& counts) {
+        double total = 0.0;
+        for (double c : counts) total += c;
+        if (total <= 0.0) return 0.0;
+        double g = 1.0;
+        for (double c : counts) g -= (c / total) * (c / total);
+        return g;
+    };
+    const std::size_t m = stats.class_totals.size();
+    std::vector<double> all(m);
+    std::vector<double> on(m);
+    std::vector<double> off(m);
+    for (std::size_t c = 0; c < m; ++c) {
+        all[c] = static_cast<double>(stats.class_totals[c]);
+        on[c] = static_cast<double>(stats.class_support[c]);
+        off[c] = all[c] - on[c];
+    }
+    const double n = static_cast<double>(stats.n);
+    const double n1 = static_cast<double>(stats.support);
+    const double split = (n1 / n) * gini(on) + ((n - n1) / n) * gini(off);
+    const double gain = gini(all) - split;
+    return gain < 0.0 ? 0.0 : gain;
+}
+
+const char* RelevanceMeasureName(RelevanceMeasure m) {
+    switch (m) {
+        case RelevanceMeasure::kInfoGain: return "info-gain";
+        case RelevanceMeasure::kFisher: return "fisher";
+        case RelevanceMeasure::kGini: return "gini";
+    }
+    return "?";
+}
+
+double Relevance(RelevanceMeasure measure, const FeatureStats& stats) {
+    switch (measure) {
+        case RelevanceMeasure::kInfoGain: return InformationGain(stats);
+        case RelevanceMeasure::kFisher: return FisherScore(stats);
+        case RelevanceMeasure::kGini: return GiniGain(stats);
+    }
+    return 0.0;
+}
+
+double PatternRelevance(RelevanceMeasure measure, const TransactionDatabase& db,
+                        const Pattern& pattern) {
+    return Relevance(measure, StatsOfPattern(db, pattern));
+}
+
+}  // namespace dfp

@@ -1,0 +1,63 @@
+// Discriminative measures of binary (pattern) features w.r.t. the class label.
+//
+// A pattern α induces the binary feature X = 1{α ⊆ transaction}. Its
+// discriminative power is measured against the class label C by information
+// gain IG(C|X) = H(C) − H(C|X) (in bits) or by the Fisher score (Eq. 4 of the
+// paper, with the population-variance convention used in its derivation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/transaction_db.hpp"
+#include "fpm/itemset.hpp"
+
+namespace dfp {
+
+/// Sufficient statistics of one binary feature vs. the class label.
+struct FeatureStats {
+    std::size_t n = 0;        ///< total transactions
+    std::size_t support = 0;  ///< |X = 1|
+    std::vector<std::size_t> class_totals;   ///< n_c per class
+    std::vector<std::size_t> class_support;  ///< |X = 1 ∧ C = c| per class
+
+    double theta() const {
+        return n == 0 ? 0.0 : static_cast<double>(support) / static_cast<double>(n);
+    }
+};
+
+/// Builds FeatureStats for the feature "row ∈ cover" against db's labels.
+FeatureStats StatsOfCover(const TransactionDatabase& db, const BitVector& cover);
+
+/// Builds FeatureStats for a mined pattern (requires attached metadata).
+FeatureStats StatsOfPattern(const TransactionDatabase& db, const Pattern& pattern);
+
+/// H(C) in bits.
+double ClassEntropy(const FeatureStats& stats);
+
+/// IG(C|X) = H(C) − H(C|X) in bits. Non-negative (up to rounding).
+double InformationGain(const FeatureStats& stats);
+
+/// Fisher score (Eq. 4) of the binary feature. Returns +inf when the
+/// within-class variance is zero but the between-class spread is not, and 0
+/// when both vanish.
+double FisherScore(const FeatureStats& stats);
+
+/// Gini impurity reduction of the split X=0 / X=1 (extra measure, used by the
+/// ablation benches).
+double GiniGain(const FeatureStats& stats);
+
+/// Relevance measure selector for MMRFS (Definition 3).
+enum class RelevanceMeasure { kInfoGain, kFisher, kGini };
+
+const char* RelevanceMeasureName(RelevanceMeasure m);
+
+/// Dispatches to the chosen measure.
+double Relevance(RelevanceMeasure measure, const FeatureStats& stats);
+
+/// Convenience: relevance of a pattern w.r.t. db's labels.
+double PatternRelevance(RelevanceMeasure measure, const TransactionDatabase& db,
+                        const Pattern& pattern);
+
+}  // namespace dfp

@@ -1,0 +1,48 @@
+// The min_sup setting strategy of Section 3.2.
+//
+// Instead of guessing a support threshold, the user picks a discriminative-
+// power threshold (information gain IG0 or Fisher score F0, for which mature
+// feature-selection guidance exists) and the strategy maps it to the largest
+// support threshold θ* whose theoretical upper bound stays below it:
+//     θ* = argmax_θ { IG_ub(θ) ≤ IG0 }          (Eq. 8)
+// Every pattern with support ≤ θ* would be filtered by the measure threshold
+// anyway (IG(θ) ≤ IG_ub(θ) ≤ IG_ub(θ*) ≤ IG0), so mining with min_sup = θ*
+// provably loses no feature candidate while pruning the search space.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dfp {
+
+/// Output of the strategy.
+struct MinSupRecommendation {
+    /// θ* as a relative support in [0, 1].
+    double theta_star = 0.0;
+    /// ceil(θ* · n), clamped to ≥ 1 — ready to use as MinerConfig::min_sup_abs.
+    std::size_t min_sup_abs = 1;
+    /// The bound value at θ* (≤ the requested threshold by construction).
+    double bound_at_theta_star = 0.0;
+};
+
+/// Maps an information-gain threshold to θ*. `priors` is the training class
+/// distribution; `n` the number of training transactions. The bound used is
+/// max over classes of the one-vs-rest IG bound, which is monotone increasing
+/// on the searched interval [0, min_c min(p_c, 1−p_c)].
+MinSupRecommendation RecommendMinSup(double ig0, const std::vector<double>& priors,
+                                     std::size_t n);
+
+/// Same strategy driven by a Fisher-score threshold (the paper notes either
+/// measure works; Fr_ub is also monotone increasing below the smallest prior).
+MinSupRecommendation RecommendMinSupFisher(double fisher0,
+                                           const std::vector<double>& priors,
+                                           std::size_t n);
+
+/// Samples IG_ub(θ) (binary / one-vs-rest-max) at `points` equally spaced
+/// supports — the "compute the bound as a function of θ" step of the strategy,
+/// also used to print the Figure 2 curve.
+std::vector<std::pair<double, double>> IgBoundCurve(
+    const std::vector<double>& priors, std::size_t points);
+
+}  // namespace dfp

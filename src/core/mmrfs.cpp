@@ -1,0 +1,117 @@
+#include "core/mmrfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/redundancy.hpp"
+
+namespace dfp {
+
+MmrfsResult RunMmrfs(const TransactionDatabase& db,
+                     const std::vector<Pattern>& candidates,
+                     const MmrfsConfig& config) {
+    const std::size_t n = db.num_transactions();
+    MmrfsResult result;
+    result.coverage.assign(n, 0);
+    result.relevance.resize(candidates.size());
+    if (candidates.empty() || n == 0) return result;
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        assert(candidates[i].cover.size() == n && "metadata not attached");
+        result.relevance[i] = PatternRelevance(config.relevance, db, candidates[i]);
+    }
+
+    // Per-candidate running state: selected/discarded flag and the current
+    // max_{β ∈ Fs} R(α, β), updated incrementally as Fs grows so each
+    // selection round is a single O(|F|) scan.
+    std::vector<char> done(candidates.size(), 0);
+    std::vector<double> max_red(candidates.size(), 0.0);
+
+    // An instance is "correctly covered" by α when α is present in it and α's
+    // majority class matches its label. Precompute per-candidate majority.
+    std::vector<ClassLabel> majority(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        majority[i] = candidates[i].MajorityClass();
+    }
+
+    std::size_t under_covered = 0;  // instances with coverage < δ
+    for (std::size_t t = 0; t < n; ++t) under_covered += (config.coverage_delta > 0);
+
+    auto correctly_covers_needy = [&](std::size_t i) {
+        bool hit = false;
+        candidates[i].cover.ForEach([&](std::uint32_t t) {
+            if (!hit && db.label(t) == majority[i] &&
+                result.coverage[t] < config.coverage_delta) {
+                hit = true;
+            }
+        });
+        return hit;
+    };
+
+    while (under_covered > 0 && result.selected.size() < config.max_features) {
+        // Candidate with maximum marginal gain among the remaining pool.
+        std::size_t best = candidates.size();
+        double best_gain = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (done[i]) continue;
+            const double gain = result.relevance[i] - max_red[i];
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        if (best == candidates.size()) break;  // pool exhausted
+        done[best] = 1;
+
+        if (!correctly_covers_needy(best)) continue;  // discard, don't select
+
+        result.selected.push_back(best);
+        result.gains.push_back(best_gain);
+        // Update coverage over correctly covered instances.
+        candidates[best].cover.ForEach([&](std::uint32_t t) {
+            if (db.label(t) != majority[best]) return;
+            if (result.coverage[t] == config.coverage_delta - 1) --under_covered;
+            if (result.coverage[t] < config.coverage_delta) ++result.coverage[t];
+        });
+        // Refresh each remaining candidate's max redundancy against Fs.
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (done[i]) continue;
+            const double r =
+                Redundancy(candidates[i], candidates[best], result.relevance[i],
+                           result.relevance[best]);
+            max_red[i] = std::max(max_red[i], r);
+        }
+    }
+    return result;
+}
+
+std::vector<Pattern> SelectPatterns(const TransactionDatabase& db,
+                                    const std::vector<Pattern>& candidates,
+                                    const MmrfsConfig& config) {
+    const MmrfsResult result = RunMmrfs(db, candidates, config);
+    std::vector<Pattern> out;
+    out.reserve(result.selected.size());
+    for (std::size_t i : result.selected) out.push_back(candidates[i]);
+    return out;
+}
+
+std::vector<std::size_t> TopKByRelevance(const TransactionDatabase& db,
+                                         const std::vector<Pattern>& candidates,
+                                         RelevanceMeasure measure, std::size_t k) {
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        scored.emplace_back(PatternRelevance(measure, db, candidates[i]), i);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < std::min(k, scored.size()); ++i) {
+        out.push_back(scored[i].second);
+    }
+    return out;
+}
+
+}  // namespace dfp

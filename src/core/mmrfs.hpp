@@ -1,0 +1,61 @@
+// MMRFS — Maximal-Marginal-Relevance Feature Selection (Algorithm 1).
+//
+// Greedy selection over mined patterns: start from the most relevant pattern,
+// then repeatedly take the pattern with the largest marginal gain
+//     g(α) = S(α) − max_{β ∈ Fs} R(α, β)
+// accepting it only if it *correctly covers* (pattern present AND the
+// pattern's majority class equals the instance label) at least one training
+// instance that is not yet covered δ times. Selection stops when every
+// instance is covered δ times, the candidate pool empties, or an explicit
+// feature cap is hit. The database-coverage parameter δ thus sizes the
+// selected set automatically, as in CMAR.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "data/transaction_db.hpp"
+#include "fpm/itemset.hpp"
+
+namespace dfp {
+
+struct MmrfsConfig {
+    /// Relevance measure S (Definition 3).
+    RelevanceMeasure relevance = RelevanceMeasure::kInfoGain;
+    /// Database coverage δ: stop once every instance is covered δ times.
+    std::size_t coverage_delta = 3;
+    /// Hard cap on |Fs| (the paper's algorithm has none; useful in sweeps).
+    std::size_t max_features = std::numeric_limits<std::size_t>::max();
+};
+
+struct MmrfsResult {
+    /// Indices into the candidate vector, in selection order.
+    std::vector<std::size_t> selected;
+    /// Marginal gain of each selected pattern at the time of selection.
+    std::vector<double> gains;
+    /// Relevance S(α) of every candidate (by candidate index).
+    std::vector<double> relevance;
+    /// Per-instance final coverage counts.
+    std::vector<std::size_t> coverage;
+};
+
+/// Runs Algorithm 1. Candidates must have metadata attached against `db`
+/// (cover + class_counts). Runs in O(|F| · |Fs|) redundancy evaluations.
+MmrfsResult RunMmrfs(const TransactionDatabase& db,
+                     const std::vector<Pattern>& candidates,
+                     const MmrfsConfig& config);
+
+/// Convenience: returns the selected patterns themselves.
+std::vector<Pattern> SelectPatterns(const TransactionDatabase& db,
+                                    const std::vector<Pattern>& candidates,
+                                    const MmrfsConfig& config);
+
+/// Baselines for the selection ablation bench: take the top-k candidates by
+/// relevance alone (no redundancy term), or k uniformly random candidates.
+std::vector<std::size_t> TopKByRelevance(const TransactionDatabase& db,
+                                         const std::vector<Pattern>& candidates,
+                                         RelevanceMeasure measure, std::size_t k);
+
+}  // namespace dfp

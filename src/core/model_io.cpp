@@ -1,0 +1,119 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/serialize.hpp"
+#include "ml/dtree/c45.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "ml/svm/pegasos.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+
+namespace {
+constexpr const char* kMagic = "dfp-model";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+Status SaveFeatureSpace(const FeatureSpace& space, std::ostream& out) {
+    out << "feature-space " << space.num_items() << ' ' << space.num_patterns()
+        << '\n';
+    for (const Pattern& p : space.patterns()) {
+        out << p.items.size();
+        for (ItemId i : p.items) out << ' ' << i;
+        out << '\n';
+    }
+    if (!out) return Status::Internal("feature-space write failed");
+    return Status::Ok();
+}
+
+Result<FeatureSpace> LoadFeatureSpace(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect("feature-space"));
+    std::size_t num_items = 0;
+    std::size_t num_patterns = 0;
+    DFP_RETURN_NOT_OK(reader.Read(&num_items));
+    DFP_RETURN_NOT_OK(reader.Read(&num_patterns));
+    std::vector<Pattern> patterns(num_patterns);
+    for (Pattern& p : patterns) {
+        std::size_t len = 0;
+        DFP_RETURN_NOT_OK(reader.Read(&len));
+        if (len < 2) return Status::ParseError("pattern of length < 2 in model");
+        p.items.resize(len);
+        for (ItemId& item : p.items) {
+            DFP_RETURN_NOT_OK(reader.Read(&item));
+        }
+    }
+    return FeatureSpace::Build(num_items, std::move(patterns));
+}
+
+Result<std::unique_ptr<Classifier>> MakeLearnerByTypeId(const std::string& id) {
+    if (id == "svm") return std::unique_ptr<Classifier>(new SvmClassifier());
+    if (id == "c4.5") return std::unique_ptr<Classifier>(new C45Classifier());
+    if (id == "nb") return std::unique_ptr<Classifier>(new NaiveBayesClassifier());
+    if (id == "pegasos") {
+        return std::unique_ptr<Classifier>(new PegasosClassifier());
+    }
+    return Status::NotFound("unknown learner type id '" + id + "'");
+}
+
+Status SavePipelineModel(const PatternClassifierPipeline& pipeline,
+                         std::ostream& out) {
+    const Classifier* learner = pipeline.learner();
+    if (learner == nullptr) {
+        return Status::FailedPrecondition("pipeline has no trained learner");
+    }
+    if (learner->TypeId().empty()) {
+        return Status::FailedPrecondition("learner '" + learner->Name() +
+                                          "' is not serializable");
+    }
+    out << kMagic << ' ' << kVersion << ' ' << learner->TypeId() << '\n';
+    DFP_RETURN_NOT_OK(SaveFeatureSpace(pipeline.feature_space(), out));
+    return learner->SaveModel(out);
+}
+
+ClassLabel LoadedModel::Predict(const std::vector<ItemId>& transaction) const {
+    std::vector<double> encoded(space_.dim(), 0.0);
+    space_.Encode(transaction, encoded);
+    return learner_->Predict(encoded);
+}
+
+double LoadedModel::Accuracy(const TransactionDatabase& test) const {
+    if (test.num_transactions() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t t = 0; t < test.num_transactions(); ++t) {
+        if (Predict(test.transaction(t)) == test.label(t)) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.num_transactions());
+}
+
+Result<LoadedModel> LoadPipelineModel(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect(kMagic));
+    DFP_RETURN_NOT_OK(reader.Expect(kVersion));
+    std::string type_id;
+    DFP_RETURN_NOT_OK(reader.Read(&type_id));
+    auto space = LoadFeatureSpace(in);
+    if (!space.ok()) return space.status();
+    auto learner = MakeLearnerByTypeId(type_id);
+    if (!learner.ok()) return learner.status();
+    DFP_RETURN_NOT_OK((*learner)->LoadModel(in));
+    return LoadedModel(std::move(*space), std::move(*learner));
+}
+
+Status SavePipelineModelToFile(const PatternClassifierPipeline& pipeline,
+                               const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
+    return SavePipelineModel(pipeline, out);
+}
+
+Result<LoadedModel> LoadPipelineModelFromFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    return LoadPipelineModel(in);
+}
+
+}  // namespace dfp

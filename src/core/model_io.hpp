@@ -1,0 +1,57 @@
+// Trained-model persistence.
+//
+// A trained PatternClassifierPipeline is a FeatureSpace (item universe +
+// selected pattern itemsets) plus a learner. Both serialize to a line-oriented
+// text format ("dfp-model v1"), human-inspectable and stable across platforms.
+// Covers and training-time metadata are not persisted — prediction only needs
+// the itemsets.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/feature_space.hpp"
+#include "core/pipeline.hpp"
+#include "ml/classifier.hpp"
+
+namespace dfp {
+
+/// Serializes a feature space (item count + pattern itemsets).
+Status SaveFeatureSpace(const FeatureSpace& space, std::ostream& out);
+Result<FeatureSpace> LoadFeatureSpace(std::istream& in);
+
+/// Creates an untrained learner from its TypeId ("svm", "c4.5", "nb",
+/// "pegasos"). Returns NotFound for unknown ids.
+Result<std::unique_ptr<Classifier>> MakeLearnerByTypeId(const std::string& id);
+
+/// Serializes a trained pipeline (feature space + learner).
+Status SavePipelineModel(const PatternClassifierPipeline& pipeline,
+                         std::ostream& out);
+
+/// A loaded predictor: feature space + learner, predicting raw transactions.
+class LoadedModel {
+  public:
+    LoadedModel(FeatureSpace space, std::unique_ptr<Classifier> learner)
+        : space_(std::move(space)), learner_(std::move(learner)) {}
+
+    ClassLabel Predict(const std::vector<ItemId>& transaction) const;
+    double Accuracy(const TransactionDatabase& test) const;
+    const FeatureSpace& feature_space() const { return space_; }
+    const Classifier& learner() const { return *learner_; }
+
+  private:
+    FeatureSpace space_;
+    std::unique_ptr<Classifier> learner_;
+};
+
+/// Deserializes a pipeline model saved with SavePipelineModel.
+Result<LoadedModel> LoadPipelineModel(std::istream& in);
+
+/// File-path conveniences.
+Status SavePipelineModelToFile(const PatternClassifierPipeline& pipeline,
+                               const std::string& path);
+Result<LoadedModel> LoadPipelineModelFromFile(const std::string& path);
+
+}  // namespace dfp

@@ -1,0 +1,128 @@
+#include "core/pipeline.hpp"
+
+#include <unordered_set>
+
+#include "fpm/apriori.hpp"
+#include "fpm/closed_miner.hpp"
+#include "fpm/eclat.hpp"
+#include "fpm/fpgrowth.hpp"
+
+namespace dfp {
+
+std::unique_ptr<Miner> MakeMiner(MinerKind kind) {
+    switch (kind) {
+        case MinerKind::kClosed: return std::make_unique<ClosedMiner>();
+        case MinerKind::kFpGrowth: return std::make_unique<FpGrowthMiner>();
+        case MinerKind::kApriori: return std::make_unique<AprioriMiner>();
+        case MinerKind::kEclat: return std::make_unique<EclatMiner>();
+    }
+    return nullptr;
+}
+
+namespace {
+
+// Hash of a sorted itemset for candidate dedup across class partitions.
+struct ItemsetHash {
+    std::size_t operator()(const Itemset& items) const {
+        std::size_t h = 1469598103934665603ull;
+        for (ItemId i : items) {
+            h ^= i;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+}  // namespace
+
+Result<std::vector<Pattern>> PatternClassifierPipeline::MineCandidates(
+    const TransactionDatabase& train) const {
+    const std::unique_ptr<Miner> miner = MakeMiner(config_.miner_kind);
+    MinerConfig mine_config = config_.miner;
+    // Single items are always part of the feature space I ∪ F; keeping them as
+    // pattern candidates would only duplicate coordinates.
+    mine_config.include_singletons = false;
+
+    std::vector<Pattern> pooled;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    auto pool = [&pooled, &seen](std::vector<Pattern>&& mined) {
+        for (Pattern& p : mined) {
+            if (seen.insert(p.items).second) pooled.push_back(std::move(p));
+        }
+    };
+
+    if (config_.per_class_mining) {
+        for (ClassLabel c = 0; c < train.num_classes(); ++c) {
+            TransactionDatabase partition = train.FilterByClass(c);
+            if (partition.num_transactions() == 0) continue;
+            auto mined = miner->Mine(partition, mine_config);
+            if (!mined.ok()) return mined.status();
+            pool(std::move(mined).value());
+        }
+    } else {
+        auto mined = miner->Mine(train, mine_config);
+        if (!mined.ok()) return mined.status();
+        pool(std::move(mined).value());
+    }
+    // Metadata (cover, per-class counts, support) is re-anchored on the full
+    // training database regardless of which partition produced the pattern.
+    AttachMetadata(train, &pooled);
+    return pooled;
+}
+
+Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
+                                        std::unique_ptr<Classifier> learner) {
+    if (learner == nullptr) {
+        return Status::InvalidArgument("pipeline requires a learner");
+    }
+    if (train.num_transactions() == 0) {
+        return Status::InvalidArgument("empty training database");
+    }
+    Stopwatch watch;
+    auto mined = MineCandidates(train);
+    if (!mined.ok()) return mined.status();
+    candidates_ = std::move(mined).value();
+    stats_.mine_seconds = watch.ElapsedSeconds();
+    stats_.num_candidates = candidates_.size();
+
+    watch.Reset();
+    std::vector<Pattern> features;
+    if (config_.feature_selection) {
+        features = SelectPatterns(train, candidates_, config_.mmrfs);
+    } else {
+        features = candidates_;
+    }
+    stats_.select_seconds = watch.ElapsedSeconds();
+    stats_.num_selected = features.size();
+
+    watch.Reset();
+    const std::size_t items = config_.include_single_items ? train.num_items() : 0;
+    feature_space_ = FeatureSpace::Build(items, std::move(features));
+    const FeatureMatrix x = feature_space_.Transform(train);
+    stats_.transform_seconds = watch.ElapsedSeconds();
+
+    watch.Reset();
+    num_classes_ = train.num_classes();
+    DFP_RETURN_NOT_OK(learner->Train(x, train.labels(), num_classes_));
+    stats_.learn_seconds = watch.ElapsedSeconds();
+    learner_ = std::move(learner);
+    return Status::Ok();
+}
+
+ClassLabel PatternClassifierPipeline::Predict(
+    const std::vector<ItemId>& transaction) const {
+    std::vector<double> encoded(feature_space_.dim(), 0.0);
+    feature_space_.Encode(transaction, encoded);
+    return learner_->Predict(encoded);
+}
+
+double PatternClassifierPipeline::Accuracy(const TransactionDatabase& test) const {
+    if (test.num_transactions() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t t = 0; t < test.num_transactions(); ++t) {
+        if (Predict(test.transaction(t)) == test.label(t)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.num_transactions());
+}
+
+}  // namespace dfp

@@ -1,0 +1,85 @@
+// End-to-end frequent-pattern-based classification (Section 3's three steps:
+// feature generation → feature selection → model learning).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/stopwatch.hpp"
+#include "core/feature_space.hpp"
+#include "core/mmrfs.hpp"
+#include "data/transaction_db.hpp"
+#include "fpm/miner.hpp"
+#include "ml/classifier.hpp"
+
+namespace dfp {
+
+/// Which miner generates the feature candidates.
+enum class MinerKind { kClosed, kFpGrowth, kApriori, kEclat };
+
+std::unique_ptr<Miner> MakeMiner(MinerKind kind);
+
+struct PipelineConfig {
+    /// Mining parameters (min_sup, budget, ...).
+    MinerConfig miner;
+    MinerKind miner_kind = MinerKind::kClosed;
+    /// Mine each class partition separately (the paper's feature-generation
+    /// step) and pool the results; otherwise mine the whole database once.
+    bool per_class_mining = true;
+    /// Run MMRFS (Pat_FS). When false all candidates become features (Pat_All).
+    bool feature_selection = true;
+    MmrfsConfig mmrfs;
+    /// Include the single items I in the feature space (the paper always does).
+    bool include_single_items = true;
+};
+
+/// Timing and size diagnostics of one training run.
+struct PipelineStats {
+    std::size_t num_candidates = 0;  ///< |F| after per-class pooling + dedup
+    std::size_t num_selected = 0;    ///< |Fs|
+    double mine_seconds = 0.0;
+    double select_seconds = 0.0;
+    double transform_seconds = 0.0;
+    double learn_seconds = 0.0;
+};
+
+/// Trains "classifier on I ∪ Fs" and predicts on raw transactions.
+class PatternClassifierPipeline {
+  public:
+    explicit PatternClassifierPipeline(PipelineConfig config)
+        : config_(std::move(config)) {}
+
+    /// Mines, selects, transforms and trains. The pipeline takes ownership of
+    /// the learner. Fails (propagating miner/learner status) without partial
+    /// state on error.
+    Status Train(const TransactionDatabase& train,
+                 std::unique_ptr<Classifier> learner);
+
+    /// Predicts the class of a raw transaction (sorted item list).
+    ClassLabel Predict(const std::vector<ItemId>& transaction) const;
+
+    /// Accuracy over a held-out database.
+    double Accuracy(const TransactionDatabase& test) const;
+
+    const PipelineStats& stats() const { return stats_; }
+    const FeatureSpace& feature_space() const { return feature_space_; }
+    const std::vector<Pattern>& candidates() const { return candidates_; }
+    const Classifier* learner() const { return learner_.get(); }
+
+    /// Mines and pools candidates exactly as Train does, without training —
+    /// for benches that inspect the candidate set.
+    Result<std::vector<Pattern>> MineCandidates(
+        const TransactionDatabase& train) const;
+
+  private:
+    PipelineConfig config_;
+    PipelineStats stats_;
+    FeatureSpace feature_space_;
+    std::vector<Pattern> candidates_;
+    std::unique_ptr<Classifier> learner_;
+    std::size_t num_classes_ = 0;
+    std::vector<double> encode_buffer_;  // scratch for Predict
+};
+
+}  // namespace dfp

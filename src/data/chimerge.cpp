@@ -1,0 +1,115 @@
+#include "data/chimerge.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+double ChiSquareOfPair(const std::vector<std::size_t>& left,
+                       const std::vector<std::size_t>& right) {
+    const std::size_t classes = left.size();
+    double n_left = 0.0;
+    double n_right = 0.0;
+    std::vector<double> column(classes, 0.0);
+    for (std::size_t c = 0; c < classes; ++c) {
+        n_left += static_cast<double>(left[c]);
+        n_right += static_cast<double>(right[c]);
+        column[c] = static_cast<double>(left[c] + right[c]);
+    }
+    const double total = n_left + n_right;
+    if (total <= 0.0) return 0.0;
+    double chi2 = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+        const double e_left = n_left * column[c] / total;
+        const double e_right = n_right * column[c] / total;
+        if (e_left > 0.0) {
+            const double d = static_cast<double>(left[c]) - e_left;
+            chi2 += d * d / e_left;
+        }
+        if (e_right > 0.0) {
+            const double d = static_cast<double>(right[c]) - e_right;
+            chi2 += d * d / e_right;
+        }
+    }
+    return chi2;
+}
+
+double ChiSquareCritical(double significance, std::size_t df) {
+    df = std::min<std::size_t>(std::max<std::size_t>(df, 1), 10);
+    static const double k90[] = {2.706, 4.605, 6.251, 7.779, 9.236,
+                                 10.645, 12.017, 13.362, 14.684, 15.987};
+    static const double k95[] = {3.841, 5.991, 7.815, 9.488, 11.070,
+                                 12.592, 14.067, 15.507, 16.919, 18.307};
+    static const double k99[] = {6.635, 9.210, 11.345, 13.277, 15.086,
+                                 16.812, 18.475, 20.090, 21.666, 23.209};
+    const double* table = k95;
+    if (significance <= 0.90) {
+        table = k90;
+    } else if (significance >= 0.99) {
+        table = k99;
+    }
+    return table[df - 1];
+}
+
+std::string ChiMergeDiscretizer::Name() const {
+    return StrFormat("chimerge:%.2f", config_.significance);
+}
+
+std::vector<double> ChiMergeDiscretizer::FindCutPoints(
+    const std::vector<double>& values, const std::vector<ClassLabel>& labels,
+    std::size_t num_classes) const {
+    if (values.size() < 2) return {};
+
+    // Initial intervals: one per distinct value, with class histograms.
+    struct Interval {
+        double lo;                        // smallest value in the interval
+        std::vector<std::size_t> counts;  // class histogram
+    };
+    std::vector<std::pair<double, ClassLabel>> sorted(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        sorted[i] = {values[i], labels[i]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<Interval> intervals;
+    for (const auto& [v, y] : sorted) {
+        if (intervals.empty() || intervals.back().lo != v) {
+            intervals.push_back({v, std::vector<std::size_t>(num_classes, 0)});
+        }
+        intervals.back().counts[y]++;
+    }
+    if (intervals.size() <= config_.min_intervals) return {};
+
+    const double threshold =
+        ChiSquareCritical(config_.significance, num_classes - 1);
+    while (intervals.size() > config_.min_intervals) {
+        // Find the adjacent pair with the smallest χ².
+        double best_chi2 = std::numeric_limits<double>::infinity();
+        std::size_t best = 0;
+        for (std::size_t i = 0; i + 1 < intervals.size(); ++i) {
+            const double chi2 =
+                ChiSquareOfPair(intervals[i].counts, intervals[i + 1].counts);
+            if (chi2 < best_chi2) {
+                best_chi2 = chi2;
+                best = i;
+            }
+        }
+        const bool over_budget = intervals.size() > config_.max_intervals;
+        if (best_chi2 > threshold && !over_budget) break;
+        // Merge best and best+1.
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            intervals[best].counts[c] += intervals[best + 1].counts[c];
+        }
+        intervals.erase(intervals.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    }
+
+    std::vector<double> cuts;
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+        cuts.push_back(intervals[i].lo);
+    }
+    return cuts;
+}
+
+}  // namespace dfp

@@ -1,0 +1,44 @@
+// ChiMerge supervised discretization (Kerber, AAAI'92).
+//
+// A second supervised scheme next to Fayyad–Irani MDL: bottom-up merging of
+// adjacent intervals whose class distributions are statistically
+// indistinguishable (χ² below the significance threshold), until every
+// adjacent pair differs significantly or the interval budget is reached.
+#pragma once
+
+#include "data/discretizer.hpp"
+
+namespace dfp {
+
+struct ChiMergeConfig {
+    /// Significance level for the χ² stopping test (0.90, 0.95 or 0.99).
+    double significance = 0.95;
+    /// Never merge below this many intervals.
+    std::size_t min_intervals = 2;
+    /// Keep merging (regardless of χ²) while above this many intervals.
+    std::size_t max_intervals = 12;
+};
+
+class ChiMergeDiscretizer : public Discretizer {
+  public:
+    explicit ChiMergeDiscretizer(ChiMergeConfig config = {}) : config_(config) {}
+
+    std::string Name() const override;
+    std::vector<double> FindCutPoints(const std::vector<double>& values,
+                                      const std::vector<ClassLabel>& labels,
+                                      std::size_t num_classes) const override;
+
+  private:
+    ChiMergeConfig config_;
+};
+
+/// χ² statistic of two adjacent intervals' class-count rows (exposed for
+/// tests). Cells with zero expectation contribute nothing.
+double ChiSquareOfPair(const std::vector<std::size_t>& left,
+                       const std::vector<std::size_t>& right);
+
+/// Critical χ² value at the given significance for df degrees of freedom
+/// (tabulated for df 1..10 at 0.90 / 0.95 / 0.99, clamped otherwise).
+double ChiSquareCritical(double significance, std::size_t df);
+
+}  // namespace dfp

@@ -1,0 +1,36 @@
+// CSV loading/saving for Dataset.
+//
+// Columns are auto-typed: a column is numeric iff every non-empty cell parses
+// as a finite double; otherwise it is categorical with value codes assigned in
+// first-appearance order. The class column is always categorical.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+
+namespace dfp {
+
+struct CsvOptions {
+    char delimiter = ',';
+    bool has_header = true;
+    /// Index of the class column; negative counts from the end (-1 = last).
+    int class_column = -1;
+};
+
+/// Parses CSV text into a Dataset. Returns ParseError on malformed input.
+Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Loads a CSV file. Returns NotFound if the file cannot be opened.
+Result<Dataset> LoadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Writes a Dataset as CSV (class label in the last column, header included).
+Status WriteCsv(const Dataset& data, std::ostream& out, char delimiter = ',');
+
+/// Saves a Dataset to a CSV file.
+Status SaveCsvFile(const Dataset& data, const std::string& path,
+                   char delimiter = ',');
+
+}  // namespace dfp

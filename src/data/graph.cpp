@@ -1,0 +1,173 @@
+#include "data/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+Status LabeledGraph::AddEdge(std::size_t u, std::size_t v, EdgeLabel label) {
+    if (u >= num_vertices() || v >= num_vertices()) {
+        return Status::InvalidArgument(
+            StrFormat("edge (%zu,%zu) out of range for %zu vertices", u, v,
+                      num_vertices()));
+    }
+    if (u == v) return Status::InvalidArgument("self-loops are not supported");
+    adjacency_[u].push_back({static_cast<std::uint32_t>(v), label});
+    adjacency_[v].push_back({static_cast<std::uint32_t>(u), label});
+    ++num_edges_;
+    return Status::Ok();
+}
+
+GraphDatabase::GraphDatabase(std::vector<LabeledGraph> graphs,
+                             std::vector<ClassLabel> labels,
+                             std::size_t num_vertex_labels,
+                             std::size_t num_edge_labels, std::size_t num_classes)
+    : graphs_(std::move(graphs)),
+      labels_(std::move(labels)),
+      num_vertex_labels_(num_vertex_labels),
+      num_edge_labels_(num_edge_labels),
+      num_classes_(num_classes) {
+    assert(graphs_.size() == labels_.size());
+}
+
+std::vector<std::size_t> GraphDatabase::ClassCounts() const {
+    std::vector<std::size_t> counts(num_classes_, 0);
+    for (ClassLabel y : labels_) counts[y]++;
+    return counts;
+}
+
+GraphDatabase GraphDatabase::FilterByClass(ClassLabel c) const {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (labels_[i] == c) rows.push_back(i);
+    }
+    return Subset(rows);
+}
+
+GraphDatabase GraphDatabase::Subset(const std::vector<std::size_t>& rows) const {
+    std::vector<LabeledGraph> graphs;
+    std::vector<ClassLabel> labels;
+    graphs.reserve(rows.size());
+    for (std::size_t r : rows) {
+        graphs.push_back(graphs_[r]);
+        labels.push_back(labels_[r]);
+    }
+    return GraphDatabase(std::move(graphs), std::move(labels), num_vertex_labels_,
+                         num_edge_labels_, num_classes_);
+}
+
+GraphDatabase GenerateGraphs(const GraphSpec& spec) {
+    Rng rng(spec.seed);
+
+    // Per-class path motifs: alternating vertex/edge labels, v0 e0 v1 ... vk.
+    struct Motif {
+        std::vector<VertexLabel> vertices;
+        std::vector<EdgeLabel> edges;
+    };
+    std::vector<std::vector<Motif>> motifs(spec.classes);
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        for (std::size_t m = 0; m < spec.motifs_per_class; ++m) {
+            Motif motif;
+            for (std::size_t i = 0; i <= spec.motif_edges; ++i) {
+                motif.vertices.push_back(
+                    static_cast<VertexLabel>(rng.UniformInt(spec.vertex_labels)));
+            }
+            for (std::size_t i = 0; i < spec.motif_edges; ++i) {
+                motif.edges.push_back(
+                    static_cast<EdgeLabel>(rng.UniformInt(spec.edge_labels)));
+            }
+            motifs[c].push_back(std::move(motif));
+        }
+    }
+
+    std::vector<LabeledGraph> graphs;
+    std::vector<ClassLabel> labels;
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+        const auto c = static_cast<ClassLabel>(rng.UniformInt(spec.classes));
+        const std::size_t n = static_cast<std::size_t>(
+            rng.UniformInt(static_cast<std::int64_t>(spec.vertices_min),
+                           static_cast<std::int64_t>(spec.vertices_max)));
+        std::vector<VertexLabel> vertex_labels(n);
+        for (auto& vl : vertex_labels) {
+            vl = static_cast<VertexLabel>(rng.UniformInt(spec.vertex_labels));
+        }
+        LabeledGraph g(std::move(vertex_labels));
+        // Random spanning tree keeps the backbone connected.
+        for (std::size_t v = 1; v < n; ++v) {
+            const auto u = static_cast<std::size_t>(rng.UniformInt(v));
+            (void)g.AddEdge(u, v,
+                            static_cast<EdgeLabel>(rng.UniformInt(spec.edge_labels)));
+        }
+        // Extra density.
+        for (std::size_t u = 0; u < n; ++u) {
+            for (std::size_t v = u + 1; v < n; ++v) {
+                if (rng.Bernoulli(spec.extra_edge_prob / static_cast<double>(n))) {
+                    (void)g.AddEdge(
+                        u, v,
+                        static_cast<EdgeLabel>(rng.UniformInt(spec.edge_labels)));
+                }
+            }
+        }
+        // Plant this class's motifs: walk a random simple path, overwrite its
+        // vertex labels with the motif's, and add the motif's edges along it
+        // (the backbone is rebuilt once with the relabeled vertices).
+        std::vector<VertexLabel> relabel(g.num_vertices());
+        for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+            relabel[v] = g.vertex_label(v);
+        }
+        std::vector<std::pair<std::pair<std::size_t, std::size_t>, EdgeLabel>>
+            extra_edges;
+        for (const auto& motif : motifs[c]) {
+            if (!rng.Bernoulli(spec.carrier_prob)) continue;
+            // Random simple walk of motif length; add missing edges with the
+            // motif's edge labels and overwrite vertex labels on the walk.
+            std::vector<std::size_t> walk;
+            std::size_t current =
+                static_cast<std::size_t>(rng.UniformInt(g.num_vertices()));
+            walk.push_back(current);
+            for (std::size_t step = 0; step < motif.edges.size(); ++step) {
+                std::size_t next = current;
+                for (int tries = 0; tries < 8; ++tries) {
+                    const auto candidate =
+                        static_cast<std::size_t>(rng.UniformInt(g.num_vertices()));
+                    if (std::find(walk.begin(), walk.end(), candidate) ==
+                        walk.end()) {
+                        next = candidate;
+                        break;
+                    }
+                }
+                if (next == current) break;  // graph too small for the walk
+                extra_edges.push_back({{current, next}, motif.edges[step]});
+                walk.push_back(next);
+                current = next;
+            }
+            for (std::size_t i = 0; i < walk.size() && i < motif.vertices.size();
+                 ++i) {
+                relabel[walk[i]] = motif.vertices[i];
+            }
+        }
+        LabeledGraph planted(std::move(relabel));
+        for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+            for (const auto& e : g.neighbours(v)) {
+                if (e.to > v) (void)planted.AddEdge(v, e.to, e.label);
+            }
+        }
+        for (const auto& [uv, el] : extra_edges) {
+            (void)planted.AddEdge(uv.first, uv.second, el);
+        }
+
+        ClassLabel y = c;
+        if (rng.Bernoulli(spec.label_noise)) {
+            y = static_cast<ClassLabel>(rng.UniformInt(spec.classes));
+        }
+        graphs.push_back(std::move(planted));
+        labels.push_back(y);
+    }
+    return GraphDatabase(std::move(graphs), std::move(labels), spec.vertex_labels,
+                         spec.edge_labels, spec.classes);
+}
+
+}  // namespace dfp

@@ -1,0 +1,97 @@
+// Labeled graphs and class-labelled graph databases.
+//
+// Substrate for the paper's third pattern language (§6 names graphs; its
+// reference [7], Deshpande et al., classifies chemical compounds with
+// frequent substructures). Vertices and edges carry small integer labels
+// (atom / bond types in the chemistry reading).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+
+namespace dfp {
+
+using VertexLabel = std::uint32_t;
+using EdgeLabel = std::uint32_t;
+
+/// Undirected labeled graph with adjacency lists.
+class LabeledGraph {
+  public:
+    struct Edge {
+        std::uint32_t to;
+        EdgeLabel label;
+    };
+
+    LabeledGraph() = default;
+    explicit LabeledGraph(std::vector<VertexLabel> vertex_labels)
+        : vertex_labels_(std::move(vertex_labels)),
+          adjacency_(vertex_labels_.size()) {}
+
+    std::size_t num_vertices() const { return vertex_labels_.size(); }
+    std::size_t num_edges() const { return num_edges_; }
+    VertexLabel vertex_label(std::size_t v) const { return vertex_labels_[v]; }
+    const std::vector<Edge>& neighbours(std::size_t v) const {
+        return adjacency_[v];
+    }
+
+    /// Adds an undirected edge; duplicate edges are allowed (multigraph).
+    Status AddEdge(std::size_t u, std::size_t v, EdgeLabel label);
+
+  private:
+    std::vector<VertexLabel> vertex_labels_;
+    std::vector<std::vector<Edge>> adjacency_;
+    std::size_t num_edges_ = 0;
+};
+
+/// Class-labelled collection of graphs.
+class GraphDatabase {
+  public:
+    GraphDatabase() = default;
+    GraphDatabase(std::vector<LabeledGraph> graphs, std::vector<ClassLabel> labels,
+                  std::size_t num_vertex_labels, std::size_t num_edge_labels,
+                  std::size_t num_classes);
+
+    std::size_t size() const { return labels_.size(); }
+    const LabeledGraph& graph(std::size_t i) const { return graphs_[i]; }
+    ClassLabel label(std::size_t i) const { return labels_[i]; }
+    const std::vector<ClassLabel>& labels() const { return labels_; }
+    std::size_t num_vertex_labels() const { return num_vertex_labels_; }
+    std::size_t num_edge_labels() const { return num_edge_labels_; }
+    std::size_t num_classes() const { return num_classes_; }
+
+    std::vector<std::size_t> ClassCounts() const;
+    GraphDatabase FilterByClass(ClassLabel c) const;
+    GraphDatabase Subset(const std::vector<std::size_t>& rows) const;
+
+  private:
+    std::vector<LabeledGraph> graphs_;
+    std::vector<ClassLabel> labels_;
+    std::size_t num_vertex_labels_ = 0;
+    std::size_t num_edge_labels_ = 0;
+    std::size_t num_classes_ = 0;
+};
+
+/// Synthetic molecule-like graph generator: random backbone graphs with
+/// class-specific "functional group" path motifs attached (the graph
+/// analogue of the itemset generator's concepts).
+struct GraphSpec {
+    std::size_t rows = 300;
+    std::size_t classes = 2;
+    std::size_t vertex_labels = 6;
+    std::size_t edge_labels = 3;
+    std::size_t vertices_min = 8;
+    std::size_t vertices_max = 16;
+    double extra_edge_prob = 0.15;  ///< density beyond the random spanning tree
+    std::size_t motifs_per_class = 2;
+    std::size_t motif_edges = 3;  ///< motif path length (edges)
+    double carrier_prob = 0.75;
+    double label_noise = 0.02;
+    std::uint64_t seed = 1;
+};
+
+GraphDatabase GenerateGraphs(const GraphSpec& spec);
+
+}  // namespace dfp

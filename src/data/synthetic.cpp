@@ -1,0 +1,415 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+namespace {
+
+// A hidden concept pattern: specific values on a subset of attributes.
+// Categorical attributes carry a value code; numeric attributes carry a
+// center — carrier rows land near it, so discretization turns the concept
+// into a co-occurring bin combination (the structure pattern mining finds).
+struct Concept {
+    std::vector<std::size_t> attrs;
+    std::vector<double> values;
+};
+
+// Draws a concept over any attributes (mixed categorical/numeric).
+Concept DrawConcept(const SyntheticSpec& spec, std::size_t num_attrs,
+                    const std::vector<bool>& is_numeric, Rng& rng) {
+    Concept c;
+    const std::size_t max_len = std::min(spec.pattern_len_max, num_attrs);
+    const std::size_t min_len = std::min(spec.pattern_len_min, max_len);
+    const std::size_t len = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(min_len),
+                       static_cast<std::int64_t>(max_len)));
+    std::vector<std::size_t> pool(num_attrs);
+    for (std::size_t a = 0; a < num_attrs; ++a) pool[a] = a;
+    rng.Shuffle(pool);
+    c.attrs.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(len));
+    std::sort(c.attrs.begin(), c.attrs.end());
+    for (std::size_t a : c.attrs) {
+        if (is_numeric[a]) {
+            c.values.push_back(rng.Uniform(0.0, static_cast<double>(spec.arity)));
+        } else {
+            c.values.push_back(static_cast<double>(rng.UniformInt(spec.arity)));
+        }
+    }
+    return c;
+}
+
+// An XOR-style template shared by two classes: over the attribute set, each
+// attribute has two alternative values; a carrier row draws one hidden bit per
+// attribute subject to "XOR of bits == class parity". Every single (attr,
+// value) item then appears equally often in both classes, but the value
+// combinations separate them.
+struct XorTemplate {
+    std::vector<std::size_t> attrs;
+    std::vector<std::array<double, 2>> values;  // two alternatives per attr
+    ClassLabel even_class = 0;                  // parity-0 class
+    ClassLabel odd_class = 1;                   // parity-1 class
+};
+
+XorTemplate DrawXorTemplate(const SyntheticSpec& spec, std::size_t num_attrs,
+                            const std::vector<bool>& is_numeric, ClassLabel even,
+                            ClassLabel odd, Rng& rng) {
+    XorTemplate t;
+    t.even_class = even;
+    t.odd_class = odd;
+    const std::size_t max_len = std::min(spec.pattern_len_max, num_attrs);
+    const std::size_t len =
+        std::max<std::size_t>(2, std::min(spec.pattern_len_min, max_len));
+    std::vector<std::size_t> pool(num_attrs);
+    for (std::size_t a = 0; a < num_attrs; ++a) pool[a] = a;
+    rng.Shuffle(pool);
+    t.attrs.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(len));
+    std::sort(t.attrs.begin(), t.attrs.end());
+    for (std::size_t a : t.attrs) {
+        if (is_numeric[a]) {
+            // Centers far apart so they land in different discretizer bins.
+            const double lo = rng.Uniform(0.0, static_cast<double>(spec.arity) / 3.0);
+            const double hi = lo + static_cast<double>(spec.arity) / 2.0;
+            t.values.push_back({lo, hi});
+        } else {
+            const auto v0 = static_cast<double>(rng.UniformInt(spec.arity));
+            auto v1 = static_cast<double>(rng.UniformInt(spec.arity - 1));
+            if (v1 >= v0) v1 += 1.0;
+            t.values.push_back({v0, v1});
+        }
+    }
+    return t;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+    assert(spec.classes >= 2);
+    assert(spec.arity >= 2);
+    Rng rng(spec.seed);
+
+    // ---- Schema ----------------------------------------------------------
+    const auto num_numeric = static_cast<std::size_t>(
+        std::round(spec.numeric_fraction * static_cast<double>(spec.attributes)));
+    std::vector<Attribute> schema(spec.attributes);
+    std::vector<std::size_t> cat_attrs;
+    std::vector<std::size_t> num_attrs;
+    for (std::size_t a = 0; a < spec.attributes; ++a) {
+        schema[a].name = StrFormat("a%zu", a);
+        if (a < spec.attributes - num_numeric) {
+            schema[a].type = AttributeType::kCategorical;
+            for (std::size_t v = 0; v < spec.arity; ++v) {
+                schema[a].values.push_back(StrFormat("v%zu", v));
+            }
+            cat_attrs.push_back(a);
+        } else {
+            schema[a].type = AttributeType::kNumeric;
+            num_attrs.push_back(a);
+        }
+    }
+    std::vector<std::string> class_names;
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        class_names.push_back(StrFormat("c%zu", c));
+    }
+
+    // ---- Hidden structure -------------------------------------------------
+    // Per-class preferred value and per-attribute skew strength (jittered so
+    // item supports spread out, which makes pattern counts vary smoothly with
+    // min_sup in the scalability benches).
+    std::vector<std::vector<std::uint32_t>> preferred(spec.classes);
+    std::vector<double> attr_skew(spec.attributes, 0.0);
+    for (std::size_t a = 0; a < spec.attributes; ++a) {
+        attr_skew[a] = spec.marginal_skew * rng.Uniform(0.5, 1.5);
+        attr_skew[a] = std::min(attr_skew[a], 0.97);
+    }
+    std::vector<std::uint32_t> global_preferred(spec.attributes);
+    for (std::size_t a = 0; a < spec.attributes; ++a) {
+        global_preferred[a] = static_cast<std::uint32_t>(rng.UniformInt(spec.arity));
+    }
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        preferred[c].resize(spec.attributes);
+        for (std::size_t a = 0; a < spec.attributes; ++a) {
+            preferred[c][a] =
+                rng.Bernoulli(spec.shared_preference)
+                    ? global_preferred[a]
+                    : static_cast<std::uint32_t>(rng.UniformInt(spec.arity));
+        }
+    }
+    // Per-class numeric means: a shared per-attribute base with a modest
+    // class offset. Keeping single numeric attributes only weakly informative
+    // matters twofold: it matches the paper's setting (single features are
+    // weak, combinations are strong), and it prevents every discretized bin
+    // from correlating with every other one, which would blow up the closed
+    // pattern count on attribute-heavy datasets like sonar.
+    std::vector<std::vector<double>> num_mean(spec.classes,
+                                              std::vector<double>(spec.attributes, 0.0));
+    for (std::size_t a : num_attrs) {
+        const double base = rng.Uniform(0.0, static_cast<double>(spec.arity));
+        for (std::size_t c = 0; c < spec.classes; ++c) {
+            num_mean[c][a] = base + rng.Gaussian(0.0, spec.numeric_class_sep);
+        }
+    }
+    std::vector<bool> is_numeric(spec.attributes, false);
+    for (std::size_t a : num_attrs) is_numeric[a] = true;
+    std::vector<std::vector<Concept>> concepts(spec.classes);
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        for (std::size_t k = 0; k < spec.patterns_per_class; ++k) {
+            concepts[c].push_back(DrawConcept(spec, spec.attributes, is_numeric, rng));
+        }
+    }
+    std::vector<XorTemplate> xor_templates;
+    if (spec.classes >= 2 && spec.attributes >= 2) {
+        for (ClassLabel c = 0; c < spec.classes; ++c) {
+            const auto next = static_cast<ClassLabel>((c + 1) % spec.classes);
+            for (std::size_t k = 0; k < spec.xor_patterns_per_class; ++k) {
+                xor_templates.push_back(
+                    DrawXorTemplate(spec, spec.attributes, is_numeric, c, next, rng));
+            }
+        }
+    }
+
+    // ---- Class prior -------------------------------------------------------
+    std::vector<double> prior(spec.classes, 1.0);
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        prior[c] = std::pow(1.0 - spec.class_imbalance, static_cast<double>(c));
+    }
+
+    // ---- Rows ---------------------------------------------------------------
+    Dataset data(std::move(schema), std::move(class_names));
+    std::vector<double> row(spec.attributes);
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+        const auto c = static_cast<ClassLabel>(rng.Categorical(prior));
+        // Base draw from the class-skewed marginals.
+        for (std::size_t a = 0; a < spec.attributes; ++a) {
+            if (data.attribute(a).type == AttributeType::kCategorical) {
+                if (rng.Bernoulli(attr_skew[a])) {
+                    row[a] = preferred[c][a];
+                } else {
+                    row[a] = static_cast<double>(rng.UniformInt(spec.arity));
+                }
+            } else {
+                row[a] = rng.Gaussian(num_mean[c][a], 0.9);
+            }
+        }
+        // Background carriers: class-neutral co-occurrence of the globally
+        // preferred values (frequent, non-discriminative structure).
+        if (spec.background_prob > 0.0 && rng.Bernoulli(spec.background_prob)) {
+            for (std::size_t a : cat_attrs) {
+                if (rng.Bernoulli(0.85)) row[a] = global_preferred[a];
+            }
+        }
+        // Express this class's concept patterns. Numeric concept attributes
+        // land near the concept center so discretized bins co-occur.
+        auto express = [&](const Concept& cpt) {
+            for (std::size_t i = 0; i < cpt.attrs.size(); ++i) {
+                const std::size_t a = cpt.attrs[i];
+                row[a] = is_numeric[a] ? rng.Gaussian(cpt.values[i], 0.18)
+                                       : cpt.values[i];
+            }
+        };
+        for (const Concept& cpt : concepts[c]) {
+            if (rng.Bernoulli(spec.carrier_prob)) express(cpt);
+        }
+        // Express XOR templates this class participates in: draw hidden bits
+        // whose parity encodes the class.
+        for (const XorTemplate& t : xor_templates) {
+            if (c != t.even_class && c != t.odd_class) continue;
+            if (!rng.Bernoulli(spec.carrier_prob)) continue;
+            const int parity = (c == t.odd_class) ? 1 : 0;
+            int acc = 0;
+            for (std::size_t i = 0; i + 1 < t.attrs.size(); ++i) {
+                const int bit = static_cast<int>(rng.UniformInt(std::uint64_t{2}));
+                acc ^= bit;
+                const std::size_t a = t.attrs[i];
+                const double v = t.values[i][static_cast<std::size_t>(bit)];
+                row[a] = is_numeric[a] ? rng.Gaussian(v, 0.15) : v;
+            }
+            const int last = acc ^ parity;
+            const std::size_t a = t.attrs.back();
+            const double v = t.values.back()[static_cast<std::size_t>(last)];
+            row[a] = is_numeric[a] ? rng.Gaussian(v, 0.15) : v;
+        }
+        // Cross-class leakage: occasionally express a pattern of another class
+        // so patterns are discriminative but not perfectly so.
+        if (spec.classes > 1 && rng.Bernoulli(spec.leak_prob)) {
+            auto other = static_cast<std::size_t>(rng.UniformInt(spec.classes - 1));
+            if (other >= c) ++other;
+            if (!concepts[other].empty()) {
+                express(concepts[other][rng.UniformInt(concepts[other].size())]);
+            }
+        }
+        ClassLabel y = c;
+        if (rng.Bernoulli(spec.label_noise)) {
+            y = static_cast<ClassLabel>(rng.UniformInt(spec.classes));
+        }
+        (void)data.AddRow(row, y);
+    }
+    return data;
+}
+
+Dataset GenerateXor(std::size_t rows, std::size_t distractors, double noise,
+                    std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Attribute> schema(2 + distractors);
+    for (std::size_t a = 0; a < schema.size(); ++a) {
+        schema[a].name = (a == 0) ? "x" : (a == 1 ? "y" : StrFormat("noise%zu", a - 2));
+        schema[a].type = AttributeType::kCategorical;
+        schema[a].values = {"0", "1"};
+    }
+    Dataset data(std::move(schema), {"neg", "pos"});
+    std::vector<double> row(2 + distractors);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (double& v : row) v = static_cast<double>(rng.UniformInt(std::uint64_t{2}));
+        auto y = static_cast<ClassLabel>(
+            (static_cast<int>(row[0]) ^ static_cast<int>(row[1])));
+        if (rng.Bernoulli(noise)) y = 1 - y;
+        (void)data.AddRow(row, y);
+    }
+    return data;
+}
+
+namespace {
+
+SyntheticSpec MakeUciSpec(const std::string& name, std::size_t rows,
+                          std::size_t attributes, std::size_t classes,
+                          std::size_t arity, double numeric_fraction,
+                          double marginal_skew, double label_noise,
+                          std::uint64_t seed) {
+    SyntheticSpec s;
+    s.name = name;
+    s.rows = rows;
+    s.attributes = attributes;
+    s.classes = classes;
+    s.arity = arity;
+    s.numeric_fraction = numeric_fraction;
+    s.patterns_per_class = 3;
+    s.pattern_len_min = 2;
+    s.pattern_len_max = 4;
+    s.carrier_prob = 0.65;
+    s.leak_prob = 0.12;
+    s.marginal_skew = marginal_skew;
+    s.label_noise = label_noise;
+    s.seed = seed;
+    // Wider schemas span exponentially more combinations; raise the mining
+    // floor with the attribute count so the benches stay enumerable.
+    if (attributes >= 30) {
+        s.bench_min_sup = 0.30;
+    } else if (attributes >= 20) {
+        s.bench_min_sup = 0.20;
+    } else if (attributes >= 15) {
+        s.bench_min_sup = 0.15;
+    }
+    return s;
+}
+
+}  // namespace
+
+const std::vector<SyntheticSpec>& UciTableSpecs() {
+    // Shapes (rows / attributes / classes) follow the published UCI datasets
+    // used in Tables 1-2 of the paper. Skew / noise / separation are tuned per
+    // dataset so the Item_All baselines land in the paper's accuracy range
+    // (74%..100%) and the pattern structure carries the remaining headroom.
+    static const std::vector<SyntheticSpec> kSpecs = [] {
+        std::vector<SyntheticSpec> specs = {
+            MakeUciSpec("anneal", 898, 38, 5, 3, 0.15, 0.45, 0.005, 101),
+            MakeUciSpec("austral", 690, 14, 2, 3, 0.30, 0.25, 0.060, 102),
+            MakeUciSpec("auto", 205, 25, 6, 3, 0.30, 0.45, 0.040, 103),
+            MakeUciSpec("breast", 699, 9, 2, 4, 0.00, 0.45, 0.010, 104),
+            MakeUciSpec("cleve", 303, 13, 2, 3, 0.40, 0.25, 0.080, 105),
+            MakeUciSpec("diabetes", 768, 8, 2, 4, 0.75, 0.15, 0.200, 106),
+            MakeUciSpec("glass", 214, 9, 6, 4, 0.60, 0.45, 0.080, 107),
+            MakeUciSpec("heart", 270, 13, 2, 3, 0.40, 0.25, 0.090, 108),
+            MakeUciSpec("hepatic", 155, 19, 2, 3, 0.30, 0.30, 0.060, 109),
+            MakeUciSpec("horse", 368, 22, 2, 3, 0.25, 0.25, 0.100, 110),
+            MakeUciSpec("iono", 351, 34, 2, 3, 0.50, 0.30, 0.030, 111),
+            MakeUciSpec("iris", 150, 4, 3, 4, 1.00, 0.30, 0.020, 112),
+            MakeUciSpec("labor", 57, 16, 2, 3, 0.30, 0.35, 0.020, 113),
+            MakeUciSpec("lymph", 148, 18, 4, 3, 0.10, 0.30, 0.030, 114),
+            MakeUciSpec("pima", 768, 8, 2, 4, 0.75, 0.15, 0.210, 115),
+            MakeUciSpec("sonar", 208, 60, 2, 3, 0.80, 0.15, 0.100, 116),
+            MakeUciSpec("vehicle", 846, 18, 4, 4, 0.60, 0.25, 0.150, 117),
+            MakeUciSpec("wine", 178, 13, 3, 3, 0.90, 0.35, 0.005, 118),
+            MakeUciSpec("zoo", 101, 16, 7, 2, 0.00, 0.80, 0.000, 119),
+        };
+        auto by_name = [&specs](const char* name) -> SyntheticSpec& {
+            for (auto& s : specs) {
+                if (s.name == name) return s;
+            }
+            return specs.front();
+        };
+        // Strongly numerically-separable datasets (iris/wine-like). With only
+        // a handful of attributes, heavy concept/XOR overwriting would erase
+        // the class-conditional means MDL needs, so keep planting light.
+        by_name("iris").numeric_class_sep = 2.5;
+        by_name("iris").patterns_per_class = 1;
+        by_name("iris").xor_patterns_per_class = 1;
+        by_name("iris").carrier_prob = 0.45;
+        by_name("wine").numeric_class_sep = 1.4;
+        by_name("glass").numeric_class_sep = 1.0;
+        by_name("auto").numeric_class_sep = 0.8;
+        // Nearly-deterministic zoo: single features dominate, few templates.
+        by_name("zoo").patterns_per_class = 2;
+        by_name("zoo").xor_patterns_per_class = 1;
+        // Datasets where the paper reports the largest Pat_FS gains: give
+        // conjunctions more of the signal.
+        for (const char* name : {"austral", "cleve", "hepatic", "horse", "lymph",
+                                 "sonar", "auto"}) {
+            by_name(name).xor_patterns_per_class = 3;
+            by_name(name).carrier_prob = 0.75;
+        }
+        return specs;
+    }();
+    return kSpecs;
+}
+
+SyntheticSpec ChessSpec() {
+    // Chess (kr-vs-kp): 3196 rows, 36 attributes, 2 classes, 73 items. Dense:
+    // strongly skewed binary attributes make high-support itemsets abundant,
+    // which is what makes min_sup sweeps in the 2000..3000 range interesting.
+    SyntheticSpec s = MakeUciSpec("chess", 3196, 36, 2, 2, 0.0, 0.85, 0.02, 201);
+    s.patterns_per_class = 4;
+    s.pattern_len_max = 5;
+    s.carrier_prob = 0.7;
+    return s;
+}
+
+SyntheticSpec WaveformSpec() {
+    // Waveform: 5000 rows, 21 attributes, 3 classes (discretized ~100 items).
+    SyntheticSpec s = MakeUciSpec("waveform", 5000, 21, 3, 5, 0.0, 0.30, 0.12, 202);
+    s.patterns_per_class = 4;
+    s.carrier_prob = 0.6;
+    return s;
+}
+
+SyntheticSpec LetterSpec() {
+    // Letter recognition: 20000 rows, 16 attributes, 26 classes (~106 items).
+    SyntheticSpec s = MakeUciSpec("letter", 20000, 16, 26, 7, 0.0, 0.45, 0.08, 203);
+    s.patterns_per_class = 2;
+    s.pattern_len_max = 3;
+    s.carrier_prob = 0.60;
+    s.leak_prob = 0.15;
+    // Letters share common strokes: without globally frequent, co-occurring
+    // values nothing clears a 15% whole-database support threshold across 26
+    // classes.
+    s.shared_preference = 0.55;
+    s.background_prob = 0.75;
+    return s;
+}
+
+Result<SyntheticSpec> GetSpecByName(const std::string& name) {
+    for (const auto& s : UciTableSpecs()) {
+        if (s.name == name) return s;
+    }
+    if (name == "chess") return ChessSpec();
+    if (name == "waveform") return WaveformSpec();
+    if (name == "letter") return LetterSpec();
+    return Status::NotFound("no synthetic spec named '" + name + "'");
+}
+
+}  // namespace dfp

@@ -1,0 +1,161 @@
+#include "exp/scalability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/string_util.hpp"
+#include "core/feature_space.hpp"
+#include "core/mmrfs.hpp"
+#include "exp/table_printer.hpp"
+#include "fpm/closed_miner.hpp"
+#include "fpm/fpgrowth.hpp"
+#include "ml/dtree/c45.hpp"
+#include "ml/eval/cross_validation.hpp"
+#include "ml/svm/pegasos.hpp"
+
+namespace dfp {
+
+namespace {
+
+// Trains one learner on the selected feature space and returns test accuracy.
+double EvaluateLearner(Classifier* learner, const FeatureSpace& space,
+                       const FeatureMatrix& train_x,
+                       const std::vector<ClassLabel>& train_y,
+                       const TransactionDatabase& db,
+                       const std::vector<std::size_t>& test_rows,
+                       std::size_t num_classes) {
+    if (!learner->Train(train_x, train_y, num_classes).ok()) return 0.0;
+    std::size_t correct = 0;
+    std::vector<double> encoded(space.dim());
+    for (std::size_t t : test_rows) {
+        space.Encode(db.transaction(t), encoded);
+        if (learner->Predict(encoded) == db.label(t)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(test_rows.size());
+}
+
+}  // namespace
+
+std::vector<ScalabilityRow> RunScalability(const TransactionDatabase& db,
+                                           const ScalabilityConfig& config) {
+    std::vector<ScalabilityRow> rows;
+
+    if (config.probe_min_sup_one) {
+        // The paper's min_sup = 1 row: enumerating every feature combination.
+        ScalabilityRow probe;
+        probe.min_sup = 1;
+        MinerConfig mc;
+        mc.min_sup_abs = 1;
+        mc.max_patterns = config.pattern_budget;
+        Stopwatch watch;
+        const auto attempt = FpGrowthMiner().Mine(db, mc);
+        if (attempt.ok()) {
+            probe.feasible = true;
+            probe.patterns = attempt->size();
+            probe.time_seconds = watch.ElapsedSeconds();
+            probe.note = "enumeration only (no selection/learning)";
+        } else {
+            probe.note = StrFormat("N/A — enumeration exceeded %zu-pattern budget",
+                                   config.pattern_budget);
+        }
+        rows.push_back(std::move(probe));
+    }
+
+    // Stratified 80/20 split shared by all sweep points.
+    Rng rng(config.seed);
+    const std::size_t folds = 5;  // 4 folds train (80%), 1 fold test
+    const auto fold_rows = StratifiedFolds(db.labels(), folds, rng);
+    std::vector<std::size_t> train_rows;
+    for (std::size_t f = 1; f < folds; ++f) {
+        train_rows.insert(train_rows.end(), fold_rows[f].begin(),
+                          fold_rows[f].end());
+    }
+    const std::vector<std::size_t>& test_rows = fold_rows[0];
+    const TransactionDatabase train = db.Subset(train_rows);
+
+    for (std::size_t min_sup : config.min_sups) {
+        ScalabilityRow row;
+        row.min_sup = min_sup;
+        Stopwatch watch;
+
+        // 1. Closed-pattern mining over the full database (paper's #Patterns).
+        MinerConfig mc;
+        mc.min_sup_abs = min_sup;
+        mc.max_pattern_len = config.max_pattern_len;
+        mc.max_patterns = config.pattern_budget;
+        mc.include_singletons = false;
+        auto mined = ClosedMiner().Mine(db, mc);
+        if (!mined.ok()) {
+            row.note = mined.status().ToString();
+            rows.push_back(std::move(row));
+            continue;
+        }
+        std::vector<Pattern> patterns = std::move(*mined);
+        AttachMetadata(db, &patterns);
+        row.patterns = patterns.size();
+
+        // 2. MMRFS feature selection (time column = mining + selection).
+        MmrfsConfig fs;
+        fs.coverage_delta = config.coverage_delta;
+        fs.max_features = config.max_features;
+        const auto selection = RunMmrfs(db, patterns, fs);
+        row.time_seconds = watch.ElapsedSeconds();
+        row.selected = selection.selected.size();
+
+        // 3. Accuracy on the held-out 20%: re-anchor the selected patterns on
+        // the training split and train both learners on I ∪ Fs.
+        std::vector<Pattern> selected;
+        selected.reserve(selection.selected.size());
+        for (std::size_t idx : selection.selected) selected.push_back(patterns[idx]);
+        const FeatureSpace space =
+            FeatureSpace::Build(db.num_items(), std::move(selected));
+        const FeatureMatrix train_x = space.Transform(train);
+
+        PegasosClassifier svm;
+        row.svm_accuracy = EvaluateLearner(&svm, space, train_x, train.labels(),
+                                           db, test_rows, db.num_classes());
+        C45Classifier c45;
+        row.c45_accuracy = EvaluateLearner(&c45, space, train_x, train.labels(),
+                                           db, test_rows, db.num_classes());
+        row.feasible = true;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void PrintScalability(const std::string& dataset, const TransactionDatabase& db,
+                      const std::vector<ScalabilityRow>& rows) {
+    std::printf("%s: %zu instances, %zu classes, %zu items\n", dataset.c_str(),
+                db.num_transactions(), db.num_classes(), db.num_items());
+    TablePrinter table({"min_sup", "#Patterns", "#Selected", "Time (s)",
+                        "SVM (%)", "C4.5 (%)"});
+    for (const auto& row : rows) {
+        if (!row.feasible && row.patterns == 0) {
+            table.AddRow({StrFormat("%zu", row.min_sup), "N/A", "N/A", "N/A",
+                          "N/A", "N/A"});
+            continue;
+        }
+        if (!row.feasible) continue;
+        if (row.min_sup == 1 && row.svm_accuracy == 0.0) {
+            table.AddRow({"1", StrFormat("%zu", row.patterns), "-",
+                          StrFormat("%.3f", row.time_seconds), "-", "-"});
+            continue;
+        }
+        table.AddRow({StrFormat("%zu", row.min_sup),
+                      StrFormat("%zu", row.patterns),
+                      StrFormat("%zu", row.selected),
+                      StrFormat("%.3f", row.time_seconds),
+                      FormatPercent(row.svm_accuracy),
+                      FormatPercent(row.c45_accuracy)});
+    }
+    table.Print();
+    for (const auto& row : rows) {
+        if (!row.note.empty()) {
+            std::printf("  min_sup=%zu: %s\n", row.min_sup, row.note.c_str());
+        }
+    }
+}
+
+}  // namespace dfp

@@ -1,0 +1,55 @@
+#include "exp/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto render = [&width](const std::vector<std::string>& cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += cells[c];
+            line.append(width[c] - cells[c].size(), ' ');
+            if (c + 1 < cells.size()) line += " | ";
+        }
+        line += "\n";
+        return line;
+    };
+    std::string out = render(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c + 1 < width.size() ? 3 : 0);
+    }
+    out.append(total, '-');
+    out += "\n";
+    for (const auto& row : rows_) out += render(row);
+    return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatPercent(double fraction) {
+    return StrFormat("%.2f", fraction * 100.0);
+}
+
+}  // namespace dfp

@@ -1,0 +1,28 @@
+// Fixed-width text tables for the bench harnesses (paper-style output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+/// Accumulates rows and renders an aligned, pipe-separated table.
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void AddRow(std::vector<std::string> cells);
+
+    std::string ToString() const;
+    /// Writes ToString() to stdout.
+    void Print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.2f"-formatted percentage (accuracy in [0,1] → "91.14").
+std::string FormatPercent(double fraction);
+
+}  // namespace dfp

@@ -1,0 +1,102 @@
+#include "fpm/apriori.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+namespace {
+
+// Candidate itemset with the cover of its (k-1)-prefix parent, so support
+// counting is one AND away.
+struct Level {
+    std::vector<Itemset> itemsets;
+    std::vector<BitVector> covers;
+    std::vector<std::size_t> supports;
+};
+
+// True if every (k-1)-subset of `candidate` appears in `prev` (sorted).
+bool AllSubsetsFrequent(const Itemset& candidate,
+                        const std::vector<Itemset>& prev_sorted) {
+    Itemset sub(candidate.size() - 1);
+    for (std::size_t drop = 0; drop < candidate.size(); ++drop) {
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < candidate.size(); ++i) {
+            if (i != drop) sub[k++] = candidate[i];
+        }
+        if (!std::binary_search(prev_sorted.begin(), prev_sorted.end(), sub)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
+                                                const MinerConfig& config) const {
+    const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
+    std::vector<Pattern> out;
+
+    // L1.
+    Level current;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        const std::size_t s = db.ItemSupport(i);
+        if (s < min_sup) continue;
+        current.itemsets.push_back({i});
+        current.covers.push_back(db.ItemCover(i));
+        current.supports.push_back(s);
+    }
+
+    std::size_t level = 1;
+    while (!current.itemsets.empty() && level <= config.max_pattern_len) {
+        for (std::size_t i = 0; i < current.itemsets.size(); ++i) {
+            if (out.size() >= config.max_patterns) {
+                return Status::ResourceExhausted(StrFormat(
+                    "apriori exceeded pattern budget (%zu) at min_sup=%zu",
+                    config.max_patterns, min_sup));
+            }
+            Pattern p;
+            p.items = current.itemsets[i];
+            p.support = current.supports[i];
+            out.push_back(std::move(p));
+        }
+        if (level == config.max_pattern_len) break;
+
+        // Candidate generation: join itemsets sharing a (k-1)-prefix. The
+        // level's itemsets are produced in lexicographic order, so equal-prefix
+        // runs are contiguous.
+        std::vector<Itemset> prev_sorted = current.itemsets;
+        std::sort(prev_sorted.begin(), prev_sorted.end());
+        Level next;
+        for (std::size_t a = 0; a < current.itemsets.size(); ++a) {
+            for (std::size_t b = a + 1; b < current.itemsets.size(); ++b) {
+                const Itemset& x = current.itemsets[a];
+                const Itemset& y = current.itemsets[b];
+                if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+                    break;  // prefix run ended (lexicographic order)
+                }
+                Itemset cand = x;
+                cand.push_back(y.back());
+                if (cand[cand.size() - 2] > cand.back()) {
+                    std::swap(cand[cand.size() - 2], cand[cand.size() - 1]);
+                }
+                if (!AllSubsetsFrequent(cand, prev_sorted)) continue;
+                BitVector cover = current.covers[a];
+                cover &= db.ItemCover(cand.back());
+                const std::size_t s = cover.Count();
+                if (s < min_sup) continue;
+                next.itemsets.push_back(std::move(cand));
+                next.covers.push_back(std::move(cover));
+                next.supports.push_back(s);
+            }
+        }
+        current = std::move(next);
+        ++level;
+    }
+    FilterPatterns(config, &out);
+    return out;
+}
+
+}  // namespace dfp

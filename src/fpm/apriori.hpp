@@ -1,0 +1,21 @@
+// Apriori: level-wise frequent-itemset mining (Agrawal & Srikant, VLDB'94).
+//
+// Kept as a reference baseline: it is the algorithm FP-growth improved upon,
+// and having an independent second implementation lets the property tests
+// cross-validate every miner's output on random databases.
+#pragma once
+
+#include "fpm/miner.hpp"
+
+namespace dfp {
+
+/// Classic Apriori with prefix-join candidate generation, subset pruning, and
+/// bitset-based support counting.
+class AprioriMiner : public Miner {
+  public:
+    std::string Name() const override { return "apriori"; }
+    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
+                                      const MinerConfig& config) const override;
+};
+
+}  // namespace dfp

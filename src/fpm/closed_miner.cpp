@@ -1,0 +1,182 @@
+#include "fpm/closed_miner.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+#include "fpm/fpgrowth.hpp"
+
+namespace dfp {
+
+namespace {
+
+struct ClosedContext {
+    const TransactionDatabase* db;
+    std::vector<ItemId> frequent;  // ascending item ids, support >= min_sup
+    std::size_t min_sup;
+    std::size_t budget;
+    std::vector<char> in_closed;  // membership of the current closed set
+    std::vector<Pattern>* out;
+};
+
+// Prefix-preserving closure extension DFS (LCM). `closed` is the current
+// closed itemset (sorted), `tidset` its cover, `core` the extension item that
+// produced it. Returns false when the pattern budget is exhausted.
+bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidset,
+               ItemId core) {
+    for (ItemId i : ctx.frequent) {
+        if (i <= core) continue;  // prefix-preserving: extend past the core only
+        if (ctx.in_closed[i]) continue;
+        BitVector extended = tidset;
+        extended &= ctx.db->ItemCover(i);
+        const std::size_t support = extended.Count();
+        if (support < ctx.min_sup) continue;
+
+        // Closure: every frequent item whose cover contains the new tidset.
+        // Prefix-preservation: no item < i may newly enter the closure.
+        Itemset closure;
+        bool prefix_ok = true;
+        for (ItemId j : ctx.frequent) {
+            if (ctx.in_closed[j]) {
+                closure.push_back(j);  // closed ⊆ closure(extended) always
+                continue;
+            }
+            if (extended.IsSubsetOf(ctx.db->ItemCover(j))) {
+                if (j < i) {
+                    prefix_ok = false;
+                    break;
+                }
+                closure.push_back(j);
+            }
+        }
+        if (!prefix_ok) continue;
+
+        if (ctx.out->size() >= ctx.budget) return false;
+        std::sort(closure.begin(), closure.end());
+        Pattern p;
+        p.items = closure;
+        p.support = support;
+        ctx.out->push_back(std::move(p));
+
+        // Note: recurse on the local `closure`, not out->back() — the output
+        // vector may reallocate during recursion.
+        for (ItemId j : closure) ctx.in_closed[j] = 1;
+        const bool ok = ClosedDfs(ctx, closure, extended, i);
+        // Restore membership to the parent closed set.
+        std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
+        for (ItemId j : closed) ctx.in_closed[j] = 1;
+        if (!ok) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
+                                               const MinerConfig& config) const {
+    const std::size_t n = db.num_transactions();
+    const std::size_t min_sup = ResolveMinSup(config, n);
+
+    ClosedContext ctx;
+    ctx.db = &db;
+    ctx.min_sup = min_sup;
+    ctx.budget = config.max_patterns;
+    ctx.in_closed.assign(db.num_items(), 0);
+    std::vector<Pattern> out;
+    ctx.out = &out;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        if (db.ItemSupport(i) >= min_sup) ctx.frequent.push_back(i);
+    }
+
+    // Closure of the empty set: items present in every transaction.
+    Itemset root_closed;
+    for (ItemId i : ctx.frequent) {
+        if (db.ItemSupport(i) == n) {
+            root_closed.push_back(i);
+            ctx.in_closed[i] = 1;
+        }
+    }
+    BitVector all(n);
+    all.Fill();
+    if (!root_closed.empty() && n >= min_sup) {
+        Pattern p;
+        p.items = root_closed;
+        p.support = n;
+        out.push_back(std::move(p));
+    }
+
+    // Sentinel core: items are unsigned, so reuse the DFS with a "core" below
+    // every item by running extensions for all frequent items not in the root
+    // closure directly.
+    bool ok = true;
+    for (std::size_t k = 0; k < ctx.frequent.size() && ok; ++k) {
+        const ItemId i = ctx.frequent[k];
+        if (ctx.in_closed[i]) continue;
+        BitVector tidset = db.ItemCover(i);
+        const std::size_t support = tidset.Count();
+        if (support < min_sup) continue;
+        Itemset closure;
+        bool prefix_ok = true;
+        for (ItemId j : ctx.frequent) {
+            if (ctx.in_closed[j]) {
+                closure.push_back(j);
+                continue;
+            }
+            if (tidset.IsSubsetOf(db.ItemCover(j))) {
+                if (j < i) {
+                    prefix_ok = false;
+                    break;
+                }
+                closure.push_back(j);
+            }
+        }
+        if (!prefix_ok) continue;
+        if (out.size() >= ctx.budget) {
+            ok = false;
+            break;
+        }
+        std::sort(closure.begin(), closure.end());
+        Pattern p;
+        p.items = closure;
+        p.support = support;
+        out.push_back(std::move(p));
+
+        for (ItemId j : closure) ctx.in_closed[j] = 1;
+        ok = ClosedDfs(ctx, closure, tidset, i);
+        std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
+        for (ItemId j : root_closed) ctx.in_closed[j] = 1;
+    }
+    if (!ok) {
+        return Status::ResourceExhausted(
+            StrFormat("closed miner exceeded pattern budget (%zu) at min_sup=%zu",
+                      config.max_patterns, min_sup));
+    }
+    FilterPatterns(config, &out);
+    return out;
+}
+
+Result<std::vector<Pattern>> BruteForceClosed(const TransactionDatabase& db,
+                                              const MinerConfig& config) {
+    FpGrowthMiner all_miner;
+    MinerConfig all_config = config;
+    all_config.max_pattern_len = std::numeric_limits<std::size_t>::max();
+    all_config.include_singletons = true;
+    auto result = all_miner.Mine(db, all_config);
+    if (!result.ok()) return result.status();
+    std::vector<Pattern> all = std::move(result).value();
+    AttachMetadata(db, &all);
+
+    std::vector<Pattern> closed;
+    for (Pattern& p : all) {
+        bool is_closed = true;
+        for (ItemId j = 0; j < db.num_items() && is_closed; ++j) {
+            if (std::binary_search(p.items.begin(), p.items.end(), j)) continue;
+            // Adding j keeps the support ⇒ p is not closed.
+            if (p.cover.AndCount(db.ItemCover(j)) == p.support) is_closed = false;
+        }
+        if (is_closed) closed.push_back(std::move(p));
+    }
+    FilterPatterns(config, &closed);
+    return closed;
+}
+
+}  // namespace dfp

@@ -1,0 +1,73 @@
+#include "fpm/eclat.hpp"
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+namespace {
+
+struct EclatContext {
+    const TransactionDatabase* db;
+    std::size_t min_sup;
+    std::size_t max_len;
+    std::size_t budget;
+    std::vector<Pattern>* out;
+};
+
+// Extends `prefix` (whose cover is `cover`) with every item > last item.
+// Returns false when the budget is exhausted.
+bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
+              const std::vector<ItemId>& candidates) {
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const ItemId i = candidates[k];
+        BitVector extended = cover;
+        extended &= ctx.db->ItemCover(i);
+        const std::size_t support = extended.Count();
+        if (support < ctx.min_sup) continue;
+        if (ctx.out->size() >= ctx.budget) return false;
+
+        prefix.push_back(i);
+        Pattern p;
+        p.items = prefix;
+        p.support = support;
+        ctx.out->push_back(std::move(p));
+
+        if (prefix.size() < ctx.max_len) {
+            const std::vector<ItemId> rest(candidates.begin() +
+                                               static_cast<std::ptrdiff_t>(k) + 1,
+                                           candidates.end());
+            if (!rest.empty() && !EclatDfs(ctx, prefix, extended, rest)) {
+                prefix.pop_back();
+                return false;
+            }
+        }
+        prefix.pop_back();
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::vector<Pattern>> EclatMiner::Mine(const TransactionDatabase& db,
+                                              const MinerConfig& config) const {
+    const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
+    std::vector<Pattern> out;
+    EclatContext ctx{&db, min_sup, config.max_pattern_len, config.max_patterns, &out};
+
+    std::vector<ItemId> frequent;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        if (db.ItemSupport(i) >= min_sup) frequent.push_back(i);
+    }
+    BitVector all(db.num_transactions());
+    all.Fill();
+    Itemset prefix;
+    if (!EclatDfs(ctx, prefix, all, frequent)) {
+        return Status::ResourceExhausted(
+            StrFormat("eclat exceeded pattern budget (%zu) at min_sup=%zu",
+                      config.max_patterns, min_sup));
+    }
+    FilterPatterns(config, &out);
+    return out;
+}
+
+}  // namespace dfp

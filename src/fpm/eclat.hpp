@@ -1,0 +1,20 @@
+// Eclat: depth-first vertical mining over tid bit vectors (Zaki 2000).
+//
+// Third independent frequent-itemset implementation; also the fastest of the
+// three on the dense databases this framework produces, since support counting
+// is a single AND+popcount over cached covers.
+#pragma once
+
+#include "fpm/miner.hpp"
+
+namespace dfp {
+
+/// DFS over item-prefix equivalence classes with bitset tidsets.
+class EclatMiner : public Miner {
+  public:
+    std::string Name() const override { return "eclat"; }
+    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
+                                      const MinerConfig& config) const override;
+};
+
+}  // namespace dfp

@@ -1,0 +1,74 @@
+#include "fpm/fpgrowth.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+#include "fpm/fptree.hpp"
+
+namespace dfp {
+
+namespace {
+
+struct GrowthContext {
+    std::size_t min_sup;
+    std::size_t max_len;
+    std::size_t budget;
+    std::vector<Pattern>* out;
+};
+
+// Recursively mines `tree`, emitting suffix ∪ {item} patterns. Returns false
+// when the pattern budget is exhausted.
+bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
+    if (tree.empty()) return true;
+    // Least-frequent items first, as in the original algorithm.
+    const auto& header = tree.header();
+    for (std::size_t idx = header.size(); idx-- > 0;) {
+        const auto& entry = header[idx];
+        suffix.push_back(entry.item);
+        if (ctx.out->size() >= ctx.budget) {
+            suffix.pop_back();
+            return false;
+        }
+        Pattern p;
+        p.items = suffix;
+        std::sort(p.items.begin(), p.items.end());
+        p.support = entry.count;
+        ctx.out->push_back(std::move(p));
+
+        if (suffix.size() < ctx.max_len) {
+            const FpTree cond =
+                FpTree::Build(tree.ConditionalBase(idx), ctx.min_sup);
+            if (!Grow(cond, suffix, ctx)) {
+                suffix.pop_back();
+                return false;
+            }
+        }
+        suffix.pop_back();
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::vector<Pattern>> FpGrowthMiner::Mine(const TransactionDatabase& db,
+                                                 const MinerConfig& config) const {
+    const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
+
+    std::vector<FpTree::WeightedTransaction> txns;
+    txns.reserve(db.num_transactions());
+    for (const auto& t : db.transactions()) txns.push_back({t, 1});
+    const FpTree tree = FpTree::Build(txns, min_sup);
+
+    std::vector<Pattern> out;
+    std::vector<ItemId> suffix;
+    GrowthContext ctx{min_sup, config.max_pattern_len, config.max_patterns, &out};
+    if (!Grow(tree, suffix, ctx)) {
+        return Status::ResourceExhausted(
+            StrFormat("fpgrowth exceeded pattern budget (%zu) at min_sup=%zu",
+                      config.max_patterns, min_sup));
+    }
+    FilterPatterns(config, &out);
+    return out;
+}
+
+}  // namespace dfp

@@ -1,0 +1,17 @@
+// FP-growth: all frequent itemsets via recursive conditional FP-trees.
+#pragma once
+
+#include "fpm/miner.hpp"
+
+namespace dfp {
+
+/// Han/Pei/Yin FP-growth. Emits every frequent itemset (subject to the
+/// config's length filter and pattern budget).
+class FpGrowthMiner : public Miner {
+  public:
+    std::string Name() const override { return "fpgrowth"; }
+    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
+                                      const MinerConfig& config) const override;
+};
+
+}  // namespace dfp

@@ -1,0 +1,124 @@
+#include "fpm/fptree.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dfp {
+
+FpTree::Node* FpTree::NewNode(ItemId item, Node* parent) {
+    nodes_.push_back(Node{});
+    Node* n = &nodes_.back();
+    n->item = item;
+    n->parent = parent;
+    return n;
+}
+
+FpTree FpTree::Build(const std::vector<WeightedTransaction>& transactions,
+                     std::size_t min_sup) {
+    FpTree tree;
+
+    // Pass 1: global item supports.
+    std::unordered_map<ItemId, std::size_t> support;
+    for (const auto& t : transactions) {
+        for (ItemId i : t.items) support[i] += t.count;
+    }
+
+    // Frequent items, ordered by descending support (ties → ascending item id
+    // for determinism).
+    std::vector<std::pair<ItemId, std::size_t>> frequent;
+    for (const auto& [item, count] : support) {
+        if (count >= min_sup) frequent.emplace_back(item, count);
+    }
+    std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    if (frequent.empty()) return tree;
+
+    tree.header_.reserve(frequent.size());
+    // Rank of each frequent item in the f-list; used to order transactions.
+    std::unordered_map<ItemId, std::size_t> rank;
+    for (std::size_t r = 0; r < frequent.size(); ++r) {
+        tree.header_.push_back({frequent[r].first, frequent[r].second, nullptr});
+        rank[frequent[r].first] = r;
+    }
+
+    tree.root_ = tree.NewNode(/*item=*/0, /*parent=*/nullptr);
+
+    // Pass 2: insert transactions with infrequent items dropped and the rest
+    // sorted by f-list rank.
+    std::vector<std::size_t> header_index;  // rank of item (parallel to path)
+    std::vector<std::pair<std::size_t, ItemId>> ordered;
+    for (const auto& t : transactions) {
+        ordered.clear();
+        for (ItemId i : t.items) {
+            const auto it = rank.find(i);
+            if (it != rank.end()) ordered.emplace_back(it->second, i);
+        }
+        if (ordered.empty()) continue;
+        std::sort(ordered.begin(), ordered.end());
+        std::vector<ItemId> path;
+        header_index.clear();
+        path.reserve(ordered.size());
+        for (const auto& [r, i] : ordered) {
+            path.push_back(i);
+            header_index.push_back(r);
+        }
+        tree.Insert(path, t.count, header_index);
+    }
+    return tree;
+}
+
+void FpTree::Insert(const std::vector<ItemId>& ordered_items, std::size_t count,
+                    const std::vector<std::size_t>& header_index) {
+    Node* cur = root_;
+    for (std::size_t k = 0; k < ordered_items.size(); ++k) {
+        const ItemId item = ordered_items[k];
+        Node* child = nullptr;
+        for (Node* c : cur->children) {
+            if (c->item == item) {
+                child = c;
+                break;
+            }
+        }
+        if (child == nullptr) {
+            child = NewNode(item, cur);
+            cur->children.push_back(child);
+            HeaderEntry& entry = header_[header_index[k]];
+            child->next_link = entry.head;
+            entry.head = child;
+        }
+        child->count += count;
+        cur = child;
+    }
+}
+
+std::vector<FpTree::WeightedTransaction> FpTree::ConditionalBase(
+    std::size_t idx) const {
+    std::vector<WeightedTransaction> base;
+    for (const Node* n = header_[idx].head; n != nullptr; n = n->next_link) {
+        WeightedTransaction wt;
+        wt.count = n->count;
+        for (const Node* p = n->parent; p != nullptr && p->parent != nullptr;
+             p = p->parent) {
+            wt.items.push_back(p->item);
+        }
+        if (!wt.items.empty()) {
+            std::reverse(wt.items.begin(), wt.items.end());
+            base.push_back(std::move(wt));
+        }
+    }
+    return base;
+}
+
+bool FpTree::IsSinglePath() const {
+    if (root_ == nullptr) return true;
+    const Node* cur = root_;
+    while (!cur->children.empty()) {
+        if (cur->children.size() > 1) return false;
+        cur = cur->children.front();
+    }
+    return true;
+}
+
+}  // namespace dfp

@@ -1,0 +1,76 @@
+// FP-tree: the prefix-tree structure of Han, Pei & Yin (SIGMOD'00).
+//
+// Transactions are inserted with their items reordered by descending global
+// frequency so that shared prefixes compress; per-item node links ("header
+// table") let the miner extract conditional pattern bases without scanning
+// the database again.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "data/transaction_db.hpp"
+#include "fpm/itemset.hpp"
+
+namespace dfp {
+
+/// FP-tree over weighted transactions (counts let conditional trees reuse the
+/// same builder).
+class FpTree {
+  public:
+    /// An itemset with a multiplicity.
+    struct WeightedTransaction {
+        std::vector<ItemId> items;
+        std::size_t count = 1;
+    };
+
+    struct Node {
+        ItemId item = 0;
+        std::size_t count = 0;
+        Node* parent = nullptr;
+        Node* next_link = nullptr;  // next node carrying the same item
+        std::vector<Node*> children;
+    };
+
+    struct HeaderEntry {
+        ItemId item = 0;
+        std::size_t count = 0;  // total support of the item in this tree
+        Node* head = nullptr;   // first node of the item's node-link chain
+    };
+
+    FpTree() = default;
+    FpTree(FpTree&&) = default;
+    FpTree& operator=(FpTree&&) = default;
+
+    /// Builds the tree keeping only items with support >= min_sup.
+    static FpTree Build(const std::vector<WeightedTransaction>& transactions,
+                        std::size_t min_sup);
+
+    /// True if the tree holds no frequent item.
+    bool empty() const { return header_.empty(); }
+
+    /// Header entries, sorted by descending support (insertion order). Mining
+    /// iterates them in reverse (least-frequent first).
+    const std::vector<HeaderEntry>& header() const { return header_; }
+
+    /// The prefix paths of every node carrying header()[idx].item, as weighted
+    /// transactions (the conditional pattern base).
+    std::vector<WeightedTransaction> ConditionalBase(std::size_t idx) const;
+
+    /// True if the tree is a single chain (enables subset enumeration).
+    bool IsSinglePath() const;
+
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+  private:
+    Node* root_ = nullptr;
+    std::deque<Node> nodes_;  // arena; deque keeps pointers stable
+    std::vector<HeaderEntry> header_;
+
+    Node* NewNode(ItemId item, Node* parent);
+    void Insert(const std::vector<ItemId>& ordered_items, std::size_t count,
+                const std::vector<std::size_t>& header_index);
+};
+
+}  // namespace dfp

@@ -1,0 +1,52 @@
+#include "fpm/itemset.hpp"
+
+#include <algorithm>
+
+namespace dfp {
+
+ClassLabel Pattern::MajorityClass() const {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < class_counts.size(); ++c) {
+        if (class_counts[c] > class_counts[best]) best = c;
+    }
+    return static_cast<ClassLabel>(best);
+}
+
+double Pattern::Confidence() const {
+    if (support == 0 || class_counts.empty()) return 0.0;
+    return static_cast<double>(class_counts[MajorityClass()]) /
+           static_cast<double>(support);
+}
+
+bool IsSubsetOf(const Itemset& a, const Itemset& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool PatternLess(const Pattern& a, const Pattern& b) {
+    if (a.items.size() != b.items.size()) return a.items.size() < b.items.size();
+    return a.items < b.items;
+}
+
+void SortPatterns(std::vector<Pattern>& patterns) {
+    std::sort(patterns.begin(), patterns.end(), PatternLess);
+}
+
+std::string ItemsetToString(const Itemset& items, const TransactionDatabase* db) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += (db != nullptr) ? db->ItemName(items[i]) : std::to_string(items[i]);
+    }
+    out += "}";
+    return out;
+}
+
+void AttachMetadata(const TransactionDatabase& db, std::vector<Pattern>* patterns) {
+    for (Pattern& p : *patterns) {
+        p.cover = db.CoverOf(p.items);
+        p.support = p.cover.Count();
+        p.class_counts = db.ClassCountsOf(p.cover);
+    }
+}
+
+}  // namespace dfp

@@ -1,0 +1,26 @@
+#include "fpm/miner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfp {
+
+std::size_t ResolveMinSup(const MinerConfig& config, std::size_t num_transactions) {
+    std::size_t abs = config.min_sup_abs;
+    if (config.min_sup_rel >= 0.0) {
+        abs = static_cast<std::size_t>(
+            std::ceil(config.min_sup_rel * static_cast<double>(num_transactions)));
+    }
+    return std::max<std::size_t>(abs, 1);
+}
+
+void FilterPatterns(const MinerConfig& config, std::vector<Pattern>* patterns) {
+    auto drop = [&config](const Pattern& p) {
+        if (!config.include_singletons && p.length() <= 1) return true;
+        return p.length() > config.max_pattern_len;
+    };
+    patterns->erase(std::remove_if(patterns->begin(), patterns->end(), drop),
+                    patterns->end());
+}
+
+}  // namespace dfp

@@ -1,0 +1,64 @@
+// Common interface for frequent-itemset miners.
+//
+// Four miners implement it:
+//  * FpGrowthMiner  — FP-tree pattern growth, all frequent itemsets.
+//  * AprioriMiner   — level-wise candidate generation (reference baseline).
+//  * EclatMiner     — vertical bitset DFS (reference baseline).
+//  * ClosedMiner    — closed frequent itemsets only (LCM-style prefix-
+//                     preserving closure extension; output semantics identical
+//                     to FPClose, which the paper uses).
+//
+// All miners honour a pattern budget so that runaway enumerations (e.g. the
+// paper's min_sup = 1 rows in Tables 3–5) fail fast with ResourceExhausted
+// instead of exhausting memory.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/transaction_db.hpp"
+#include "fpm/itemset.hpp"
+
+namespace dfp {
+
+/// Mining parameters. Exactly one of min_sup_rel / min_sup_abs is used:
+/// min_sup_rel if non-negative, otherwise min_sup_abs.
+struct MinerConfig {
+    /// Relative min_sup θ0 in [0, 1]; negative means "use min_sup_abs".
+    double min_sup_rel = -1.0;
+    /// Absolute min_sup (count); ignored when min_sup_rel >= 0.
+    std::size_t min_sup_abs = 1;
+    /// Maximum pattern length emitted (ClosedMiner applies it as a post-filter
+    /// since truncating closed patterns would change closure semantics).
+    std::size_t max_pattern_len = std::numeric_limits<std::size_t>::max();
+    /// Safety budget: mining aborts with ResourceExhausted beyond this count.
+    std::size_t max_patterns = 20'000'000;
+    /// Emit single-item patterns too (the framework's feature space is I ∪ F,
+    /// so singletons are usually redundant as patterns; default keeps them).
+    bool include_singletons = true;
+};
+
+/// Resolves the effective absolute support threshold (always >= 1).
+std::size_t ResolveMinSup(const MinerConfig& config, std::size_t num_transactions);
+
+/// Abstract frequent-itemset miner.
+class Miner {
+  public:
+    virtual ~Miner() = default;
+
+    /// Short identifier ("fpgrowth", "closed", ...).
+    virtual std::string Name() const = 0;
+
+    /// Mines patterns from `db`. On success every pattern has items + support
+    /// filled (covers/class counts are attached by the caller when needed).
+    virtual Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
+                                              const MinerConfig& config) const = 0;
+};
+
+/// Applies config.include_singletons / max_pattern_len as post-filters.
+void FilterPatterns(const MinerConfig& config, std::vector<Pattern>* patterns);
+
+}  // namespace dfp

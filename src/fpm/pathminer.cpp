@@ -1,0 +1,151 @@
+#include "fpm/pathminer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+bool PathPattern::operator<(const PathPattern& other) const {
+    if (vertices != other.vertices) return vertices < other.vertices;
+    return edges < other.edges;
+}
+
+std::string PathPattern::ToString() const {
+    std::string out = StrFormat("(%u)", vertices.empty() ? 0u : vertices[0]);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        out += StrFormat("-[%u]-(%u)", edges[i], vertices[i + 1]);
+    }
+    return out;
+}
+
+void PathPattern::Canonicalize() {
+    PathPattern reversed;
+    reversed.vertices.assign(vertices.rbegin(), vertices.rend());
+    reversed.edges.assign(edges.rbegin(), edges.rend());
+    if (reversed < *this) {
+        vertices = std::move(reversed.vertices);
+        edges = std::move(reversed.edges);
+    }
+}
+
+namespace {
+
+// Backtracking match of pattern position `pos` (vertex index) with graph
+// vertex `at`, `used` marking vertices on the current path.
+bool MatchFrom(const LabeledGraph& graph, const PathPattern& pattern,
+               std::size_t pos, std::size_t at, std::vector<char>& used) {
+    if (pos == pattern.vertices.size() - 1) return true;
+    used[at] = 1;
+    for (const auto& edge : graph.neighbours(at)) {
+        if (used[edge.to]) continue;
+        if (edge.label != pattern.edges[pos]) continue;
+        if (graph.vertex_label(edge.to) != pattern.vertices[pos + 1]) continue;
+        if (MatchFrom(graph, pattern, pos + 1, edge.to, used)) {
+            used[at] = 0;
+            return true;
+        }
+    }
+    used[at] = 0;
+    return false;
+}
+
+}  // namespace
+
+bool ContainsPath(const LabeledGraph& graph, const PathPattern& pattern) {
+    if (pattern.vertices.empty()) return true;
+    std::vector<char> used(graph.num_vertices(), 0);
+    for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+        if (graph.vertex_label(v) != pattern.vertices[0]) continue;
+        if (MatchFrom(graph, pattern, 0, v, used)) return true;
+    }
+    return false;
+}
+
+Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
+                                           const PathMinerConfig& config) {
+    std::size_t min_sup = config.min_sup_abs;
+    if (config.min_sup_rel >= 0.0) {
+        min_sup = static_cast<std::size_t>(
+            std::ceil(config.min_sup_rel * static_cast<double>(db.size())));
+    }
+    min_sup = std::max<std::size_t>(min_sup, 1);
+
+    std::vector<PathPattern> out;
+    // Level k patterns together with their supporting graph ids, so level k+1
+    // only re-tests the graphs that contained the parent (anti-monotone).
+    struct Open {
+        PathPattern pattern;
+        std::vector<std::uint32_t> graphs;
+    };
+    std::vector<Open> frontier;
+
+    // Level 0: single vertex labels.
+    for (VertexLabel vl = 0; vl < db.num_vertex_labels(); ++vl) {
+        Open open;
+        open.pattern.vertices = {vl};
+        for (std::uint32_t g = 0; g < db.size(); ++g) {
+            if (ContainsPath(db.graph(g), open.pattern)) open.graphs.push_back(g);
+        }
+        if (open.graphs.size() < min_sup) continue;
+        open.pattern.support = open.graphs.size();
+        out.push_back(open.pattern);
+        frontier.push_back(std::move(open));
+    }
+
+    std::set<PathPattern> seen;
+    for (std::size_t level = 0; level < config.max_edges && !frontier.empty();
+         ++level) {
+        std::vector<Open> next;
+        for (const Open& parent : frontier) {
+            // Both ends must be extended: a canonical path's parent may only
+            // be stored in the orientation that requires prepending. The
+            // `seen` set dedups the two orientations of each child.
+            for (int end = 0; end < 2; ++end) {
+                for (EdgeLabel el = 0; el < db.num_edge_labels(); ++el) {
+                    for (VertexLabel vl = 0; vl < db.num_vertex_labels(); ++vl) {
+                        Open child;
+                        if (end == 0) {
+                            child.pattern.vertices = parent.pattern.vertices;
+                            child.pattern.vertices.push_back(vl);
+                            child.pattern.edges = parent.pattern.edges;
+                            child.pattern.edges.push_back(el);
+                        } else {
+                            child.pattern.vertices = {vl};
+                            child.pattern.vertices.insert(
+                                child.pattern.vertices.end(),
+                                parent.pattern.vertices.begin(),
+                                parent.pattern.vertices.end());
+                            child.pattern.edges = {el};
+                            child.pattern.edges.insert(child.pattern.edges.end(),
+                                                       parent.pattern.edges.begin(),
+                                                       parent.pattern.edges.end());
+                        }
+                        child.pattern.Canonicalize();
+                        if (!seen.insert(child.pattern).second) continue;
+                        for (std::uint32_t g : parent.graphs) {
+                            if (ContainsPath(db.graph(g), child.pattern)) {
+                                child.graphs.push_back(g);
+                            }
+                        }
+                        if (child.graphs.size() < min_sup) continue;
+                        if (out.size() >= config.max_patterns) {
+                            return Status::ResourceExhausted(StrFormat(
+                                "path miner exceeded pattern budget (%zu)",
+                                config.max_patterns));
+                        }
+                        child.pattern.support = child.graphs.size();
+                        out.push_back(child.pattern);
+                        next.push_back(std::move(child));
+                    }
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return out;
+}
+
+}  // namespace dfp

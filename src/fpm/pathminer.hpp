@@ -1,0 +1,60 @@
+// Frequent labeled-path mining in graph databases.
+//
+// A principled simplification of full frequent-subgraph mining (gSpan): the
+// pattern language is restricted to simple labeled paths
+//     v0 −e0− v1 −e1− ... −ek−1− vk,
+// whose canonical form sidesteps graph-isomorphism machinery (a path equals
+// its reverse; the canonical representative is the lexicographically smaller
+// orientation). Path features are the backbone of practical graph
+// classification (path kernels, fingerprints) and of the compound-
+// classification setting in the paper's reference [7]. Support is the number
+// of graphs containing the path as a simple (vertex-disjoint) labeled path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/graph.hpp"
+
+namespace dfp {
+
+/// A labeled path pattern: k+1 vertex labels and k edge labels.
+struct PathPattern {
+    std::vector<VertexLabel> vertices;
+    std::vector<EdgeLabel> edges;
+    std::size_t support = 0;
+
+    std::size_t length() const { return edges.size(); }
+    bool operator==(const PathPattern& other) const {
+        return vertices == other.vertices && edges == other.edges;
+    }
+    bool operator<(const PathPattern& other) const;
+
+    /// "(v0)-[e0]-(v1)..." rendering.
+    std::string ToString() const;
+
+    /// Canonicalizes in place: a path and its reverse are the same pattern;
+    /// keep the lexicographically smaller orientation.
+    void Canonicalize();
+};
+
+/// True iff `graph` contains `pattern` as a simple labeled path
+/// (backtracking search; intended for short patterns).
+bool ContainsPath(const LabeledGraph& graph, const PathPattern& pattern);
+
+struct PathMinerConfig {
+    double min_sup_rel = -1.0;  ///< relative threshold; negative → absolute
+    std::size_t min_sup_abs = 1;
+    std::size_t max_edges = 4;  ///< maximum path length in edges
+    std::size_t max_patterns = 1'000'000;
+};
+
+/// Mines all frequent canonical labeled paths of `db`. Patterns with 0 edges
+/// (single vertex labels) are included; callers typically drop them when the
+/// feature space already includes vertex-label counts.
+Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
+                                           const PathMinerConfig& config);
+
+}  // namespace dfp

@@ -1,0 +1,194 @@
+#include "fpm/prefixspan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+SequenceDatabase::SequenceDatabase(std::vector<Sequence> sequences,
+                                   std::vector<ClassLabel> labels,
+                                   std::size_t num_items, std::size_t num_classes)
+    : sequences_(std::move(sequences)),
+      labels_(std::move(labels)),
+      num_items_(num_items),
+      num_classes_(num_classes) {
+    assert(sequences_.size() == labels_.size());
+}
+
+std::vector<std::size_t> SequenceDatabase::ClassCounts() const {
+    std::vector<std::size_t> counts(num_classes_, 0);
+    for (ClassLabel y : labels_) counts[y]++;
+    return counts;
+}
+
+SequenceDatabase SequenceDatabase::FilterByClass(ClassLabel c) const {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (labels_[i] == c) rows.push_back(i);
+    }
+    return Subset(rows);
+}
+
+SequenceDatabase SequenceDatabase::Subset(const std::vector<std::size_t>& rows) const {
+    std::vector<Sequence> seqs;
+    std::vector<ClassLabel> labels;
+    seqs.reserve(rows.size());
+    for (std::size_t r : rows) {
+        seqs.push_back(sequences_[r]);
+        labels.push_back(labels_[r]);
+    }
+    return SequenceDatabase(std::move(seqs), std::move(labels), num_items_,
+                            num_classes_);
+}
+
+bool IsSubsequence(const Sequence& pattern, const Sequence& sequence) {
+    std::size_t p = 0;
+    for (std::size_t s = 0; s < sequence.size() && p < pattern.size(); ++s) {
+        if (sequence[s] == pattern[p]) ++p;
+    }
+    return p == pattern.size();
+}
+
+namespace {
+
+// Pseudo-projection: (sequence index, start offset of the remaining suffix).
+struct Projection {
+    std::uint32_t seq;
+    std::uint32_t offset;
+};
+
+struct SpanContext {
+    const SequenceDatabase* db;
+    std::size_t min_sup;
+    std::size_t max_len;
+    std::size_t budget;
+    std::vector<SequentialPattern>* out;
+};
+
+// Recursively extends `prefix` over the projected database. Returns false on
+// budget exhaustion.
+bool Span(SpanContext& ctx, Sequence& prefix,
+          const std::vector<Projection>& projections) {
+    // Count each item's support in the projected suffixes (once per sequence).
+    std::vector<std::size_t> support(ctx.db->num_items(), 0);
+    std::vector<std::uint32_t> last_seen(ctx.db->num_items(), UINT32_MAX);
+    for (const Projection& pr : projections) {
+        const Sequence& s = ctx.db->sequence(pr.seq);
+        for (std::size_t k = pr.offset; k < s.size(); ++k) {
+            const ItemId item = s[k];
+            if (last_seen[item] != pr.seq) {
+                last_seen[item] = pr.seq;
+                support[item]++;
+            }
+        }
+    }
+    for (ItemId item = 0; item < ctx.db->num_items(); ++item) {
+        if (support[item] < ctx.min_sup) continue;
+        if (ctx.out->size() >= ctx.budget) return false;
+        prefix.push_back(item);
+        ctx.out->push_back({prefix, support[item]});
+
+        if (prefix.size() < ctx.max_len) {
+            // Project: first occurrence of `item` at/after each offset.
+            std::vector<Projection> next;
+            next.reserve(support[item]);
+            for (const Projection& pr : projections) {
+                const Sequence& s = ctx.db->sequence(pr.seq);
+                for (std::size_t k = pr.offset; k < s.size(); ++k) {
+                    if (s[k] == item) {
+                        next.push_back({pr.seq, static_cast<std::uint32_t>(k + 1)});
+                        break;
+                    }
+                }
+            }
+            if (!Span(ctx, prefix, next)) {
+                prefix.pop_back();
+                return false;
+            }
+        }
+        prefix.pop_back();
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::vector<SequentialPattern>> MineSequences(
+    const SequenceDatabase& db, const PrefixSpanConfig& config) {
+    std::size_t min_sup = config.min_sup_abs;
+    if (config.min_sup_rel >= 0.0) {
+        min_sup = static_cast<std::size_t>(
+            std::ceil(config.min_sup_rel * static_cast<double>(db.size())));
+    }
+    min_sup = std::max<std::size_t>(min_sup, 1);
+
+    std::vector<SequentialPattern> out;
+    std::vector<Projection> root;
+    root.reserve(db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        root.push_back({static_cast<std::uint32_t>(i), 0});
+    }
+    Sequence prefix;
+    SpanContext ctx{&db, min_sup, config.max_pattern_len, config.max_patterns, &out};
+    if (!Span(ctx, prefix, root)) {
+        return Status::ResourceExhausted(
+            StrFormat("prefixspan exceeded pattern budget (%zu) at min_sup=%zu",
+                      config.max_patterns, min_sup));
+    }
+    return out;
+}
+
+SequenceDatabase GenerateSequences(const SequenceSpec& spec) {
+    Rng rng(spec.seed);
+    // Per-class motifs.
+    std::vector<std::vector<Sequence>> motifs(spec.classes);
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+        for (std::size_t m = 0; m < spec.motifs_per_class; ++m) {
+            Sequence motif(spec.motif_len);
+            for (ItemId& item : motif) {
+                item = static_cast<ItemId>(rng.UniformInt(spec.alphabet));
+            }
+            motifs[c].push_back(std::move(motif));
+        }
+    }
+
+    std::vector<Sequence> sequences;
+    std::vector<ClassLabel> labels;
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+        const auto c = static_cast<ClassLabel>(rng.UniformInt(spec.classes));
+        const std::size_t len = static_cast<std::size_t>(
+            rng.UniformInt(static_cast<std::int64_t>(spec.length_min),
+                           static_cast<std::int64_t>(spec.length_max)));
+        Sequence s(len);
+        for (ItemId& item : s) {
+            item = static_cast<ItemId>(rng.UniformInt(spec.alphabet));
+        }
+        // Plant this class's motifs at random (order-preserving) positions.
+        for (const Sequence& motif : motifs[c]) {
+            if (!rng.Bernoulli(spec.carrier_prob)) continue;
+            if (motif.size() > s.size()) continue;
+            std::vector<std::size_t> positions(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) positions[i] = i;
+            rng.Shuffle(positions);
+            positions.resize(motif.size());
+            std::sort(positions.begin(), positions.end());
+            for (std::size_t i = 0; i < motif.size(); ++i) {
+                s[positions[i]] = motif[i];
+            }
+        }
+        ClassLabel y = c;
+        if (rng.Bernoulli(spec.label_noise)) {
+            y = static_cast<ClassLabel>(rng.UniformInt(spec.classes));
+        }
+        sequences.push_back(std::move(s));
+        labels.push_back(y);
+    }
+    return SequenceDatabase(std::move(sequences), std::move(labels), spec.alphabet,
+                            spec.classes);
+}
+
+}  // namespace dfp

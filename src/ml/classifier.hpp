@@ -1,0 +1,56 @@
+// Learner interface: any model that trains on a FeatureMatrix plugs into the
+// frequent-pattern pipeline (one of the framework's selling points over
+// associative classification, which is tied to rule models).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+#include "ml/feature_matrix.hpp"
+
+namespace dfp {
+
+/// Abstract supervised classifier over dense feature vectors.
+class Classifier {
+  public:
+    virtual ~Classifier() = default;
+
+    virtual std::string Name() const = 0;
+
+    /// Stable identifier used by model (de)serialization ("svm", "c4.5",
+    /// "nb", "pegasos"); empty when the learner is not serializable.
+    virtual std::string TypeId() const { return ""; }
+
+    /// Persists the trained model. Default: not serializable.
+    virtual Status SaveModel(std::ostream& out) const;
+    /// Restores a model saved by SaveModel. Default: not serializable.
+    virtual Status LoadModel(std::istream& in);
+
+    /// Trains on X (one row per instance) with labels in [0, num_classes).
+    virtual Status Train(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                         std::size_t num_classes) = 0;
+
+    /// Predicts the label of one feature vector (dimension == training cols).
+    virtual ClassLabel Predict(std::span<const double> x) const = 0;
+
+    /// Fraction of rows of `x` predicted as `y`.
+    double Accuracy(const FeatureMatrix& x, const std::vector<ClassLabel>& y) const {
+        if (x.rows() == 0) return 0.0;
+        std::size_t correct = 0;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            if (Predict(x.Row(r)) == y[r]) ++correct;
+        }
+        return static_cast<double>(correct) / static_cast<double>(x.rows());
+    }
+};
+
+/// Factory so cross-validation can train a fresh model per fold.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace dfp

@@ -1,0 +1,73 @@
+#include "ml/eval/cross_validation.hpp"
+
+#include <algorithm>
+
+namespace dfp {
+
+std::vector<std::vector<std::size_t>> StratifiedFolds(
+    const std::vector<ClassLabel>& y, std::size_t k, Rng& rng) {
+    std::vector<std::vector<std::size_t>> folds(k);
+    // Group rows by class, shuffle each group, deal them round-robin.
+    ClassLabel max_label = 0;
+    for (ClassLabel label : y) max_label = std::max(max_label, label);
+    std::vector<std::vector<std::size_t>> by_class(max_label + 1);
+    for (std::size_t r = 0; r < y.size(); ++r) by_class[y[r]].push_back(r);
+
+    std::size_t next_fold = 0;
+    for (auto& group : by_class) {
+        rng.Shuffle(group);
+        for (std::size_t r : group) {
+            folds[next_fold].push_back(r);
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+    return folds;
+}
+
+CvResult CrossValidate(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                       std::size_t num_classes, const ClassifierFactory& factory,
+                       std::size_t folds, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto fold_rows = StratifiedFolds(y, folds, rng);
+    CvResult result;
+    double total = 0.0;
+    for (std::size_t f = 0; f < folds; ++f) {
+        std::vector<std::size_t> train_rows;
+        for (std::size_t g = 0; g < folds; ++g) {
+            if (g == f) continue;
+            train_rows.insert(train_rows.end(), fold_rows[g].begin(),
+                              fold_rows[g].end());
+        }
+        const auto& test_rows = fold_rows[f];
+        if (test_rows.empty() || train_rows.empty()) {
+            result.fold_accuracies.push_back(0.0);
+            continue;
+        }
+        FeatureMatrix train_x = x.SelectRows(train_rows);
+        std::vector<ClassLabel> train_y;
+        train_y.reserve(train_rows.size());
+        for (std::size_t r : train_rows) train_y.push_back(y[r]);
+
+        auto model = factory();
+        const Status st = model->Train(train_x, train_y, num_classes);
+        double acc = 0.0;
+        if (st.ok()) {
+            std::size_t correct = 0;
+            for (std::size_t r : test_rows) {
+                if (model->Predict(x.Row(r)) == y[r]) ++correct;
+            }
+            acc = static_cast<double>(correct) /
+                  static_cast<double>(test_rows.size());
+        }
+        result.fold_accuracies.push_back(acc);
+        total += acc;
+    }
+    result.mean_accuracy =
+        result.fold_accuracies.empty()
+            ? 0.0
+            : total / static_cast<double>(result.fold_accuracies.size());
+    return result;
+}
+
+}  // namespace dfp

@@ -1,0 +1,84 @@
+#include "ml/eval/metrics.hpp"
+
+#include <cassert>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+std::size_t ConfusionMatrix::total() const {
+    std::size_t t = 0;
+    for (std::size_t c : counts_) t += c;
+    return t;
+}
+
+double ConfusionMatrix::Accuracy() const {
+    const std::size_t n = total();
+    if (n == 0) return 0.0;
+    std::size_t diag = 0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        diag += counts_[c * num_classes_ + c];
+    }
+    return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::PrecisionOf(ClassLabel c) const {
+    std::size_t predicted = 0;
+    for (std::size_t t = 0; t < num_classes_; ++t) {
+        predicted += counts_[t * num_classes_ + c];
+    }
+    if (predicted == 0) return 0.0;
+    return static_cast<double>(At(c, c)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::RecallOf(ClassLabel c) const {
+    std::size_t truth = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+        truth += counts_[c * num_classes_ + p];
+    }
+    if (truth == 0) return 0.0;
+    return static_cast<double>(At(c, c)) / static_cast<double>(truth);
+}
+
+double ConfusionMatrix::MacroF1() const {
+    double sum = 0.0;
+    std::size_t classes_with_support = 0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        std::size_t truth = 0;
+        for (std::size_t p = 0; p < num_classes_; ++p) {
+            truth += counts_[c * num_classes_ + p];
+        }
+        if (truth == 0) continue;
+        ++classes_with_support;
+        const double prec = PrecisionOf(static_cast<ClassLabel>(c));
+        const double rec = RecallOf(static_cast<ClassLabel>(c));
+        if (prec + rec > 0.0) sum += 2.0 * prec * rec / (prec + rec);
+    }
+    return classes_with_support == 0
+               ? 0.0
+               : sum / static_cast<double>(classes_with_support);
+}
+
+std::string ConfusionMatrix::ToString() const {
+    std::string out;
+    for (std::size_t t = 0; t < num_classes_; ++t) {
+        for (std::size_t p = 0; p < num_classes_; ++p) {
+            out += StrFormat("%6zu", counts_[t * num_classes_ + p]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+double AccuracyOf(const std::vector<ClassLabel>& truth,
+                  const std::vector<ClassLabel>& predicted) {
+    assert(truth.size() == predicted.size());
+    if (truth.empty()) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == predicted[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace dfp

@@ -1,0 +1,46 @@
+// Classification metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dfp {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+  public:
+    explicit ConfusionMatrix(std::size_t num_classes)
+        : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+    void Add(ClassLabel truth, ClassLabel predicted) {
+        counts_[truth * num_classes_ + predicted]++;
+    }
+
+    std::size_t At(ClassLabel truth, ClassLabel predicted) const {
+        return counts_[truth * num_classes_ + predicted];
+    }
+
+    std::size_t num_classes() const { return num_classes_; }
+    std::size_t total() const;
+
+    double Accuracy() const;
+    /// Unweighted mean of per-class F1 (classes with no support excluded).
+    double MacroF1() const;
+    double PrecisionOf(ClassLabel c) const;
+    double RecallOf(ClassLabel c) const;
+
+    std::string ToString() const;
+
+  private:
+    std::size_t num_classes_;
+    std::vector<std::size_t> counts_;
+};
+
+/// Fraction of equal entries in two parallel label vectors.
+double AccuracyOf(const std::vector<ClassLabel>& truth,
+                  const std::vector<ClassLabel>& predicted);
+
+}  // namespace dfp

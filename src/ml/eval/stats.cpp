@@ -1,0 +1,123 @@
+#include "ml/eval/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dfp {
+
+namespace {
+
+// log Γ(x) via the Lanczos approximation (g = 7, n = 9 coefficients).
+double LogGamma(double x) {
+    static const double kCoefficients[] = {
+        0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+        771.32342877765313,   -176.61502916214059, 12.507343278686905,
+        -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+    if (x < 0.5) {
+        // Reflection formula.
+        return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+    }
+    x -= 1.0;
+    double a = kCoefficients[0];
+    const double t = x + 7.5;
+    for (int i = 1; i < 9; ++i) a += kCoefficients[i] / (x + i);
+    return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+// Continued fraction for the incomplete beta function (Numerical Recipes
+// betacf), evaluated with the modified Lentz method.
+double BetaContinuedFraction(double a, double b, double x) {
+    constexpr int kMaxIterations = 300;
+    constexpr double kEpsilon = 3e-14;
+    constexpr double kTiny = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEpsilon) break;
+    }
+    return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                            a * std::log(x) + b * std::log(1.0 - x);
+    const double front = std::exp(ln_front);
+    // Use the symmetry relation for faster convergence.
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * BetaContinuedFraction(a, b, x) / a;
+    }
+    return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+    if (df <= 0.0) return 0.5;
+    const double x = df / (df + t * t);
+    const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+PairedTTest PairedTTestTwoSided(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+    assert(a.size() == b.size());
+    PairedTTest result;
+    const std::size_t n = a.size();
+    if (n < 2) return result;
+    result.degrees_of_freedom = n - 1;
+
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+    mean /= static_cast<double>(n);
+    result.mean_difference = mean;
+
+    double ss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = (a[i] - b[i]) - mean;
+        ss += d * d;
+    }
+    const double variance = ss / static_cast<double>(n - 1);
+    if (variance <= 0.0) {
+        result.t_statistic = mean == 0.0
+                                 ? 0.0
+                                 : std::copysign(
+                                       std::numeric_limits<double>::infinity(), mean);
+        result.p_value = mean == 0.0 ? 1.0 : 0.0;
+        return result;
+    }
+    result.t_statistic =
+        mean / std::sqrt(variance / static_cast<double>(n));
+    const double cdf =
+        StudentTCdf(std::fabs(result.t_statistic),
+                    static_cast<double>(result.degrees_of_freedom));
+    result.p_value = 2.0 * (1.0 - cdf);
+    return result;
+}
+
+}  // namespace dfp

@@ -1,0 +1,34 @@
+// Statistical significance utilities for cross-validation comparisons.
+//
+// The paper reports per-dataset accuracy differences; the honest way to call
+// a difference real across CV folds is a paired t-test over the per-fold
+// accuracies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dfp {
+
+/// Result of a paired t-test over two paired samples.
+struct PairedTTest {
+    double mean_difference = 0.0;  ///< mean(a - b)
+    double t_statistic = 0.0;
+    std::size_t degrees_of_freedom = 0;
+    /// Two-sided p-value (1.0 when undefined: < 2 pairs or zero variance with
+    /// zero mean difference; 0.0 on zero variance with non-zero difference).
+    double p_value = 1.0;
+};
+
+/// Paired t-test of H0: mean(a - b) = 0. Vectors must have equal length.
+PairedTTest PairedTTestTwoSided(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// CDF of Student's t distribution with `df` degrees of freedom at `t`
+/// (via the regularized incomplete beta function).
+double StudentTCdf(double t, double df);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction form.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace dfp

@@ -1,0 +1,42 @@
+#include "ml/feature_matrix.hpp"
+
+namespace dfp {
+
+FeatureMatrix FeatureMatrix::SelectRows(const std::vector<std::size_t>& rows) const {
+    FeatureMatrix out(rows.size(), cols_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto src = Row(rows[i]);
+        auto dst = out.MutableRow(i);
+        for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+}
+
+FeatureMatrix FeatureMatrix::SelectCols(const std::vector<std::size_t>& cols) const {
+    FeatureMatrix out(rows_, cols.size());
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+            out.At(r, j) = At(r, cols[j]);
+        }
+    }
+    return out;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+}  // namespace dfp

@@ -1,0 +1,48 @@
+// Dense row-major feature matrix consumed by the learners.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dfp {
+
+/// Row-major dense matrix of doubles.
+class FeatureMatrix {
+  public:
+    FeatureMatrix() = default;
+    FeatureMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    std::span<const double> Row(std::size_t r) const {
+        return {data_.data() + r * cols_, cols_};
+    }
+    std::span<double> MutableRow(std::size_t r) {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /// Copies the selected rows into a new matrix.
+    FeatureMatrix SelectRows(const std::vector<std::size_t>& rows) const;
+    /// Copies the selected columns into a new matrix.
+    FeatureMatrix SelectCols(const std::vector<std::size_t>& cols) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Dot product of two equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance of two equal-length spans.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dfp

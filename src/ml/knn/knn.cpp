@@ -1,0 +1,45 @@
+#include "ml/knn/knn.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace dfp {
+
+std::string KnnClassifier::Name() const { return StrFormat("knn(k=%zu)", k_); }
+
+Status KnnClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                            std::size_t num_classes) {
+    if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+    if (x.rows() != y.size()) {
+        return Status::InvalidArgument("KNN label/row count mismatch");
+    }
+    train_x_ = x;
+    train_y_ = y;
+    num_classes_ = num_classes;
+    return Status::Ok();
+}
+
+ClassLabel KnnClassifier::Predict(std::span<const double> x) const {
+    const std::size_t k = std::min(k_, train_x_.rows());
+    // Partial selection of the k smallest distances.
+    std::vector<std::pair<double, std::size_t>> distances;
+    distances.reserve(train_x_.rows());
+    for (std::size_t r = 0; r < train_x_.rows(); ++r) {
+        distances.emplace_back(SquaredDistance(train_x_.Row(r), x), r);
+    }
+    std::nth_element(distances.begin(),
+                     distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     distances.end());
+    std::vector<std::size_t> votes(num_classes_, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+        votes[train_y_[distances[i].second]]++;
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+        if (votes[c] > votes[best]) best = c;
+    }
+    return static_cast<ClassLabel>(best);
+}
+
+}  // namespace dfp

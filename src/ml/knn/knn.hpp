@@ -1,0 +1,31 @@
+// k-nearest-neighbours classifier.
+//
+// A lazy learner for the "any model plugs into the feature space" story; on
+// the binary item/pattern features the natural metric is Hamming distance,
+// which squared Euclidean reduces to.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace dfp {
+
+/// Majority vote among the k nearest training rows (squared Euclidean).
+class KnnClassifier : public Classifier {
+  public:
+    explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+    std::string Name() const override;
+    Status Train(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                 std::size_t num_classes) override;
+    ClassLabel Predict(std::span<const double> x) const override;
+
+  private:
+    std::size_t k_;
+    std::size_t num_classes_ = 0;
+    FeatureMatrix train_x_;
+    std::vector<ClassLabel> train_y_;
+};
+
+}  // namespace dfp

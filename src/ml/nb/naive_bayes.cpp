@@ -1,0 +1,94 @@
+#include "ml/nb/naive_bayes.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/serialize.hpp"
+#include <limits>
+
+namespace dfp {
+
+Status NaiveBayesClassifier::Train(const FeatureMatrix& x,
+                                   const std::vector<ClassLabel>& y,
+                                   std::size_t num_classes) {
+    if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+    if (x.rows() != y.size()) {
+        return Status::InvalidArgument("NB label/row count mismatch");
+    }
+    num_classes_ = num_classes;
+    cols_ = x.cols();
+    std::vector<double> class_count(num_classes, 0.0);
+    std::vector<double> on_count(num_classes * cols_, 0.0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const ClassLabel c = y[r];
+        class_count[c] += 1.0;
+        const auto row = x.Row(r);
+        for (std::size_t f = 0; f < cols_; ++f) {
+            if (row[f] > 0.5) on_count[c * cols_ + f] += 1.0;
+        }
+    }
+    const double n = static_cast<double>(x.rows());
+    log_prior_.assign(num_classes, 0.0);
+    log_on_.assign(num_classes * cols_, 0.0);
+    log_off_.assign(num_classes * cols_, 0.0);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        log_prior_[c] = std::log((class_count[c] + smoothing_) /
+                                 (n + smoothing_ * static_cast<double>(num_classes)));
+        for (std::size_t f = 0; f < cols_; ++f) {
+            const double p_on = (on_count[c * cols_ + f] + smoothing_) /
+                                (class_count[c] + 2.0 * smoothing_);
+            log_on_[c * cols_ + f] = std::log(p_on);
+            log_off_[c * cols_ + f] = std::log(1.0 - p_on);
+        }
+    }
+    return Status::Ok();
+}
+
+ClassLabel NaiveBayesClassifier::Predict(std::span<const double> x) const {
+    ClassLabel best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        double score = log_prior_[c];
+        for (std::size_t f = 0; f < cols_; ++f) {
+            score += (x[f] > 0.5) ? log_on_[c * cols_ + f] : log_off_[c * cols_ + f];
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<ClassLabel>(c);
+        }
+    }
+    return best;
+}
+
+
+Status NaiveBayesClassifier::SaveModel(std::ostream& out) const {
+    out << "nb-model " << num_classes_ << ' ' << cols_ << ' ';
+    WriteDouble(out, smoothing_);
+    out << '\n';
+    auto dump = [&out](const std::vector<double>& v) {
+        for (double x : v) {
+            WriteDouble(out, x);
+            out << ' ';
+        }
+        out << '\n';
+    };
+    dump(log_prior_);
+    dump(log_on_);
+    dump(log_off_);
+    if (!out) return Status::Internal("NB model write failed");
+    return Status::Ok();
+}
+
+Status NaiveBayesClassifier::LoadModel(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect("nb-model"));
+    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.Read(&cols_));
+    DFP_RETURN_NOT_OK(reader.Read(&smoothing_));
+    DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_, &log_prior_));
+    DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_ * cols_, &log_on_));
+    DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_ * cols_, &log_off_));
+    return Status::Ok();
+}
+
+}  // namespace dfp

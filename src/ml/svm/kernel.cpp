@@ -1,0 +1,34 @@
+#include "ml/svm/kernel.hpp"
+
+#include <cmath>
+
+#include "common/string_util.hpp"
+#include "ml/feature_matrix.hpp"
+
+namespace dfp {
+
+double KernelEval(const KernelParams& params, std::span<const double> a,
+                  std::span<const double> b) {
+    switch (params.type) {
+        case KernelType::kLinear:
+            return Dot(a, b);
+        case KernelType::kRbf:
+            return std::exp(-params.gamma * SquaredDistance(a, b));
+        case KernelType::kPolynomial:
+            return std::pow(params.gamma * Dot(a, b) + params.coef0, params.degree);
+    }
+    return 0.0;
+}
+
+std::string KernelName(const KernelParams& params) {
+    switch (params.type) {
+        case KernelType::kLinear: return "linear";
+        case KernelType::kRbf: return StrFormat("rbf(gamma=%g)", params.gamma);
+        case KernelType::kPolynomial:
+            return StrFormat("poly(gamma=%g,coef0=%g,degree=%d)", params.gamma,
+                             params.coef0, params.degree);
+    }
+    return "?";
+}
+
+}  // namespace dfp

@@ -1,0 +1,26 @@
+// Kernel functions for the SVM (the paper uses LIBSVM's linear and RBF).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace dfp {
+
+enum class KernelType { kLinear, kRbf, kPolynomial };
+
+struct KernelParams {
+    KernelType type = KernelType::kLinear;
+    /// RBF: K(x,y) = exp(−γ‖x−y‖²); polynomial: (γ·x·y + coef0)^degree.
+    double gamma = 0.5;
+    double coef0 = 0.0;
+    int degree = 3;
+};
+
+/// Evaluates K(a, b).
+double KernelEval(const KernelParams& params, std::span<const double> a,
+                  std::span<const double> b);
+
+/// "linear", "rbf(γ=0.5)", ...
+std::string KernelName(const KernelParams& params);
+
+}  // namespace dfp

@@ -1,0 +1,111 @@
+#include "ml/svm/pegasos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/serialize.hpp"
+
+#include "common/rng.hpp"
+
+namespace dfp {
+
+Status PegasosClassifier::Train(const FeatureMatrix& x,
+                                const std::vector<ClassLabel>& y,
+                                std::size_t num_classes) {
+    if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+    if (x.rows() != y.size()) {
+        return Status::InvalidArgument("pegasos label/row count mismatch");
+    }
+    num_classes_ = num_classes;
+    cols_ = x.cols();
+    weights_.assign(num_classes * cols_, 0.0);
+    bias_.assign(num_classes, 0.0);
+    Rng rng(config_.seed);
+
+    const std::size_t n = x.rows();
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        double* w = &weights_[c * cols_];
+        double b = 0.0;      // bias treated as a constant-1 feature
+        double scale = 1.0;  // lazy w-shrinking factor
+        // Start t at 2 so the first step size is 1/(2λ), not 1/λ (which would
+        // zero `scale` and make the first example dominate).
+        std::size_t t = 2;
+        for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+            for (std::size_t step = 0; step < n; ++step, ++t) {
+                const std::size_t i =
+                    static_cast<std::size_t>(rng.UniformInt(std::uint64_t{n}));
+                const double target = (y[i] == c) ? 1.0 : -1.0;
+                const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+                const auto row = x.Row(i);
+                double f = b;
+                for (std::size_t d = 0; d < cols_; ++d) f += w[d] * row[d];
+                f *= scale;
+                // Shrink: w ← (1 − ηλ)w, folded into the lazy scale.
+                scale *= (1.0 - eta * config_.lambda);
+                if (scale < 1e-9) {
+                    for (std::size_t d = 0; d < cols_; ++d) w[d] *= scale;
+                    b *= scale;
+                    scale = 1.0;
+                }
+                if (target * f < 1.0) {
+                    const double g = eta * target / scale;
+                    for (std::size_t d = 0; d < cols_; ++d) w[d] += g * row[d];
+                    b += g;
+                }
+            }
+        }
+        for (std::size_t d = 0; d < cols_; ++d) w[d] *= scale;
+        bias_[c] = b * scale;
+    }
+    return Status::Ok();
+}
+
+double PegasosClassifier::Decision(std::span<const double> x, ClassLabel c) const {
+    const double* w = &weights_[c * cols_];
+    double f = bias_[c];
+    for (std::size_t d = 0; d < cols_; ++d) f += w[d] * x[d];
+    return f;
+}
+
+ClassLabel PegasosClassifier::Predict(std::span<const double> x) const {
+    ClassLabel best = 0;
+    double best_f = -1e300;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        const double f = Decision(x, static_cast<ClassLabel>(c));
+        if (f > best_f) {
+            best_f = f;
+            best = static_cast<ClassLabel>(c);
+        }
+    }
+    return best;
+}
+
+
+Status PegasosClassifier::SaveModel(std::ostream& out) const {
+    out << "pegasos-model " << num_classes_ << ' ' << cols_ << '\n';
+    for (double w : weights_) {
+        WriteDouble(out, w);
+        out << ' ';
+    }
+    out << '\n';
+    for (double b : bias_) {
+        WriteDouble(out, b);
+        out << ' ';
+    }
+    out << '\n';
+    if (!out) return Status::Internal("pegasos model write failed");
+    return Status::Ok();
+}
+
+Status PegasosClassifier::LoadModel(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect("pegasos-model"));
+    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.Read(&cols_));
+    DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_ * cols_, &weights_));
+    DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_, &bias_));
+    return Status::Ok();
+}
+
+}  // namespace dfp

@@ -1,0 +1,298 @@
+#include "ml/svm/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dfp {
+
+namespace {
+
+// Training workspace: data views, alphas, error cache and (optional) Gram.
+class SmoSolver {
+  public:
+    SmoSolver(const FeatureMatrix& x, const std::vector<int>& y,
+              const SmoConfig& config)
+        : x_(x),
+          y_(y),
+          config_(config),
+          n_(x.rows()),
+          alpha_(x.rows(), 0.0),
+          error_(x.rows(), 0.0),
+          rng_(config.seed) {
+        use_gram_ = n_ <= config_.gram_limit;
+        if (use_gram_) {
+            gram_.resize(n_ * n_);
+            for (std::size_t i = 0; i < n_; ++i) {
+                for (std::size_t j = i; j < n_; ++j) {
+                    const double k = KernelEval(config_.kernel, x_.Row(i), x_.Row(j));
+                    gram_[i * n_ + j] = k;
+                    gram_[j * n_ + i] = k;
+                }
+            }
+        }
+        if (config_.kernel.type == KernelType::kLinear) {
+            w_.assign(x_.cols(), 0.0);
+        }
+        // f(x_i) = 0 initially, so E_i = −y_i.
+        for (std::size_t i = 0; i < n_; ++i) error_[i] = -static_cast<double>(y_[i]);
+    }
+
+    Result<SmoModel> Solve() {
+        // Platt's outer loop: alternate full sweeps and non-bound sweeps until
+        // a full sweep makes no progress.
+        bool examine_all = true;
+        std::size_t changed = 0;
+        std::size_t passes = 0;
+        while ((changed > 0 || examine_all) && passes < config_.max_passes &&
+               steps_ < config_.max_steps) {
+            changed = 0;
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (!examine_all && !IsNonBound(i)) continue;
+                changed += ExamineExample(i);
+                if (steps_ >= config_.max_steps) break;
+            }
+            if (examine_all) {
+                examine_all = false;
+            } else if (changed == 0) {
+                examine_all = true;
+            }
+            ++passes;
+        }
+        return BuildModel();
+    }
+
+  private:
+    double Kern(std::size_t i, std::size_t j) const {
+        if (use_gram_) return gram_[i * n_ + j];
+        return KernelEval(config_.kernel, x_.Row(i), x_.Row(j));
+    }
+
+    bool IsNonBound(std::size_t i) const {
+        return alpha_[i] > 0.0 && alpha_[i] < config_.c;
+    }
+
+    // f(x_i) − y_i; error_ holds it for all points (full cache).
+    double Error(std::size_t i) const { return error_[i]; }
+
+    std::size_t ExamineExample(std::size_t i2) {
+        const double y2 = y_[i2];
+        const double e2 = Error(i2);
+        const double r2 = e2 * y2;
+        const bool kkt_violated = (r2 < -config_.tol && alpha_[i2] < config_.c) ||
+                                  (r2 > config_.tol && alpha_[i2] > 0.0);
+        if (!kkt_violated) return 0;
+
+        // Second-choice heuristic: maximize |E1 − E2| over non-bound points.
+        std::size_t best = n_;
+        double best_gap = -1.0;
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (!IsNonBound(i)) continue;
+            const double gap = std::fabs(Error(i) - e2);
+            if (gap > best_gap) {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        if (best < n_ && TakeStep(best, i2)) return 1;
+
+        // Fall back: non-bound points from a random start, then all points.
+        const std::size_t start =
+            static_cast<std::size_t>(rng_.UniformInt(std::uint64_t{n_}));
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t i = (start + k) % n_;
+            if (IsNonBound(i) && TakeStep(i, i2)) return 1;
+        }
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t i = (start + k) % n_;
+            if (TakeStep(i, i2)) return 1;
+        }
+        return 0;
+    }
+
+    bool TakeStep(std::size_t i1, std::size_t i2) {
+        if (i1 == i2) return false;
+        const double a1_old = alpha_[i1];
+        const double a2_old = alpha_[i2];
+        const double y1 = y_[i1];
+        const double y2 = y_[i2];
+        const double e1 = Error(i1);
+        const double e2 = Error(i2);
+        const double s = y1 * y2;
+
+        double lo;
+        double hi;
+        if (s < 0.0) {
+            lo = std::max(0.0, a2_old - a1_old);
+            hi = std::min(config_.c, config_.c + a2_old - a1_old);
+        } else {
+            lo = std::max(0.0, a1_old + a2_old - config_.c);
+            hi = std::min(config_.c, a1_old + a2_old);
+        }
+        if (lo >= hi) return false;
+
+        const double k11 = Kern(i1, i1);
+        const double k12 = Kern(i1, i2);
+        const double k22 = Kern(i2, i2);
+        const double eta = k11 + k22 - 2.0 * k12;
+
+        double a2_new;
+        if (eta > 0.0) {
+            a2_new = a2_old + y2 * (e1 - e2) / eta;
+            a2_new = std::clamp(a2_new, lo, hi);
+        } else {
+            // Degenerate curvature: evaluate the objective at both clip ends.
+            const double f1 = y1 * (e1 + bias_) - a1_old * k11 - s * a2_old * k12;
+            const double f2 = y2 * (e2 + bias_) - s * a1_old * k12 - a2_old * k22;
+            const double l1 = a1_old + s * (a2_old - lo);
+            const double h1 = a1_old + s * (a2_old - hi);
+            const double obj_lo = l1 * f1 + lo * f2 + 0.5 * l1 * l1 * k11 +
+                                  0.5 * lo * lo * k22 + s * lo * l1 * k12;
+            const double obj_hi = h1 * f1 + hi * f2 + 0.5 * h1 * h1 * k11 +
+                                  0.5 * hi * hi * k22 + s * hi * h1 * k12;
+            if (obj_lo < obj_hi - config_.eps) {
+                a2_new = lo;
+            } else if (obj_lo > obj_hi + config_.eps) {
+                a2_new = hi;
+            } else {
+                return false;
+            }
+        }
+        if (std::fabs(a2_new - a2_old) <
+            config_.eps * (a2_new + a2_old + config_.eps)) {
+            return false;
+        }
+        const double a1_new = a1_old + s * (a2_old - a2_new);
+
+        // Bias update (Platt eq. 20-21).
+        const double b1 = e1 + y1 * (a1_new - a1_old) * k11 +
+                          y2 * (a2_new - a2_old) * k12 + bias_;
+        const double b2 = e2 + y1 * (a1_new - a1_old) * k12 +
+                          y2 * (a2_new - a2_old) * k22 + bias_;
+        double b_new;
+        if (a1_new > 0.0 && a1_new < config_.c) {
+            b_new = b1;
+        } else if (a2_new > 0.0 && a2_new < config_.c) {
+            b_new = b2;
+        } else {
+            b_new = 0.5 * (b1 + b2);
+        }
+        const double delta_b = b_new - bias_;
+        bias_ = b_new;
+        alpha_[i1] = a1_new;
+        alpha_[i2] = a2_new;
+
+        // Incremental error-cache refresh.
+        const double d1 = y1 * (a1_new - a1_old);
+        const double d2 = y2 * (a2_new - a2_old);
+        for (std::size_t i = 0; i < n_; ++i) {
+            error_[i] += d1 * Kern(i1, i) + d2 * Kern(i2, i) - delta_b;
+        }
+        // Update the primal weights BEFORE re-anchoring the two changed
+        // errors: Fx() reads w_ on the linear path.
+        if (!w_.empty()) {
+            const auto r1 = x_.Row(i1);
+            const auto r2 = x_.Row(i2);
+            for (std::size_t d = 0; d < w_.size(); ++d) {
+                w_[d] += d1 * r1[d] + d2 * r2[d];
+            }
+        }
+        error_[i1] = Fx(i1) - y1;  // recompute exactly for the changed points
+        error_[i2] = Fx(i2) - y2;
+        ++steps_;
+        return true;
+    }
+
+    // f(x_i) from scratch (only used to re-anchor the two changed points).
+    double Fx(std::size_t i) const {
+        double f = -bias_;
+        if (!w_.empty()) {
+            f += Dot(w_, x_.Row(i));
+        } else {
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (alpha_[j] > 0.0) f += alpha_[j] * y_[j] * Kern(j, i);
+            }
+        }
+        return f;
+    }
+
+    Result<SmoModel> BuildModel() {
+        SmoModel model;
+        model.kernel = config_.kernel;
+        model.bias = -bias_;  // Platt uses f = Σ… − b; expose f = Σ… + bias
+        model.alpha = alpha_;
+        model.iterations = steps_;
+        if (!w_.empty()) {
+            model.w = w_;
+        }
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (alpha_[i] <= 0.0) continue;
+            model.sv_coef.push_back(alpha_[i] * y_[i]);
+            const auto row = x_.Row(i);
+            model.sv.emplace_back(row.begin(), row.end());
+        }
+        return model;
+    }
+
+    const FeatureMatrix& x_;
+    const std::vector<int>& y_;
+    const SmoConfig& config_;
+    std::size_t n_;
+    std::vector<double> alpha_;
+    std::vector<double> error_;
+    std::vector<double> gram_;
+    std::vector<double> w_;
+    double bias_ = 0.0;  // Platt's threshold b (f = Σ αyK − b)
+    bool use_gram_ = false;
+    std::size_t steps_ = 0;
+    Rng rng_;
+};
+
+}  // namespace
+
+double SmoModel::Decision(std::span<const double> x) const {
+    if (!w.empty()) return Dot(w, x) + bias;
+    double f = bias;
+    for (std::size_t i = 0; i < sv.size(); ++i) {
+        f += sv_coef[i] * KernelEval(kernel, sv[i], x);
+    }
+    return f;
+}
+
+Result<SmoModel> TrainSmo(const FeatureMatrix& x, const std::vector<int>& y,
+                          const SmoConfig& config) {
+    if (x.rows() == 0) return Status::InvalidArgument("empty SVM training set");
+    if (x.rows() != y.size()) {
+        return Status::InvalidArgument("SVM label/row count mismatch");
+    }
+    for (int label : y) {
+        if (label != 1 && label != -1) {
+            return Status::InvalidArgument("SVM labels must be in {-1, +1}");
+        }
+    }
+    if (config.c <= 0.0) return Status::InvalidArgument("SVM C must be positive");
+    SmoSolver solver(x, y, config);
+    return solver.Solve();
+}
+
+double MaxKktViolation(const SmoModel& model, const FeatureMatrix& x,
+                       const std::vector<int>& y, double c) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const double margin = static_cast<double>(y[i]) * model.Decision(x.Row(i));
+        const double a = model.alpha[i];
+        double violation = 0.0;
+        if (a <= 1e-12) {
+            violation = std::max(0.0, 1.0 - margin);  // should have y·f ≥ 1
+        } else if (a >= c - 1e-12) {
+            violation = std::max(0.0, margin - 1.0);  // should have y·f ≤ 1
+        } else {
+            violation = std::fabs(margin - 1.0);  // should sit on the margin
+        }
+        worst = std::max(worst, violation);
+    }
+    return worst;
+}
+
+}  // namespace dfp

@@ -1,0 +1,58 @@
+// Binary soft-margin SVM trained with Platt's SMO (our LIBSVM substitute).
+//
+// Solves  max_α Σα_i − ½ΣΣ α_iα_j y_iy_j K(x_i,x_j)
+//         s.t. 0 ≤ α_i ≤ C, Σ α_i y_i = 0
+// with the classic two-variable analytic step, a full error cache, and the
+// max-|E1−E2| second-choice heuristic. For the linear kernel the primal
+// weight vector is maintained incrementally, making decision evaluation O(d).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ml/feature_matrix.hpp"
+#include "ml/svm/kernel.hpp"
+
+namespace dfp {
+
+struct SmoConfig {
+    double c = 1.0;  ///< soft-margin penalty
+    KernelParams kernel;
+    double tol = 1e-3;       ///< KKT violation tolerance
+    double eps = 1e-8;       ///< minimal alpha step
+    std::size_t max_passes = 200;  ///< outer passes without progress cap
+    std::size_t max_steps = 2'000'000;  ///< total pair-update budget
+    /// Precompute the full Gram matrix when n ≤ this (memory: n² doubles).
+    std::size_t gram_limit = 3000;
+    std::uint64_t seed = 7;  ///< tie-breaking RNG
+};
+
+/// Trained binary SVM. Labels are {−1, +1}.
+struct SmoModel {
+    KernelParams kernel;
+    /// Support vectors and their coefficients α_i·y_i.
+    std::vector<std::vector<double>> sv;
+    std::vector<double> sv_coef;
+    double bias = 0.0;
+    /// Primal weights (linear kernel only; empty otherwise).
+    std::vector<double> w;
+    /// Training α per training row (kept for KKT certification in tests).
+    std::vector<double> alpha;
+    std::size_t iterations = 0;  ///< pair updates performed
+
+    /// Decision value f(x); classify by sign.
+    double Decision(std::span<const double> x) const;
+};
+
+/// Trains on rows of `x` with labels y_i ∈ {−1, +1}.
+Result<SmoModel> TrainSmo(const FeatureMatrix& x, const std::vector<int>& y,
+                          const SmoConfig& config);
+
+/// Max KKT-condition violation of the trained model on its training set;
+/// used by the tests to certify convergence (should be ≤ config.tol + slack).
+double MaxKktViolation(const SmoModel& model, const FeatureMatrix& x,
+                       const std::vector<int>& y, double c);
+
+}  // namespace dfp

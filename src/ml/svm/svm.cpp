@@ -1,0 +1,197 @@
+#include "ml/svm/svm.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/serialize.hpp"
+
+#include "common/string_util.hpp"
+#include "ml/eval/cross_validation.hpp"
+
+namespace dfp {
+
+std::string SvmClassifier::Name() const {
+    return StrFormat("svm-%s(C=%g)", KernelName(config_.kernel).c_str(), config_.c);
+}
+
+Status SvmClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                            std::size_t num_classes) {
+    if (num_classes < 2) {
+        return Status::InvalidArgument("SVM needs at least two classes");
+    }
+    machines_.clear();
+    num_classes_ = num_classes;
+    for (ClassLabel a = 0; a < num_classes; ++a) {
+        for (ClassLabel b = a + 1; b < num_classes; ++b) {
+            std::vector<std::size_t> rows;
+            std::vector<int> labels;
+            for (std::size_t r = 0; r < x.rows(); ++r) {
+                if (y[r] == a) {
+                    rows.push_back(r);
+                    labels.push_back(+1);
+                } else if (y[r] == b) {
+                    rows.push_back(r);
+                    labels.push_back(-1);
+                }
+            }
+            if (rows.empty()) continue;
+            // A pair with only one class present degenerates; vote by majority.
+            const bool has_pos = std::count(labels.begin(), labels.end(), 1) > 0;
+            const bool has_neg =
+                std::count(labels.begin(), labels.end(), -1) > 0;
+            if (!has_pos || !has_neg) {
+                PairModel pm;
+                pm.positive = a;
+                pm.negative = b;
+                pm.model.bias = has_pos ? 1.0 : -1.0;  // constant decision
+                machines_.push_back(std::move(pm));
+                continue;
+            }
+            const FeatureMatrix sub = x.SelectRows(rows);
+            auto trained = TrainSmo(sub, labels, config_);
+            if (!trained.ok()) return trained.status();
+            PairModel pm;
+            pm.positive = a;
+            pm.negative = b;
+            pm.model = std::move(trained).value();
+            machines_.push_back(std::move(pm));
+        }
+    }
+    if (machines_.empty()) {
+        return Status::FailedPrecondition("no class pair had training data");
+    }
+    return Status::Ok();
+}
+
+ClassLabel SvmClassifier::Predict(std::span<const double> x) const {
+    std::vector<double> votes(num_classes_, 0.0);
+    std::vector<double> margins(num_classes_, 0.0);
+    for (const PairModel& pm : machines_) {
+        double f;
+        if (pm.model.sv.empty() && pm.model.w.empty()) {
+            f = pm.model.bias;  // degenerate constant machine
+        } else {
+            f = pm.model.Decision(x);
+        }
+        if (f >= 0.0) {
+            votes[pm.positive] += 1.0;
+        } else {
+            votes[pm.negative] += 1.0;
+        }
+        margins[pm.positive] += f;
+        margins[pm.negative] -= f;
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+        if (votes[c] > votes[best] ||
+            (votes[c] == votes[best] && margins[c] > margins[best])) {
+            best = c;
+        }
+    }
+    return static_cast<ClassLabel>(best);
+}
+
+SmoConfig GridSearchSvm(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
+                        std::size_t num_classes, const SmoConfig& base,
+                        const SvmGrid& grid) {
+    std::vector<SmoConfig> candidates;
+    std::vector<double> gammas = grid.gamma_values;
+    if (gammas.empty() || base.kernel.type == KernelType::kLinear) {
+        gammas = {base.kernel.gamma};
+    }
+    for (double c : grid.c_values) {
+        for (double gamma : gammas) {
+            SmoConfig cfg = base;
+            cfg.c = c;
+            cfg.kernel.gamma = gamma;
+            candidates.push_back(cfg);
+        }
+    }
+    SmoConfig best = candidates.front();
+    double best_acc = -1.0;
+    for (const SmoConfig& cfg : candidates) {
+        const CvResult cv = CrossValidate(
+            x, y, num_classes,
+            [&cfg]() { return std::make_unique<SvmClassifier>(cfg); }, grid.folds,
+            grid.seed);
+        if (cv.mean_accuracy > best_acc) {
+            best_acc = cv.mean_accuracy;
+            best = cfg;
+        }
+    }
+    return best;
+}
+
+
+Status SvmClassifier::SaveModel(std::ostream& out) const {
+    out << "svm-model " << static_cast<int>(config_.kernel.type) << ' ';
+    WriteDouble(out, config_.kernel.gamma);
+    out << ' ';
+    WriteDouble(out, config_.kernel.coef0);
+    out << ' ' << config_.kernel.degree << ' ';
+    WriteDouble(out, config_.c);
+    out << ' ' << num_classes_ << ' ' << machines_.size() << '\n';
+    for (const PairModel& pm : machines_) {
+        out << pm.positive << ' ' << pm.negative << ' ';
+        WriteDouble(out, pm.model.bias);
+        out << ' ' << pm.model.w.size() << ' ';
+        for (double w : pm.model.w) {
+            WriteDouble(out, w);
+            out << ' ';
+        }
+        const std::size_t dim = pm.model.sv.empty() ? 0 : pm.model.sv[0].size();
+        out << pm.model.sv.size() << ' ' << dim << '\n';
+        for (std::size_t i = 0; i < pm.model.sv.size(); ++i) {
+            WriteDouble(out, pm.model.sv_coef[i]);
+            out << ' ';
+            for (double v : pm.model.sv[i]) {
+                WriteDouble(out, v);
+                out << ' ';
+            }
+            out << '\n';
+        }
+    }
+    if (!out) return Status::Internal("SVM model write failed");
+    return Status::Ok();
+}
+
+Status SvmClassifier::LoadModel(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect("svm-model"));
+    std::int32_t kernel_type = 0;
+    DFP_RETURN_NOT_OK(reader.Read(&kernel_type));
+    if (kernel_type < 0 || kernel_type > 2) {
+        return Status::ParseError("unknown kernel type in SVM model");
+    }
+    config_.kernel.type = static_cast<KernelType>(kernel_type);
+    DFP_RETURN_NOT_OK(reader.Read(&config_.kernel.gamma));
+    DFP_RETURN_NOT_OK(reader.Read(&config_.kernel.coef0));
+    DFP_RETURN_NOT_OK(reader.Read(&config_.kernel.degree));
+    DFP_RETURN_NOT_OK(reader.Read(&config_.c));
+    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
+    std::size_t machine_count = 0;
+    DFP_RETURN_NOT_OK(reader.Read(&machine_count));
+    machines_.assign(machine_count, PairModel{});
+    for (PairModel& pm : machines_) {
+        DFP_RETURN_NOT_OK(reader.Read(&pm.positive));
+        DFP_RETURN_NOT_OK(reader.Read(&pm.negative));
+        DFP_RETURN_NOT_OK(reader.Read(&pm.model.bias));
+        std::size_t w_size = 0;
+        DFP_RETURN_NOT_OK(reader.Read(&w_size));
+        DFP_RETURN_NOT_OK(reader.ReadDoubles(w_size, &pm.model.w));
+        std::size_t sv_count = 0;
+        std::size_t dim = 0;
+        DFP_RETURN_NOT_OK(reader.Read(&sv_count));
+        DFP_RETURN_NOT_OK(reader.Read(&dim));
+        pm.model.kernel = config_.kernel;
+        pm.model.sv_coef.resize(sv_count);
+        pm.model.sv.assign(sv_count, std::vector<double>(dim, 0.0));
+        for (std::size_t i = 0; i < sv_count; ++i) {
+            DFP_RETURN_NOT_OK(reader.Read(&pm.model.sv_coef[i]));
+            DFP_RETURN_NOT_OK(reader.ReadDoubles(dim, &pm.model.sv[i]));
+        }
+    }
+    return Status::Ok();
+}
+
+}  // namespace dfp

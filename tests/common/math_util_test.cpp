@@ -1,0 +1,52 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+TEST(MathUtilTest, XLog2XConvention) {
+    EXPECT_DOUBLE_EQ(XLog2X(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(XLog2X(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(XLog2X(0.5), -0.5);
+}
+
+TEST(MathUtilTest, BinaryEntropyShape) {
+    EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(BinaryEntropy(0.5), 1.0);
+    // Symmetric.
+    EXPECT_NEAR(BinaryEntropy(0.2), BinaryEntropy(0.8), 1e-12);
+    // Monotone toward 0.5.
+    EXPECT_LT(BinaryEntropy(0.1), BinaryEntropy(0.3));
+}
+
+TEST(MathUtilTest, EntropyOfUniform) {
+    EXPECT_NEAR(Entropy({1.0, 1.0, 1.0, 1.0}), 2.0, 1e-12);
+    EXPECT_NEAR(Entropy({2.5, 2.5}), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, EntropyDegenerate) {
+    EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+    EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(Entropy({5.0, 0.0}), 0.0);
+}
+
+TEST(MathUtilTest, EntropyCountsMatchesEntropy) {
+    EXPECT_NEAR(EntropyCounts({3, 1}), Entropy({3.0, 1.0}), 1e-12);
+    EXPECT_NEAR(EntropyCounts({10, 20, 30}), Entropy({1.0, 2.0, 3.0}), 1e-12);
+}
+
+TEST(MathUtilTest, Clamp) {
+    EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+    EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,90 @@
+// Tests for the small utilities: logging, stopwatch, serialization tokens.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/serialize.hpp"
+#include "common/stopwatch.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(LoggingTest, LevelGate) {
+    const LogLevel original = GetLogLevel();
+    SetLogLevel(LogLevel::kError);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+    // Emitting below the gate is a no-op (no crash, nothing observable).
+    LogMessage(LogLevel::kDebug, "ignored");
+    SetLogLevel(LogLevel::kOff);
+    LogMessage(LogLevel::kError, "also ignored");
+    SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+    Stopwatch watch;
+    // Busy-wait a tiny bit; elapsed must be non-negative and monotone.
+    const double t0 = watch.ElapsedSeconds();
+    double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+    volatile double keep = sink;
+    (void)keep;
+    const double t1 = watch.ElapsedSeconds();
+    EXPECT_GE(t0, 0.0);
+    EXPECT_GE(t1, t0);
+    watch.Reset();
+    EXPECT_LT(watch.ElapsedSeconds(), t1 + 1.0);
+    EXPECT_GE(watch.ElapsedMillis(), 0.0);
+}
+
+TEST(SerializeTest, DoubleRoundTripsExactly) {
+    std::stringstream stream;
+    const double values[] = {0.1, -1.0 / 3.0, 1e-300, 12345.678901234567};
+    for (double v : values) {
+        WriteDouble(stream, v);
+        stream << ' ';
+    }
+    TokenReader reader(stream);
+    for (double v : values) {
+        double back = 0.0;
+        ASSERT_TRUE(reader.Read(&back).ok());
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(SerializeTest, ExpectDetectsMismatch) {
+    std::stringstream stream("hello world");
+    TokenReader reader(stream);
+    EXPECT_TRUE(reader.Expect("hello").ok());
+    const Status st = reader.Expect("mars");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(SerializeTest, EndOfStreamIsError) {
+    std::stringstream stream("42");
+    TokenReader reader(stream);
+    std::size_t v = 0;
+    EXPECT_TRUE(reader.Read(&v).ok());
+    EXPECT_EQ(v, 42u);
+    EXPECT_FALSE(reader.Read(&v).ok());
+}
+
+TEST(SerializeTest, NegativeCountRejected) {
+    std::stringstream stream("-3");
+    TokenReader reader(stream);
+    std::size_t v = 0;
+    EXPECT_FALSE(reader.Read(&v).ok());
+}
+
+TEST(SerializeTest, ReadDoublesBulk) {
+    std::stringstream stream("1 2 3");
+    TokenReader reader(stream);
+    std::vector<double> v;
+    ASSERT_TRUE(reader.ReadDoubles(3, &v).ok());
+    EXPECT_EQ(v, (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_FALSE(reader.ReadDoubles(1, &v).ok());  // exhausted
+}
+
+}  // namespace
+}  // namespace dfp

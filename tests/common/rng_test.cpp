@@ -1,0 +1,112 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace dfp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.Uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange) {
+    Rng rng(3);
+    std::vector<int> histogram(7, 0);
+    for (int i = 0; i < 7000; ++i) {
+        const auto v = rng.UniformInt(std::uint64_t{7});
+        ASSERT_LT(v, 7u);
+        histogram[v]++;
+    }
+    // Each bucket should be near 1000.
+    for (int count : histogram) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.UniformInt(std::int64_t{2}, std::int64_t{4});
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 4);
+        saw_lo |= (v == 2);
+        saw_hi |= (v == 4);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+    Rng rng(9);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.Gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) ones += (rng.Categorical(weights) == 1);
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+    Rng rng(17);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.Shuffle(shuffled);
+    EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace dfp

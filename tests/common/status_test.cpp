@@ -1,0 +1,71 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+    const Status s = Status::InvalidArgument("bad thing");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s.message(), "bad thing");
+    EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesSetCodes) {
+    EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::FailedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Status::ResourceExhausted("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+    EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+    Result<int> r(Status::NotFound("nope"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+    Result<std::string> r(std::string("payload"));
+    ASSERT_TRUE(r.ok());
+    const std::string moved = std::move(r).value();
+    EXPECT_EQ(moved, "payload");
+}
+
+Status Inner(bool fail) {
+    if (fail) return Status::Internal("inner failed");
+    return Status::Ok();
+}
+
+Status Outer(bool fail) {
+    DFP_RETURN_NOT_OK(Inner(fail));
+    return Status::Ok();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+    EXPECT_TRUE(Outer(false).ok());
+    const Status s = Outer(true);
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,99 @@
+#include "core/feature_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+TransactionDatabase Toy() {
+    return TransactionDatabase::FromTransactions(
+        {{0, 1, 2}, {0, 2}, {1, 3}}, {0, 0, 1}, 4, 2);
+}
+
+std::vector<Pattern> TwoPatterns(const TransactionDatabase& db) {
+    std::vector<Pattern> patterns(2);
+    patterns[0].items = {0, 2};
+    patterns[1].items = {1, 3};
+    AttachMetadata(db, &patterns);
+    return patterns;
+}
+
+TEST(FeatureSpaceTest, DimensionIsItemsPlusPatterns) {
+    const auto db = Toy();
+    const auto fs = FeatureSpace::Build(4, TwoPatterns(db));
+    EXPECT_EQ(fs.num_items(), 4u);
+    EXPECT_EQ(fs.num_patterns(), 2u);
+    EXPECT_EQ(fs.dim(), 6u);
+}
+
+TEST(FeatureSpaceTest, SingletonPatternsDropped) {
+    const auto db = Toy();
+    auto patterns = TwoPatterns(db);
+    Pattern single;
+    single.items = {2};
+    patterns.push_back(single);
+    const auto fs = FeatureSpace::Build(4, patterns);
+    EXPECT_EQ(fs.num_patterns(), 2u);  // the singleton duplicates item 2
+}
+
+TEST(FeatureSpaceTest, EncodeSetsItemAndPatternBits) {
+    const auto db = Toy();
+    const auto fs = FeatureSpace::Build(4, TwoPatterns(db));
+    std::vector<double> out(fs.dim());
+    fs.Encode({0, 1, 2}, out);
+    EXPECT_EQ(out, (std::vector<double>{1, 1, 1, 0, 1, 0}));
+    fs.Encode({1, 3}, out);
+    EXPECT_EQ(out, (std::vector<double>{0, 1, 0, 1, 0, 1}));
+    fs.Encode({3}, out);
+    EXPECT_EQ(out, (std::vector<double>{0, 0, 0, 1, 0, 0}));
+}
+
+TEST(FeatureSpaceTest, TransformMatchesRowwiseEncode) {
+    const auto db = Toy();
+    const auto fs = FeatureSpace::Build(4, TwoPatterns(db));
+    const FeatureMatrix x = fs.Transform(db);
+    ASSERT_EQ(x.rows(), 3u);
+    ASSERT_EQ(x.cols(), 6u);
+    std::vector<double> expected(fs.dim());
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+        fs.Encode(db.transaction(t), expected);
+        for (std::size_t c = 0; c < fs.dim(); ++c) {
+            EXPECT_DOUBLE_EQ(x.At(t, c), expected[c]);
+        }
+    }
+}
+
+TEST(FeatureSpaceTest, ItemsOnly) {
+    const auto fs = FeatureSpace::ItemsOnly(5);
+    EXPECT_EQ(fs.dim(), 5u);
+    EXPECT_EQ(fs.num_patterns(), 0u);
+    std::vector<double> out(5);
+    fs.Encode({1, 4}, out);
+    EXPECT_EQ(out, (std::vector<double>{0, 1, 0, 0, 1}));
+}
+
+TEST(FeatureSpaceTest, UnseenItemsIgnored) {
+    // A transaction may carry item ids beyond the training universe (e.g. a
+    // test-fold value bin never seen in training); they must be ignored.
+    const auto fs = FeatureSpace::ItemsOnly(3);
+    std::vector<double> out(3);
+    fs.Encode({1, 7}, out);
+    EXPECT_EQ(out, (std::vector<double>{0, 1, 0}));
+}
+
+TEST(FeatureMatrixTest, SelectRowsAndCols) {
+    FeatureMatrix m(2, 3);
+    m.At(0, 0) = 1;
+    m.At(0, 2) = 2;
+    m.At(1, 1) = 3;
+    const auto rows = m.SelectRows({1});
+    EXPECT_EQ(rows.rows(), 1u);
+    EXPECT_DOUBLE_EQ(rows.At(0, 1), 3.0);
+    const auto cols = m.SelectCols({2, 0});
+    EXPECT_EQ(cols.cols(), 2u);
+    EXPECT_DOUBLE_EQ(cols.At(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(cols.At(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,85 @@
+#include "core/graph_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/dtree/c45.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+namespace {
+
+GraphDatabase MakeDb(std::uint64_t seed, std::size_t rows = 300) {
+    GraphSpec spec;
+    spec.rows = rows;
+    spec.seed = seed;
+    spec.carrier_prob = 0.85;
+    spec.label_noise = 0.02;
+    return GenerateGraphs(spec);
+}
+
+GraphPipelineConfig SmallConfig() {
+    GraphPipelineConfig config;
+    config.miner.min_sup_rel = 0.25;
+    config.miner.max_edges = 3;
+    config.max_features = 60;
+    return config;
+}
+
+TEST(GraphPipelineTest, BeatsMajorityBaseline) {
+    const auto db = MakeDb(1);
+    const auto counts = db.ClassCounts();
+    const double majority =
+        static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+        static_cast<double>(db.size());
+    GraphClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<SvmClassifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(db), majority + 0.1);
+}
+
+TEST(GraphPipelineTest, SelectedFeaturesHaveEdgesAndRelevance) {
+    const auto db = MakeDb(2);
+    GraphClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    ASSERT_FALSE(pipeline.features().empty());
+    EXPECT_GE(pipeline.num_candidates(), pipeline.features().size());
+    for (const auto& f : pipeline.features()) {
+        EXPECT_GE(f.pattern.length(), 1u);
+        EXPECT_GT(f.relevance, 0.0);
+    }
+}
+
+TEST(GraphPipelineTest, GeneralizesToHoldout) {
+    const auto db = MakeDb(3, 400);
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        (i % 5 == 0 ? test_rows : train_rows).push_back(i);
+    }
+    const auto train = db.Subset(train_rows);
+    const auto test = db.Subset(test_rows);
+    GraphClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(train, std::make_unique<SvmClassifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(test), 0.65);
+}
+
+TEST(GraphPipelineTest, MaxFeaturesRespected) {
+    const auto db = MakeDb(4);
+    GraphPipelineConfig config = SmallConfig();
+    config.max_features = 7;
+    GraphClassifierPipeline pipeline(config);
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    EXPECT_LE(pipeline.features().size(), 7u);
+}
+
+TEST(GraphPipelineTest, ErrorsPropagate) {
+    GraphClassifierPipeline pipeline(SmallConfig());
+    EXPECT_FALSE(pipeline.Train(MakeDb(5), nullptr).ok());
+    const GraphDatabase empty({}, {}, 6, 3, 2);
+    GraphClassifierPipeline pipeline2(SmallConfig());
+    EXPECT_FALSE(pipeline2.Train(empty, std::make_unique<C45Classifier>()).ok());
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,117 @@
+#include "core/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace dfp {
+namespace {
+
+// Balanced two-class dataset of 8 rows; feature covers rows {0,1,2,3}.
+FeatureStats MakeStats(std::size_t n, std::vector<std::size_t> class_totals,
+                       std::vector<std::size_t> class_support) {
+    FeatureStats s;
+    s.n = n;
+    s.class_totals = std::move(class_totals);
+    s.class_support = std::move(class_support);
+    s.support = 0;
+    for (auto c : s.class_support) s.support += c;
+    return s;
+}
+
+TEST(MeasuresTest, PerfectFeatureHasFullGain) {
+    // Feature == class indicator: IG = H(C) = 1 bit for balanced classes.
+    const auto s = MakeStats(8, {4, 4}, {4, 0});
+    EXPECT_NEAR(InformationGain(s), 1.0, 1e-12);
+}
+
+TEST(MeasuresTest, IndependentFeatureHasZeroGain) {
+    // Feature hits half of each class: no information.
+    const auto s = MakeStats(8, {4, 4}, {2, 2});
+    EXPECT_NEAR(InformationGain(s), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, HandComputedGain) {
+    // n=10, p(c1)=0.4; feature covers 5 rows, 4 of class 1.
+    const auto s = MakeStats(10, {6, 4}, {1, 4});
+    const double h_c = BinaryEntropy(0.4);
+    const double h_cond = 0.5 * BinaryEntropy(4.0 / 5.0) + 0.5 * BinaryEntropy(0.0);
+    EXPECT_NEAR(InformationGain(s), h_c - h_cond, 1e-12);
+}
+
+TEST(MeasuresTest, ClassEntropyMatchesDistribution) {
+    const auto s = MakeStats(8, {4, 4}, {4, 0});
+    EXPECT_NEAR(ClassEntropy(s), 1.0, 1e-12);
+    const auto s3 = MakeStats(12, {4, 4, 4}, {1, 1, 1});
+    EXPECT_NEAR(ClassEntropy(s3), std::log2(3.0), 1e-12);
+}
+
+TEST(MeasuresTest, FisherScoreZeroWhenIndependent) {
+    const auto s = MakeStats(8, {4, 4}, {2, 2});
+    EXPECT_NEAR(FisherScore(s), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, FisherScoreInfiniteOnPerfectSeparation) {
+    const auto s = MakeStats(8, {4, 4}, {4, 0});
+    EXPECT_TRUE(std::isinf(FisherScore(s)));
+}
+
+TEST(MeasuresTest, FisherMatchesPaperEquation5) {
+    // Eq. 5: Fr = θ(p−q)² / (p(1−p)(1−θ) − θ(p−q)²), with p = P(c=1),
+    // q = P(c=1 | x=1). Use n=20, p=0.5, θ=0.4, q=0.75.
+    const auto s = MakeStats(20, {10, 10}, {2, 6});
+    const double p = 0.5;
+    const double theta = 0.4;
+    const double q = 0.75;
+    const double z = theta * (p - q) * (p - q);
+    const double expected = z / (p * (1 - p) * (1 - theta) - z);
+    EXPECT_NEAR(FisherScore(s), expected, 1e-12);
+}
+
+TEST(MeasuresTest, GiniGainPositiveForInformativeFeature) {
+    EXPECT_GT(GiniGain(MakeStats(8, {4, 4}, {4, 0})), 0.4);
+    EXPECT_NEAR(GiniGain(MakeStats(8, {4, 4}, {2, 2})), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, RelevanceDispatch) {
+    const auto s = MakeStats(8, {4, 4}, {3, 1});
+    EXPECT_DOUBLE_EQ(Relevance(RelevanceMeasure::kInfoGain, s), InformationGain(s));
+    EXPECT_DOUBLE_EQ(Relevance(RelevanceMeasure::kFisher, s), FisherScore(s));
+    EXPECT_DOUBLE_EQ(Relevance(RelevanceMeasure::kGini, s), GiniGain(s));
+}
+
+TEST(MeasuresTest, StatsOfCoverAgainstDatabase) {
+    const auto db = TransactionDatabase::FromTransactions(
+        {{0, 1}, {0}, {1}, {0, 1}}, {0, 0, 1, 1}, 2, 2);
+    const auto s = StatsOfCover(db, db.ItemCover(1));
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_EQ(s.support, 3u);
+    EXPECT_EQ(s.class_totals, (std::vector<std::size_t>{2, 2}));
+    EXPECT_EQ(s.class_support, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(MeasuresTest, StatsOfPatternUsesAttachedMetadata) {
+    const auto db = TransactionDatabase::FromTransactions(
+        {{0, 1}, {0}, {1}, {0, 1}}, {0, 0, 1, 1}, 2, 2);
+    std::vector<Pattern> patterns(1);
+    patterns[0].items = {0, 1};
+    AttachMetadata(db, &patterns);
+    const auto s = StatsOfPattern(db, patterns[0]);
+    EXPECT_EQ(s.support, 2u);
+    EXPECT_EQ(s.class_support, (std::vector<std::size_t>{1, 1}));
+    EXPECT_NEAR(InformationGain(s), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, ZeroRowsAreSafe) {
+    FeatureStats s;
+    s.class_totals = {0, 0};
+    s.class_support = {0, 0};
+    EXPECT_DOUBLE_EQ(InformationGain(s), 0.0);
+    EXPECT_DOUBLE_EQ(FisherScore(s), 0.0);
+    EXPECT_DOUBLE_EQ(GiniGain(s), 0.0);
+}
+
+}  // namespace
+}  // namespace dfp

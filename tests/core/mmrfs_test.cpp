@@ -1,0 +1,184 @@
+#include "core/mmrfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpm/closed_miner.hpp"
+
+namespace dfp {
+namespace {
+
+// 8 transactions, 2 balanced classes. Item 0 perfectly predicts class 0;
+// item 1 duplicates item 0 (fully redundant); item 2 is independent noise;
+// item 3 covers the class-1 rows.
+TransactionDatabase Toy() {
+    return TransactionDatabase::FromTransactions(
+        {
+            {0, 1, 2}, {0, 1}, {0, 1, 2}, {0, 1},  // class 0
+            {3, 2}, {3}, {3, 2}, {3},              // class 1
+        },
+        {0, 0, 0, 0, 1, 1, 1, 1}, 4, 2);
+}
+
+std::vector<Pattern> SingletonCandidates(const TransactionDatabase& db) {
+    std::vector<Pattern> candidates;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        Pattern p;
+        p.items = {i};
+        candidates.push_back(std::move(p));
+    }
+    AttachMetadata(db, &candidates);
+    return candidates;
+}
+
+TEST(MmrfsTest, MostRelevantSelectedFirst) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 1;
+    const auto result = RunMmrfs(db, candidates, config);
+    ASSERT_FALSE(result.selected.empty());
+    // Items 0 and 3 have IG = 1 (perfect); item 2 has IG 0. The first pick must
+    // be one of the perfect ones.
+    EXPECT_TRUE(result.selected[0] == 0 || result.selected[0] == 3);
+}
+
+TEST(MmrfsTest, RedundantDuplicateSuppressed) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 1;
+    const auto result = RunMmrfs(db, candidates, config);
+    // Items 0 and 1 have identical covers: selecting both is pointless; with
+    // δ=1, once 0 (or 1) and 3 are in, every instance is covered.
+    EXPECT_EQ(result.selected.size(), 2u);
+    bool has01 = false;
+    bool has3 = false;
+    for (std::size_t i : result.selected) {
+        if (i == 0 || i == 1) has01 = true;
+        if (i == 3) has3 = true;
+    }
+    EXPECT_TRUE(has01);
+    EXPECT_TRUE(has3);
+}
+
+TEST(MmrfsTest, CoverageDeltaGrowsSelection) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig one;
+    one.coverage_delta = 1;
+    MmrfsConfig three;
+    three.coverage_delta = 3;
+    const auto small = RunMmrfs(db, candidates, one);
+    const auto large = RunMmrfs(db, candidates, three);
+    EXPECT_GE(large.selected.size(), small.selected.size());
+}
+
+TEST(MmrfsTest, CoverageAccountingIsCorrect) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 2;
+    const auto result = RunMmrfs(db, candidates, config);
+    // Recompute coverage from scratch: counts capped at δ, only correct covers.
+    std::vector<std::size_t> expected(db.num_transactions(), 0);
+    for (std::size_t idx : result.selected) {
+        const Pattern& p = candidates[idx];
+        const ClassLabel maj = p.MajorityClass();
+        p.cover.ForEach([&](std::uint32_t t) {
+            if (db.label(t) == maj && expected[t] < config.coverage_delta) {
+                expected[t]++;
+            }
+        });
+    }
+    EXPECT_EQ(result.coverage, expected);
+}
+
+TEST(MmrfsTest, MaxFeaturesCap) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 5;
+    config.max_features = 1;
+    const auto result = RunMmrfs(db, candidates, config);
+    EXPECT_EQ(result.selected.size(), 1u);
+}
+
+TEST(MmrfsTest, GainsAreNonIncreasingInformation) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 3;
+    const auto result = RunMmrfs(db, candidates, config);
+    ASSERT_GE(result.selected.size(), 2u);
+    // First gain is the raw max relevance (no redundancy yet).
+    double max_rel = 0.0;
+    for (double r : result.relevance) max_rel = std::max(max_rel, r);
+    EXPECT_DOUBLE_EQ(result.gains[0], max_rel);
+}
+
+TEST(MmrfsTest, EmptyCandidatesSafe) {
+    const auto db = Toy();
+    const auto result = RunMmrfs(db, {}, MmrfsConfig{});
+    EXPECT_TRUE(result.selected.empty());
+}
+
+TEST(MmrfsTest, UselessPatternNotSelectedWhenCovered) {
+    const auto db = Toy();
+    auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 1;
+    const auto result = RunMmrfs(db, candidates, config);
+    // Item 2 straddles both classes with IG 0; with items 0/3 covering all
+    // instances at δ=1, it must not appear.
+    for (std::size_t idx : result.selected) EXPECT_NE(idx, 2u);
+}
+
+TEST(MmrfsTest, SelectPatternsConvenience) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.coverage_delta = 1;
+    const auto patterns = SelectPatterns(db, candidates, config);
+    EXPECT_EQ(patterns.size(), RunMmrfs(db, candidates, config).selected.size());
+}
+
+TEST(MmrfsTest, FisherRelevanceVariant) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.relevance = RelevanceMeasure::kFisher;
+    config.coverage_delta = 1;
+    const auto result = RunMmrfs(db, candidates, config);
+    EXPECT_FALSE(result.selected.empty());
+}
+
+TEST(TopKTest, TopKByRelevanceIgnoresRedundancy) {
+    const auto db = Toy();
+    const auto candidates = SingletonCandidates(db);
+    const auto top =
+        TopKByRelevance(db, candidates, RelevanceMeasure::kInfoGain, 2);
+    ASSERT_EQ(top.size(), 2u);
+    // Relevance-only selection happily takes the two identical items 0 and 1 —
+    // exactly the failure mode MMRFS exists to avoid.
+    EXPECT_EQ(top[0], 0u);
+    EXPECT_EQ(top[1], 1u);
+}
+
+TEST(MmrfsTest, RealPipelineCandidates) {
+    // End-to-end smoke: closed patterns from a mined DB through MMRFS.
+    const auto db = Toy();
+    MinerConfig mc;
+    mc.min_sup_abs = 2;
+    auto mined = ClosedMiner().Mine(db, mc);
+    ASSERT_TRUE(mined.ok());
+    std::vector<Pattern> patterns = std::move(*mined);
+    AttachMetadata(db, &patterns);
+    MmrfsConfig config;
+    config.coverage_delta = 2;
+    const auto result = RunMmrfs(db, patterns, config);
+    EXPECT_FALSE(result.selected.empty());
+    EXPECT_LE(result.selected.size(), patterns.size());
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,134 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "ml/dtree/c45.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "ml/svm/pegasos.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+namespace {
+
+TransactionDatabase Db(std::uint64_t seed) {
+    SyntheticSpec spec;
+    spec.rows = 250;
+    spec.classes = 2;
+    spec.attributes = 8;
+    spec.arity = 3;
+    spec.seed = seed;
+    const Dataset data = GenerateSynthetic(spec);
+    const auto encoder = ItemEncoder::FromSchema(data);
+    return TransactionDatabase::FromDataset(data, *encoder);
+}
+
+PipelineConfig SmallConfig() {
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.12;
+    config.miner.max_pattern_len = 4;
+    config.mmrfs.coverage_delta = 2;
+    return config;
+}
+
+TEST(FeatureSpaceIoTest, RoundTrip) {
+    const auto db = Db(1);
+    PatternClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<NaiveBayesClassifier>()).ok());
+    std::stringstream stream;
+    ASSERT_TRUE(SaveFeatureSpace(pipeline.feature_space(), stream).ok());
+    auto loaded = LoadFeatureSpace(stream);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->dim(), pipeline.feature_space().dim());
+    EXPECT_EQ(loaded->num_patterns(), pipeline.feature_space().num_patterns());
+    // Identical encodings on every transaction.
+    std::vector<double> a(loaded->dim());
+    std::vector<double> b(loaded->dim());
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+        loaded->Encode(db.transaction(t), a);
+        pipeline.feature_space().Encode(db.transaction(t), b);
+        EXPECT_EQ(a, b) << "row " << t;
+    }
+}
+
+template <typename LearnerT>
+void RoundTripPredictions(std::uint64_t seed) {
+    const auto db = Db(seed);
+    PatternClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<LearnerT>()).ok());
+
+    std::stringstream stream;
+    ASSERT_TRUE(SavePipelineModel(pipeline, stream).ok());
+    auto loaded = LoadPipelineModel(stream);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+        EXPECT_EQ(loaded->Predict(db.transaction(t)),
+                  pipeline.Predict(db.transaction(t)))
+            << "row " << t;
+    }
+}
+
+TEST(ModelIoTest, SvmRoundTrip) { RoundTripPredictions<SvmClassifier>(2); }
+TEST(ModelIoTest, C45RoundTrip) { RoundTripPredictions<C45Classifier>(3); }
+TEST(ModelIoTest, NaiveBayesRoundTrip) {
+    RoundTripPredictions<NaiveBayesClassifier>(4);
+}
+TEST(ModelIoTest, PegasosRoundTrip) { RoundTripPredictions<PegasosClassifier>(5); }
+
+TEST(ModelIoTest, RbfSvmRoundTrip) {
+    const auto db = Db(6);
+    PatternClassifierPipeline pipeline(SmallConfig());
+    SmoConfig smo;
+    smo.kernel.type = KernelType::kRbf;
+    smo.kernel.gamma = 0.05;
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<SvmClassifier>(smo)).ok());
+    std::stringstream stream;
+    ASSERT_TRUE(SavePipelineModel(pipeline, stream).ok());
+    auto loaded = LoadPipelineModel(stream);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    for (std::size_t t = 0; t < db.num_transactions(); t += 3) {
+        EXPECT_EQ(loaded->Predict(db.transaction(t)),
+                  pipeline.Predict(db.transaction(t)));
+    }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+    const auto db = Db(7);
+    PatternClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    const std::string path = ::testing::TempDir() + "/dfp_model_io_test.model";
+    ASSERT_TRUE(SavePipelineModelToFile(pipeline, path).ok());
+    auto loaded = LoadPipelineModelFromFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_NEAR(loaded->Accuracy(db), pipeline.Accuracy(db), 1e-12);
+}
+
+TEST(ModelIoTest, LoadRejectsGarbage) {
+    std::stringstream bad("not-a-model at all");
+    EXPECT_FALSE(LoadPipelineModel(bad).ok());
+    std::stringstream truncated("dfp-model v1 c4.5\nfeature-space 5");
+    EXPECT_FALSE(LoadPipelineModel(truncated).ok());
+    std::stringstream unknown("dfp-model v1 martian\nfeature-space 5 0\n");
+    EXPECT_FALSE(LoadPipelineModel(unknown).ok());
+}
+
+TEST(ModelIoTest, SaveWithoutTrainingFails) {
+    PatternClassifierPipeline pipeline(SmallConfig());
+    std::stringstream stream;
+    EXPECT_FALSE(SavePipelineModel(pipeline, stream).ok());
+}
+
+TEST(ModelIoTest, MakeLearnerByTypeId) {
+    EXPECT_TRUE(MakeLearnerByTypeId("svm").ok());
+    EXPECT_TRUE(MakeLearnerByTypeId("c4.5").ok());
+    EXPECT_TRUE(MakeLearnerByTypeId("nb").ok());
+    EXPECT_TRUE(MakeLearnerByTypeId("pegasos").ok());
+    EXPECT_FALSE(MakeLearnerByTypeId("nope").ok());
+}
+
+}  // namespace
+}  // namespace dfp

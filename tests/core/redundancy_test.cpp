@@ -1,0 +1,60 @@
+#include "core/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+BitVector Bits(std::size_t size, std::initializer_list<std::size_t> on) {
+    BitVector v(size);
+    for (std::size_t i : on) v.Set(i);
+    return v;
+}
+
+TEST(JaccardTest, IdenticalCovers) {
+    const auto a = Bits(10, {1, 2, 3});
+    EXPECT_DOUBLE_EQ(CoverJaccard(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointCovers) {
+    EXPECT_DOUBLE_EQ(CoverJaccard(Bits(10, {1, 2}), Bits(10, {3, 4})), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+    // |∩| = 1, |∪| = 3.
+    EXPECT_NEAR(CoverJaccard(Bits(10, {1, 2}), Bits(10, {2, 3})), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, BothEmpty) {
+    EXPECT_DOUBLE_EQ(CoverJaccard(Bits(10, {}), Bits(10, {})), 0.0);
+}
+
+TEST(RedundancyTest, Equation9Value) {
+    Pattern a;
+    Pattern b;
+    a.cover = Bits(10, {0, 1, 2, 3});
+    b.cover = Bits(10, {2, 3, 4, 5});
+    // Jaccard = 2/6; min(S) = 0.4.
+    EXPECT_NEAR(Redundancy(a, b, 0.9, 0.4), (2.0 / 6.0) * 0.4, 1e-12);
+}
+
+TEST(RedundancyTest, NonClosedPatternFullyRedundantWithClosure) {
+    // Same cover (the non-closed/closure relationship) → redundancy equals the
+    // weaker relevance entirely: nothing marginal is left.
+    Pattern sub;
+    Pattern closed;
+    sub.cover = Bits(10, {1, 4, 7});
+    closed.cover = Bits(10, {1, 4, 7});
+    EXPECT_DOUBLE_EQ(Redundancy(sub, closed, 0.35, 0.35), 0.35);
+}
+
+TEST(RedundancyTest, SymmetricInArguments) {
+    Pattern a;
+    Pattern b;
+    a.cover = Bits(12, {0, 1, 2});
+    b.cover = Bits(12, {2, 3});
+    EXPECT_DOUBLE_EQ(Redundancy(a, b, 0.5, 0.7), Redundancy(b, a, 0.7, 0.5));
+}
+
+}  // namespace
+}  // namespace dfp

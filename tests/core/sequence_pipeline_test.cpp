@@ -1,0 +1,104 @@
+#include "core/sequence_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dtree/c45.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+namespace {
+
+SequenceDatabase MakeDb(std::uint64_t seed, std::size_t rows = 400) {
+    SequenceSpec spec;
+    spec.rows = rows;
+    spec.seed = seed;
+    spec.carrier_prob = 0.8;
+    spec.label_noise = 0.02;
+    return GenerateSequences(spec);
+}
+
+SequencePipelineConfig SmallConfig() {
+    SequencePipelineConfig config;
+    config.miner.min_sup_rel = 0.25;
+    config.miner.max_pattern_len = 4;
+    config.max_features = 60;
+    return config;
+}
+
+TEST(SequencePipelineTest, BeatsMajorityBaseline) {
+    const auto db = MakeDb(1);
+    const auto counts = db.ClassCounts();
+    const double majority =
+        static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+        static_cast<double>(db.size());
+
+    SequenceClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<SvmClassifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(db), majority + 0.1);
+}
+
+TEST(SequencePipelineTest, GeneralizesToUnseenSequences) {
+    const auto train = MakeDb(2, 500);
+    SequenceClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(train, std::make_unique<SvmClassifier>()).ok());
+
+    // Same generative process, different seed offset for rows: regenerate with
+    // the same spec seed keeps the same motifs only if seed matches, so build
+    // a holdout by splitting instead.
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < train.size(); i += 5) test_rows.push_back(i);
+    const auto holdout = train.Subset(test_rows);
+    EXPECT_GT(pipeline.Accuracy(holdout), 0.7);
+}
+
+TEST(SequencePipelineTest, FeaturesHaveMinLengthAndMetadata) {
+    const auto db = MakeDb(3);
+    SequenceClassifierPipeline pipeline(SmallConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    ASSERT_FALSE(pipeline.features().empty());
+    EXPECT_GT(pipeline.num_candidates(), pipeline.features().size());
+    for (const auto& f : pipeline.features()) {
+        EXPECT_GE(f.items.size(), 2u);
+        EXPECT_GT(f.support, 0u);
+        EXPECT_GE(f.relevance, 0.0);
+    }
+}
+
+TEST(SequencePipelineTest, MaxFeaturesRespected) {
+    const auto db = MakeDb(4);
+    SequencePipelineConfig config = SmallConfig();
+    config.max_features = 5;
+    SequenceClassifierPipeline pipeline(config);
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<NaiveBayesClassifier>()).ok());
+    EXPECT_LE(pipeline.features().size(), 5u);
+}
+
+TEST(SequencePipelineTest, ErrorsPropagate) {
+    SequenceClassifierPipeline pipeline(SmallConfig());
+    EXPECT_FALSE(pipeline.Train(MakeDb(5), nullptr).ok());
+
+    const SequenceDatabase empty({}, {}, 5, 2);
+    SequenceClassifierPipeline pipeline2(SmallConfig());
+    EXPECT_FALSE(pipeline2.Train(empty, std::make_unique<C45Classifier>()).ok());
+
+    SequencePipelineConfig tiny = SmallConfig();
+    tiny.miner.max_patterns = 1;
+    tiny.miner.min_sup_rel = 0.01;
+    SequenceClassifierPipeline pipeline3(tiny);
+    const Status st = pipeline3.Train(MakeDb(6), std::make_unique<C45Classifier>());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SequencePipelineTest, GlobalMiningAlsoWorks) {
+    const auto db = MakeDb(7);
+    SequencePipelineConfig config = SmallConfig();
+    config.per_class_mining = false;
+    SequenceClassifierPipeline pipeline(config);
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(db), 0.6);
+}
+
+}  // namespace
+}  // namespace dfp

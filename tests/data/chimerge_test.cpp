@@ -1,0 +1,105 @@
+#include "data/chimerge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(ChiSquareTest, IdenticalDistributionsScoreZero) {
+    EXPECT_NEAR(ChiSquareOfPair({10, 10}, {5, 5}), 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, DisjointClassesScoreHigh) {
+    // Left pure class 0, right pure class 1: χ² = N for a 2x2 table.
+    EXPECT_NEAR(ChiSquareOfPair({10, 0}, {0, 10}), 20.0, 1e-9);
+}
+
+TEST(ChiSquareTest, HandComputedValue) {
+    // left (6,2), right (2,6): χ² = Σ (o-e)²/e with e = 4 everywhere.
+    EXPECT_NEAR(ChiSquareOfPair({6, 2}, {2, 6}), 4 * (4.0 / 4.0), 1e-9);
+}
+
+TEST(ChiSquareCriticalTest, TableLookups) {
+    EXPECT_NEAR(ChiSquareCritical(0.95, 1), 3.841, 1e-9);
+    EXPECT_NEAR(ChiSquareCritical(0.90, 2), 4.605, 1e-9);
+    EXPECT_NEAR(ChiSquareCritical(0.99, 3), 11.345, 1e-9);
+    // df clamped into [1, 10].
+    EXPECT_NEAR(ChiSquareCritical(0.95, 0), 3.841, 1e-9);
+    EXPECT_NEAR(ChiSquareCritical(0.95, 99), 18.307, 1e-9);
+}
+
+TEST(ChiMergeTest, FindsObviousBoundary) {
+    std::vector<double> values;
+    std::vector<ClassLabel> labels;
+    for (int i = 0; i < 40; ++i) {
+        values.push_back(i * 0.1);
+        labels.push_back(0);
+        values.push_back(10.0 + i * 0.1);
+        labels.push_back(1);
+    }
+    ChiMergeDiscretizer disc;
+    const auto cuts = disc.FindCutPoints(values, labels, 2);
+    ASSERT_FALSE(cuts.empty());
+    // At least one cut separating the two bands.
+    bool separating = false;
+    for (double c : cuts) separating |= (c > 4.0 && c <= 10.0);
+    EXPECT_TRUE(separating);
+}
+
+TEST(ChiMergeTest, StricterSignificanceMergesMoreNoise) {
+    // ChiMerge famously overfits pure noise (its χ² test is uncorrected for
+    // the multiple boundaries it inspects), so we assert the two properties
+    // that do hold: the interval budget caps the output, and a stricter
+    // significance threshold merges strictly more.
+    Rng rng(4);
+    std::vector<double> values;
+    std::vector<ClassLabel> labels;
+    for (int i = 0; i < 300; ++i) {
+        values.push_back(rng.Uniform());
+        labels.push_back(static_cast<ClassLabel>(rng.UniformInt(std::uint64_t{2})));
+    }
+    ChiMergeConfig loose;
+    loose.significance = 0.90;
+    ChiMergeConfig strict;
+    strict.significance = 0.99;
+    const auto loose_cuts =
+        ChiMergeDiscretizer(loose).FindCutPoints(values, labels, 2);
+    const auto strict_cuts =
+        ChiMergeDiscretizer(strict).FindCutPoints(values, labels, 2);
+    EXPECT_LT(loose_cuts.size(), ChiMergeConfig{}.max_intervals);
+    EXPECT_LT(strict_cuts.size(), loose_cuts.size());
+}
+
+TEST(ChiMergeTest, MaxIntervalsEnforced) {
+    // Strongly informative many-level column would otherwise keep many bins.
+    std::vector<double> values;
+    std::vector<ClassLabel> labels;
+    for (int band = 0; band < 30; ++band) {
+        for (int i = 0; i < 10; ++i) {
+            values.push_back(band);
+            labels.push_back(static_cast<ClassLabel>(band % 2));
+        }
+    }
+    ChiMergeConfig config;
+    config.max_intervals = 6;
+    ChiMergeDiscretizer disc(config);
+    const auto cuts = disc.FindCutPoints(values, labels, 2);
+    EXPECT_LE(cuts.size() + 1, 6u);
+}
+
+TEST(ChiMergeTest, WorksAsDiscretizerOnDataset) {
+    Attribute num{"x", AttributeType::kNumeric, {}};
+    Dataset data({num}, {"c0", "c1"});
+    for (int i = 0; i < 60; ++i) {
+        ASSERT_TRUE(data.AddRow({static_cast<double>(i)}, i < 30 ? 0u : 1u).ok());
+    }
+    ChiMergeDiscretizer disc;
+    const Dataset out = disc.FitApply(data);
+    EXPECT_TRUE(out.IsFullyCategorical());
+    EXPECT_GE(out.attribute(0).arity(), 2u);
+}
+
+}  // namespace
+}  // namespace dfp

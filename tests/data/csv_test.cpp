@@ -1,0 +1,119 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dfp {
+namespace {
+
+TEST(CsvTest, ParsesMixedColumns) {
+    std::istringstream in(
+        "color,weight,label\n"
+        "red,1.5,yes\n"
+        "green,2.5,no\n"
+        "red,3.0,yes\n");
+    auto data = ReadCsv(in);
+    ASSERT_TRUE(data.ok()) << data.status();
+    EXPECT_EQ(data->num_rows(), 3u);
+    EXPECT_EQ(data->num_attributes(), 2u);
+    EXPECT_EQ(data->attribute(0).type, AttributeType::kCategorical);
+    EXPECT_EQ(data->attribute(1).type, AttributeType::kNumeric);
+    EXPECT_EQ(data->num_classes(), 2u);
+    EXPECT_EQ(data->class_names()[0], "yes");
+    EXPECT_EQ(data->label(1), 1u);
+    EXPECT_DOUBLE_EQ(data->Value(2, 1), 3.0);
+}
+
+TEST(CsvTest, HeaderlessInput) {
+    std::istringstream in("1,2,a\n3,4,b\n");
+    CsvOptions options;
+    options.has_header = false;
+    auto data = ReadCsv(in, options);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->num_rows(), 2u);
+    EXPECT_EQ(data->attribute(0).name, "col0");
+}
+
+TEST(CsvTest, ClassColumnSelection) {
+    std::istringstream in("label,x\nyes,1\nno,2\n");
+    CsvOptions options;
+    options.class_column = 0;
+    auto data = ReadCsv(in, options);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->num_attributes(), 1u);
+    EXPECT_EQ(data->attribute(0).name, "x");
+    EXPECT_EQ(data->class_names()[0], "yes");
+}
+
+TEST(CsvTest, NegativeClassColumnCountsFromEnd) {
+    std::istringstream in("x,label\n1,yes\n2,no\n");
+    CsvOptions options;
+    options.class_column = -1;
+    auto data = ReadCsv(in, options);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->class_names()[1], "no");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+    std::istringstream in("a,b,c\n1,2,3\n1,2\n");
+    const auto data = ReadCsv(in);
+    EXPECT_FALSE(data.ok());
+    EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadCsv(in).ok());
+}
+
+TEST(CsvTest, RejectsSingleColumn) {
+    std::istringstream in("only\nx\n");
+    EXPECT_FALSE(ReadCsv(in).ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+    std::istringstream in("x,label\n\n1,yes\n\n2,no\n\n");
+    auto data = ReadCsv(in);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->num_rows(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+    std::istringstream in("x;label\n1;yes\n2;no\n");
+    CsvOptions options;
+    options.delimiter = ';';
+    auto data = ReadCsv(in, options);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->num_rows(), 2u);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+    std::istringstream in(
+        "color,weight,label\nred,1.5,yes\ngreen,2.5,no\n");
+    auto data = ReadCsv(in);
+    ASSERT_TRUE(data.ok());
+
+    std::ostringstream out;
+    ASSERT_TRUE(WriteCsv(*data, out).ok());
+    std::istringstream back(out.str());
+    auto reread = ReadCsv(back);
+    ASSERT_TRUE(reread.ok());
+    EXPECT_EQ(reread->num_rows(), data->num_rows());
+    EXPECT_EQ(reread->num_attributes(), data->num_attributes());
+    for (std::size_t r = 0; r < data->num_rows(); ++r) {
+        EXPECT_EQ(reread->label(r), data->label(r));
+        for (std::size_t a = 0; a < data->num_attributes(); ++a) {
+            EXPECT_EQ(reread->CellToString(r, a), data->CellToString(r, a));
+        }
+    }
+}
+
+TEST(CsvTest, LoadMissingFileIsNotFound) {
+    const auto data = LoadCsvFile("/nonexistent/path.csv");
+    EXPECT_FALSE(data.ok());
+    EXPECT_EQ(data.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,96 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+Dataset MakeToy() {
+    Attribute color{"color", AttributeType::kCategorical, {"red", "green"}};
+    Attribute weight{"weight", AttributeType::kNumeric, {}};
+    Dataset data({color, weight}, {"no", "yes"});
+    EXPECT_TRUE(data.AddRow({0, 1.5}, 0).ok());
+    EXPECT_TRUE(data.AddRow({1, 2.5}, 1).ok());
+    EXPECT_TRUE(data.AddRow({1, 3.5}, 1).ok());
+    return data;
+}
+
+TEST(DatasetTest, BasicShape) {
+    const Dataset data = MakeToy();
+    EXPECT_EQ(data.num_rows(), 3u);
+    EXPECT_EQ(data.num_attributes(), 2u);
+    EXPECT_EQ(data.num_classes(), 2u);
+    EXPECT_EQ(data.Code(0, 0), 0u);
+    EXPECT_EQ(data.Code(1, 0), 1u);
+    EXPECT_DOUBLE_EQ(data.Value(2, 1), 3.5);
+    EXPECT_EQ(data.label(0), 0u);
+    EXPECT_EQ(data.label(2), 1u);
+}
+
+TEST(DatasetTest, AddRowValidatesArity) {
+    Dataset data = MakeToy();
+    EXPECT_FALSE(data.AddRow({0}, 0).ok());            // too few values
+    EXPECT_FALSE(data.AddRow({0, 1.0, 2.0}, 0).ok());  // too many
+}
+
+TEST(DatasetTest, AddRowValidatesCategoricalCode) {
+    Dataset data = MakeToy();
+    EXPECT_FALSE(data.AddRow({2, 1.0}, 0).ok());   // color code out of range
+    EXPECT_FALSE(data.AddRow({-1, 1.0}, 0).ok());  // negative code
+}
+
+TEST(DatasetTest, AddRowValidatesLabel) {
+    Dataset data = MakeToy();
+    EXPECT_FALSE(data.AddRow({0, 1.0}, 2).ok());
+}
+
+TEST(DatasetTest, ClassCountsAndPriors) {
+    const Dataset data = MakeToy();
+    EXPECT_EQ(data.ClassCounts(), (std::vector<std::size_t>{1, 2}));
+    const auto priors = data.ClassPriors();
+    EXPECT_NEAR(priors[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(priors[1], 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(data.MajorityClass(), 1u);
+}
+
+TEST(DatasetTest, SubsetPreservesSchemaAndOrder) {
+    const Dataset data = MakeToy();
+    const Dataset sub = data.Subset({2, 0});
+    EXPECT_EQ(sub.num_rows(), 2u);
+    EXPECT_DOUBLE_EQ(sub.Value(0, 1), 3.5);
+    EXPECT_DOUBLE_EQ(sub.Value(1, 1), 1.5);
+    EXPECT_EQ(sub.label(0), 1u);
+    EXPECT_EQ(sub.label(1), 0u);
+    EXPECT_EQ(sub.num_attributes(), 2u);
+}
+
+TEST(DatasetTest, AddAttributeValueDeduplicates) {
+    Dataset data = MakeToy();
+    EXPECT_EQ(data.AddAttributeValue(0, "red"), 0u);    // existing
+    EXPECT_EQ(data.AddAttributeValue(0, "blue"), 2u);   // new
+    EXPECT_EQ(data.attribute(0).arity(), 3u);
+}
+
+TEST(DatasetTest, IsFullyCategorical) {
+    const Dataset mixed = MakeToy();
+    EXPECT_FALSE(mixed.IsFullyCategorical());
+    Attribute a{"a", AttributeType::kCategorical, {"x", "y"}};
+    Dataset pure({a}, {"c0", "c1"});
+    EXPECT_TRUE(pure.IsFullyCategorical());
+}
+
+TEST(DatasetTest, CellToString) {
+    const Dataset data = MakeToy();
+    EXPECT_EQ(data.CellToString(0, 0), "red");
+    EXPECT_EQ(data.CellToString(0, 1), "1.5");
+}
+
+TEST(DatasetTest, EmptyDatasetBehaves) {
+    Dataset data({}, {"a", "b"});
+    EXPECT_EQ(data.num_rows(), 0u);
+    EXPECT_EQ(data.MajorityClass(), 0u);
+    EXPECT_EQ(data.ClassPriors(), (std::vector<double>{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace dfp

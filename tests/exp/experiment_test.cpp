@@ -1,0 +1,125 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scalability.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+namespace {
+
+SyntheticSpec TinySpec() {
+    SyntheticSpec spec;
+    spec.rows = 150;
+    spec.classes = 2;
+    spec.attributes = 6;
+    spec.arity = 3;
+    spec.seed = 3;
+    return spec;
+}
+
+TEST(ExperimentTest, NamesAreStable) {
+    EXPECT_STREQ(ModelVariantName(ModelVariant::kItemAll), "Item_All");
+    EXPECT_STREQ(ModelVariantName(ModelVariant::kPatFs), "Pat_FS");
+    EXPECT_STREQ(LearnerKindName(LearnerKind::kC45), "c4.5");
+    EXPECT_STREQ(LearnerKindName(LearnerKind::kSvmRbf), "svm-rbf");
+}
+
+TEST(ExperimentTest, PrepareTransactionsIsDeterministic) {
+    const auto a = PrepareTransactions(TinySpec());
+    const auto b = PrepareTransactions(TinySpec());
+    ASSERT_EQ(a.num_transactions(), b.num_transactions());
+    ASSERT_EQ(a.num_items(), b.num_items());
+    for (std::size_t t = 0; t < a.num_transactions(); ++t) {
+        EXPECT_EQ(a.transaction(t), b.transaction(t));
+        EXPECT_EQ(a.label(t), b.label(t));
+    }
+}
+
+TEST(ExperimentTest, MakeLearnerRespectsVariantAndKind) {
+    ExperimentConfig config;
+    auto rbf = MakeLearner(LearnerKind::kSvmLinear, ModelVariant::kItemRbf,
+                           config, 20);
+    EXPECT_NE(rbf->Name().find("rbf"), std::string::npos);
+    auto linear =
+        MakeLearner(LearnerKind::kSvmLinear, ModelVariant::kItemAll, config, 20);
+    EXPECT_NE(linear->Name().find("linear"), std::string::npos);
+    auto tree = MakeLearner(LearnerKind::kC45, ModelVariant::kPatFs, config, 20);
+    EXPECT_EQ(tree->Name(), "c4.5");
+    auto nb =
+        MakeLearner(LearnerKind::kNaiveBayes, ModelVariant::kPatAll, config, 20);
+    EXPECT_EQ(nb->Name(), "naive-bayes");
+}
+
+TEST(ExperimentTest, AutoRbfGammaScalesWithDimension) {
+    ExperimentConfig config;
+    config.rbf_gamma = 0.0;  // auto
+    auto svm_small = MakeLearner(LearnerKind::kSvmRbf, ModelVariant::kItemRbf,
+                                 config, 10);
+    auto svm_large = MakeLearner(LearnerKind::kSvmRbf, ModelVariant::kItemRbf,
+                                 config, 1000);
+    const auto* a = dynamic_cast<SvmClassifier*>(svm_small.get());
+    const auto* b = dynamic_cast<SvmClassifier*>(svm_large.get());
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_DOUBLE_EQ(a->config().kernel.gamma, 0.1);
+    EXPECT_DOUBLE_EQ(b->config().kernel.gamma, 0.001);
+}
+
+TEST(ExperimentTest, MakePipelineConfigMapsFields) {
+    ExperimentConfig config;
+    config.min_sup_rel = 0.21;
+    config.max_pattern_len = 3;
+    config.coverage_delta = 7;
+    const PipelineConfig with_fs = MakePipelineConfig(config, true);
+    EXPECT_DOUBLE_EQ(with_fs.miner.min_sup_rel, 0.21);
+    EXPECT_EQ(with_fs.miner.max_pattern_len, 3u);
+    EXPECT_TRUE(with_fs.feature_selection);
+    EXPECT_EQ(with_fs.mmrfs.coverage_delta, 7u);
+    EXPECT_FALSE(MakePipelineConfig(config, false).feature_selection);
+}
+
+TEST(ExperimentTest, VariantCvIsDeterministic) {
+    const auto db = PrepareTransactions(TinySpec());
+    ExperimentConfig config;
+    config.folds = 3;
+    const auto a = RunVariantCv(db, ModelVariant::kPatFs, LearnerKind::kC45, config);
+    const auto b = RunVariantCv(db, ModelVariant::kPatFs, LearnerKind::kC45, config);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+    EXPECT_DOUBLE_EQ(a.mean_selected, b.mean_selected);
+}
+
+TEST(ScalabilityTest, SweepRowsAreWellFormed) {
+    const auto db = PrepareTransactions(TinySpec());
+    ScalabilityConfig config;
+    config.min_sups = {60, 90};
+    config.probe_min_sup_one = false;
+    config.max_features = 50;
+    const auto rows = RunScalability(db, config);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto& row : rows) {
+        EXPECT_TRUE(row.feasible) << row.note;
+        EXPECT_GE(row.svm_accuracy, 0.3);
+        EXPECT_GE(row.c45_accuracy, 0.3);
+        EXPECT_LE(row.selected, config.max_features);
+    }
+    // Fewer patterns at the higher threshold (anti-monotonicity).
+    EXPECT_GE(rows[0].patterns, rows[1].patterns);
+}
+
+TEST(ScalabilityTest, MinSupOneProbeReportsBudget) {
+    const auto db = PrepareTransactions(TinySpec());
+    ScalabilityConfig config;
+    config.min_sups = {};
+    config.pattern_budget = 50;  // force the probe to trip
+    const auto rows = RunScalability(db, config);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].min_sup, 1u);
+    EXPECT_FALSE(rows[0].feasible);
+    EXPECT_NE(rows[0].note.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfp

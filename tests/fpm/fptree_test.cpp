@@ -1,0 +1,80 @@
+#include "fpm/fptree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfp {
+namespace {
+
+std::vector<FpTree::WeightedTransaction> ToyTransactions() {
+    // Classic FP-growth example shape.
+    return {
+        {{0, 1, 2}, 1}, {{0, 1}, 1}, {{0, 2}, 1}, {{1, 2}, 1}, {{0, 1, 2, 3}, 1},
+    };
+}
+
+TEST(FpTreeTest, HeaderCountsMatchSupports) {
+    const FpTree tree = FpTree::Build(ToyTransactions(), 2);
+    ASSERT_EQ(tree.header().size(), 3u);  // item 3 (support 1) filtered
+    for (const auto& entry : tree.header()) {
+        EXPECT_EQ(entry.count, 4u);  // items 0,1,2 each appear in 4 transactions
+    }
+}
+
+TEST(FpTreeTest, HeaderSortedByDescendingSupport) {
+    const std::vector<FpTree::WeightedTransaction> txns = {
+        {{0, 1}, 1}, {{0, 1}, 1}, {{0, 2}, 1}, {{0}, 1}};
+    const FpTree tree = FpTree::Build(txns, 1);
+    ASSERT_EQ(tree.header().size(), 3u);
+    EXPECT_EQ(tree.header()[0].item, 0u);  // support 4
+    EXPECT_EQ(tree.header()[1].item, 1u);  // support 2
+    EXPECT_EQ(tree.header()[2].item, 2u);  // support 1
+}
+
+TEST(FpTreeTest, EmptyWhenNothingFrequent) {
+    const std::vector<FpTree::WeightedTransaction> txns = {{{0}, 1}, {{1}, 1}};
+    const FpTree tree = FpTree::Build(txns, 2);
+    EXPECT_TRUE(tree.empty());
+}
+
+TEST(FpTreeTest, PrefixSharingCompresses) {
+    // Three identical transactions must share one path: root + 2 nodes.
+    const std::vector<FpTree::WeightedTransaction> txns = {
+        {{0, 1}, 1}, {{0, 1}, 1}, {{0, 1}, 1}};
+    const FpTree tree = FpTree::Build(txns, 1);
+    EXPECT_EQ(tree.num_nodes(), 3u);  // root, 0, 1
+    EXPECT_TRUE(tree.IsSinglePath());
+}
+
+TEST(FpTreeTest, WeightedTransactionsCount) {
+    const std::vector<FpTree::WeightedTransaction> txns = {{{0, 1}, 5}, {{0}, 2}};
+    const FpTree tree = FpTree::Build(txns, 1);
+    ASSERT_FALSE(tree.empty());
+    EXPECT_EQ(tree.header()[0].item, 0u);
+    EXPECT_EQ(tree.header()[0].count, 7u);
+    EXPECT_EQ(tree.header()[1].count, 5u);
+}
+
+TEST(FpTreeTest, ConditionalBaseOfLeastFrequentItem) {
+    const FpTree tree = FpTree::Build(ToyTransactions(), 2);
+    // Least frequent header entry is last. Its conditional base consists of the
+    // prefix paths above every occurrence.
+    const std::size_t last = tree.header().size() - 1;
+    const auto base = tree.ConditionalBase(last);
+    std::size_t total = 0;
+    for (const auto& wt : base) {
+        total += wt.count;
+        EXPECT_FALSE(wt.items.empty());
+    }
+    // The last item has support 4 but one occurrence may sit directly under the
+    // root (empty prefix excluded), so the base mass is ≤ the support.
+    EXPECT_LE(total, 4u);
+    EXPECT_GE(total, 2u);
+}
+
+TEST(FpTreeTest, IsSinglePathFalseOnBranching) {
+    const FpTree tree = FpTree::Build(ToyTransactions(), 2);
+    EXPECT_FALSE(tree.IsSinglePath());
+}
+
+}  // namespace
+}  // namespace dfp

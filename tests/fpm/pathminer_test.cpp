@@ -1,0 +1,170 @@
+#include "fpm/pathminer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dfp {
+namespace {
+
+// Triangle with labels: v0(0) -a- v1(1) -b- v2(2) -a- v0, plus pendant
+// v3(1) attached to v2 with label a.   (a = edge label 0, b = 1)
+LabeledGraph Triangle() {
+    LabeledGraph g({0, 1, 2, 1});
+    EXPECT_TRUE(g.AddEdge(0, 1, 0).ok());
+    EXPECT_TRUE(g.AddEdge(1, 2, 1).ok());
+    EXPECT_TRUE(g.AddEdge(2, 0, 0).ok());
+    EXPECT_TRUE(g.AddEdge(2, 3, 0).ok());
+    return g;
+}
+
+PathPattern MakePath(std::vector<VertexLabel> vs, std::vector<EdgeLabel> es) {
+    PathPattern p;
+    p.vertices = std::move(vs);
+    p.edges = std::move(es);
+    return p;
+}
+
+TEST(ContainsPathTest, SingleVertex) {
+    const auto g = Triangle();
+    EXPECT_TRUE(ContainsPath(g, MakePath({0}, {})));
+    EXPECT_TRUE(ContainsPath(g, MakePath({2}, {})));
+    EXPECT_FALSE(ContainsPath(g, MakePath({5}, {})));
+}
+
+TEST(ContainsPathTest, EdgesAndLabels) {
+    const auto g = Triangle();
+    EXPECT_TRUE(ContainsPath(g, MakePath({0, 1}, {0})));   // v0 -a- v1
+    EXPECT_TRUE(ContainsPath(g, MakePath({1, 2}, {1})));   // v1 -b- v2
+    EXPECT_FALSE(ContainsPath(g, MakePath({0, 1}, {1})));  // wrong edge label
+    EXPECT_FALSE(ContainsPath(g, MakePath({0, 2}, {1})));  // wrong pair
+}
+
+TEST(ContainsPathTest, SimplePathConstraint) {
+    // v1 -b- v2 -a- v1: needs TWO distinct label-1 vertices adjacent to v2 —
+    // present thanks to the pendant (v1 and v3).
+    const auto g = Triangle();
+    EXPECT_TRUE(ContainsPath(g, MakePath({1, 2, 1}, {1, 0})));
+    // A 4-vertex path revisiting would be required here: label sequence
+    // 1-2-1-2 needs two label-2 vertices; only one exists.
+    EXPECT_FALSE(ContainsPath(g, MakePath({1, 2, 1, 2}, {1, 0, 1})));
+}
+
+TEST(PathPatternTest, CanonicalizationPicksSmallerOrientation) {
+    auto p = MakePath({2, 0, 1}, {1, 0});
+    p.Canonicalize();
+    EXPECT_EQ(p.vertices, (std::vector<VertexLabel>{1, 0, 2}));
+    EXPECT_EQ(p.edges, (std::vector<EdgeLabel>{0, 1}));
+    // Already-canonical stays put.
+    auto q = MakePath({0, 1}, {0});
+    q.Canonicalize();
+    EXPECT_EQ(q.vertices, (std::vector<VertexLabel>{0, 1}));
+}
+
+TEST(PathMinerTest, HandCheckedSupports) {
+    std::vector<LabeledGraph> graphs = {Triangle(), Triangle()};
+    // Second graph: break the pendant by relabeling — rebuild a simpler one.
+    LabeledGraph g2({0, 1});
+    ASSERT_TRUE(g2.AddEdge(0, 1, 0).ok());
+    graphs[1] = g2;
+    GraphDatabase db(std::move(graphs), {0, 1}, 3, 2, 2);
+
+    PathMinerConfig config;
+    config.min_sup_abs = 1;
+    config.max_edges = 2;
+    auto mined = MinePaths(db, config);
+    ASSERT_TRUE(mined.ok()) << mined.status();
+    std::map<PathPattern, std::size_t> support;
+    for (const auto& p : *mined) support[p] = p.support;
+
+    EXPECT_EQ(support.at(MakePath({0}, {})), 2u);
+    EXPECT_EQ(support.at(MakePath({2}, {})), 1u);
+    EXPECT_EQ(support.at(MakePath({0, 1}, {0})), 2u);  // in both graphs
+    auto bc = MakePath({2, 1}, {1});
+    bc.Canonicalize();
+    EXPECT_EQ(support.at(bc), 1u);
+}
+
+TEST(PathMinerTest, SupportsMatchBruteForceContainment) {
+    GraphSpec spec;
+    spec.rows = 40;
+    spec.seed = 3;
+    const auto db = GenerateGraphs(spec);
+    PathMinerConfig config;
+    config.min_sup_rel = 0.3;
+    config.max_edges = 3;
+    auto mined = MinePaths(db, config);
+    ASSERT_TRUE(mined.ok());
+    ASSERT_FALSE(mined->empty());
+    for (const auto& p : *mined) {
+        std::size_t support = 0;
+        for (std::size_t g = 0; g < db.size(); ++g) {
+            support += ContainsPath(db.graph(g), p);
+        }
+        EXPECT_EQ(p.support, support) << p.ToString();
+    }
+}
+
+TEST(PathMinerTest, CanonicalOutputHasNoDuplicates) {
+    GraphSpec spec;
+    spec.rows = 30;
+    spec.seed = 4;
+    const auto db = GenerateGraphs(spec);
+    PathMinerConfig config;
+    config.min_sup_rel = 0.25;
+    config.max_edges = 3;
+    auto mined = MinePaths(db, config);
+    ASSERT_TRUE(mined.ok());
+    std::set<PathPattern> unique;
+    for (auto p : *mined) {
+        PathPattern canon = p;
+        canon.Canonicalize();
+        EXPECT_EQ(canon, p) << "non-canonical pattern emitted: " << p.ToString();
+        EXPECT_TRUE(unique.insert(p).second) << "duplicate: " << p.ToString();
+    }
+}
+
+TEST(PathMinerTest, BudgetSurfaces) {
+    GraphSpec spec;
+    spec.rows = 30;
+    spec.seed = 5;
+    const auto db = GenerateGraphs(spec);
+    PathMinerConfig config;
+    config.min_sup_abs = 1;
+    config.max_edges = 3;
+    config.max_patterns = 5;
+    const auto mined = MinePaths(db, config);
+    ASSERT_FALSE(mined.ok());
+    EXPECT_EQ(mined.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GraphDbTest, GeneratorShapeAndDeterminism) {
+    GraphSpec spec;
+    spec.rows = 50;
+    spec.seed = 6;
+    const auto a = GenerateGraphs(spec);
+    const auto b = GenerateGraphs(spec);
+    ASSERT_EQ(a.size(), 50u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.label(i), b.label(i));
+        EXPECT_EQ(a.graph(i).num_vertices(), b.graph(i).num_vertices());
+        EXPECT_EQ(a.graph(i).num_edges(), b.graph(i).num_edges());
+        EXPECT_GE(a.graph(i).num_vertices(), spec.vertices_min);
+        EXPECT_LE(a.graph(i).num_vertices(), spec.vertices_max);
+    }
+    const auto c0 = a.FilterByClass(0);
+    EXPECT_LT(c0.size(), a.size());
+}
+
+TEST(GraphTest, AddEdgeValidation) {
+    LabeledGraph g({0, 1});
+    EXPECT_FALSE(g.AddEdge(0, 5, 0).ok());
+    EXPECT_FALSE(g.AddEdge(1, 1, 0).ok());  // self-loop
+    EXPECT_TRUE(g.AddEdge(0, 1, 2).ok());
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(g.neighbours(0).size(), 1u);
+    EXPECT_EQ(g.neighbours(1)[0].to, 0u);
+}
+
+}  // namespace
+}  // namespace dfp

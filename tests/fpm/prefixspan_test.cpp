@@ -1,0 +1,158 @@
+#include "fpm/prefixspan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dfp {
+namespace {
+
+SequenceDatabase Toy() {
+    // 4 sequences over alphabet {0,1,2}.
+    return SequenceDatabase({{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {2, 2, 2}},
+                            {0, 0, 1, 1}, 3, 2);
+}
+
+std::map<Sequence, std::size_t> ToMap(const std::vector<SequentialPattern>& ps) {
+    std::map<Sequence, std::size_t> m;
+    for (const auto& p : ps) m[p.items] = p.support;
+    return m;
+}
+
+TEST(SubsequenceTest, Containment) {
+    EXPECT_TRUE(IsSubsequence({0, 2}, {0, 1, 2}));
+    EXPECT_TRUE(IsSubsequence({}, {0, 1}));
+    EXPECT_TRUE(IsSubsequence({1, 1}, {1, 0, 1}));
+    EXPECT_FALSE(IsSubsequence({2, 0}, {0, 1, 2}));  // order matters
+    EXPECT_FALSE(IsSubsequence({1, 1}, {1, 0, 2}));  // multiplicity matters
+    EXPECT_FALSE(IsSubsequence({0}, {}));
+}
+
+TEST(PrefixSpanTest, HandCheckedSupports) {
+    PrefixSpanConfig config;
+    config.min_sup_abs = 2;
+    config.max_pattern_len = 3;
+    auto mined = MineSequences(Toy(), config);
+    ASSERT_TRUE(mined.ok()) << mined.status();
+    const auto m = ToMap(*mined);
+    // Singletons.
+    EXPECT_EQ(m.at({0}), 3u);
+    EXPECT_EQ(m.at({1}), 3u);
+    EXPECT_EQ(m.at({2}), 4u);
+    // <0,2> occurs in sequences 0, 1 and 2.
+    EXPECT_EQ(m.at({0, 2}), 3u);
+    // <0,1> occurs in sequences 0 and 1 (non-contiguous in {0,2,1}).
+    EXPECT_EQ(m.at({0, 1}), 2u);
+    // <1,0> occurs in sequence 2 only: below min_sup, absent.
+    EXPECT_EQ(m.count({1, 0}), 0u);
+    // <2,2> occurs in sequence 3 only: absent.
+    EXPECT_EQ(m.count({2, 2}), 0u);
+}
+
+TEST(PrefixSpanTest, SupportsMatchBruteForceContainment) {
+    PrefixSpanConfig config;
+    config.min_sup_abs = 1;
+    config.max_pattern_len = 3;
+    const auto db = Toy();
+    auto mined = MineSequences(db, config);
+    ASSERT_TRUE(mined.ok());
+    for (const auto& p : *mined) {
+        std::size_t support = 0;
+        for (std::size_t i = 0; i < db.size(); ++i) {
+            support += IsSubsequence(p.items, db.sequence(i));
+        }
+        EXPECT_EQ(p.support, support) << "pattern size " << p.items.size();
+    }
+}
+
+TEST(PrefixSpanTest, RepeatedItemsHandled) {
+    // <2,2,2> has support 1 (only the last sequence).
+    PrefixSpanConfig config;
+    config.min_sup_abs = 1;
+    auto mined = MineSequences(Toy(), config);
+    ASSERT_TRUE(mined.ok());
+    const auto m = ToMap(*mined);
+    EXPECT_EQ(m.at({2, 2, 2}), 1u);
+    EXPECT_EQ(m.at({2, 2}), 1u);
+}
+
+TEST(PrefixSpanTest, MaxLenAndBudget) {
+    PrefixSpanConfig config;
+    config.min_sup_abs = 1;
+    config.max_pattern_len = 2;
+    auto mined = MineSequences(Toy(), config);
+    ASSERT_TRUE(mined.ok());
+    for (const auto& p : *mined) EXPECT_LE(p.items.size(), 2u);
+
+    config.max_patterns = 2;
+    const auto blown = MineSequences(Toy(), config);
+    ASSERT_FALSE(blown.ok());
+    EXPECT_EQ(blown.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PrefixSpanTest, RelativeMinSup) {
+    PrefixSpanConfig config;
+    config.min_sup_rel = 0.75;  // ceil(0.75·4) = 3
+    auto mined = MineSequences(Toy(), config);
+    ASSERT_TRUE(mined.ok());
+    for (const auto& p : *mined) EXPECT_GE(p.support, 3u);
+}
+
+TEST(SequenceDbTest, FilterAndSubset) {
+    const auto db = Toy();
+    const auto c0 = db.FilterByClass(0);
+    EXPECT_EQ(c0.size(), 2u);
+    EXPECT_EQ(c0.sequence(1), (Sequence{0, 2, 1}));
+    EXPECT_EQ(db.ClassCounts(), (std::vector<std::size_t>{2, 2}));
+    const auto sub = db.Subset({3});
+    EXPECT_EQ(sub.size(), 1u);
+    EXPECT_EQ(sub.label(0), 1u);
+}
+
+TEST(SequenceGeneratorTest, DeterministicAndShaped) {
+    SequenceSpec spec;
+    spec.rows = 100;
+    spec.seed = 5;
+    const auto a = GenerateSequences(spec);
+    const auto b = GenerateSequences(spec);
+    ASSERT_EQ(a.size(), 100u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.sequence(i), b.sequence(i));
+        EXPECT_EQ(a.label(i), b.label(i));
+        EXPECT_GE(a.sequence(i).size(), spec.length_min);
+        EXPECT_LE(a.sequence(i).size(), spec.length_max);
+    }
+}
+
+TEST(SequenceGeneratorTest, MotifsMakeClassesSeparable) {
+    SequenceSpec spec;
+    spec.rows = 600;
+    spec.carrier_prob = 0.9;
+    spec.label_noise = 0.0;
+    spec.seed = 6;
+    const auto db = GenerateSequences(spec);
+    // Mining per class at 40% support must find class-discriminative
+    // subsequences of motif length.
+    PrefixSpanConfig config;
+    config.min_sup_rel = 0.4;
+    config.max_pattern_len = 3;
+    const auto part = db.FilterByClass(0);
+    auto mined = MineSequences(part, config);
+    ASSERT_TRUE(mined.ok());
+    bool found_discriminative = false;
+    for (const auto& p : *mined) {
+        if (p.items.size() < 3) continue;
+        std::size_t on[2] = {0, 0};
+        for (std::size_t i = 0; i < db.size(); ++i) {
+            if (IsSubsequence(p.items, db.sequence(i))) on[db.label(i)]++;
+        }
+        if (on[0] > 3 * std::max<std::size_t>(on[1], 1)) {
+            found_discriminative = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_discriminative);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,148 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "ml/dtree/c45.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "ml/svm/svm.hpp"
+
+namespace dfp {
+namespace {
+
+TransactionDatabase XorDb(std::size_t rows, std::uint64_t seed) {
+    const Dataset data = GenerateXor(rows, 2, 0.0, seed);
+    auto encoder = ItemEncoder::FromSchema(data);
+    return TransactionDatabase::FromDataset(data, *encoder);
+}
+
+PipelineConfig DefaultConfig() {
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.1;
+    config.miner.max_pattern_len = 4;
+    config.mmrfs.coverage_delta = 3;
+    return config;
+}
+
+TEST(PipelineTest, SolvesXorWhereSingleItemsCannot) {
+    // The paper's §3.1.1 motivation: XOR is not linearly separable on single
+    // features, but is once pattern features are added.
+    const auto db = XorDb(400, 1);
+
+    // Baseline: linear SVM on items only fails (≈ 50%).
+    PipelineConfig items_only = DefaultConfig();
+    items_only.miner.min_sup_rel = 0.99;  // effectively no patterns
+    items_only.feature_selection = false;
+    PatternClassifierPipeline baseline(items_only);
+    ASSERT_TRUE(baseline.Train(db, std::make_unique<SvmClassifier>()).ok());
+    const double base_acc = baseline.Accuracy(db);
+    EXPECT_LT(base_acc, 0.70);
+
+    // Pattern pipeline: mines {x=a, y=b} combinations and separates perfectly.
+    PatternClassifierPipeline pipeline(DefaultConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<SvmClassifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(db), 0.95);
+}
+
+TEST(PipelineTest, StatsArePopulated) {
+    const auto db = XorDb(200, 2);
+    PatternClassifierPipeline pipeline(DefaultConfig());
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    const auto& stats = pipeline.stats();
+    EXPECT_GT(stats.num_candidates, 0u);
+    EXPECT_GT(stats.num_selected, 0u);
+    EXPECT_LE(stats.num_selected, stats.num_candidates);
+    EXPECT_GE(stats.mine_seconds, 0.0);
+}
+
+TEST(PipelineTest, FeatureSelectionShrinksFeatureSpace) {
+    const auto db = XorDb(300, 3);
+    PipelineConfig with_fs = DefaultConfig();
+    PipelineConfig without_fs = DefaultConfig();
+    without_fs.feature_selection = false;
+
+    PatternClassifierPipeline selected(with_fs);
+    PatternClassifierPipeline all(without_fs);
+    ASSERT_TRUE(selected.Train(db, std::make_unique<C45Classifier>()).ok());
+    ASSERT_TRUE(all.Train(db, std::make_unique<C45Classifier>()).ok());
+    EXPECT_LT(selected.feature_space().num_patterns(),
+              all.feature_space().num_patterns());
+}
+
+TEST(PipelineTest, PerClassVsGlobalMining) {
+    const auto db = XorDb(200, 4);
+    PipelineConfig global = DefaultConfig();
+    global.per_class_mining = false;
+    PatternClassifierPipeline pipeline(global);
+    ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(db), 0.9);
+}
+
+TEST(PipelineTest, AllMinerKindsWork) {
+    const auto db = XorDb(150, 5);
+    for (MinerKind kind : {MinerKind::kClosed, MinerKind::kFpGrowth,
+                           MinerKind::kApriori, MinerKind::kEclat}) {
+        PipelineConfig config = DefaultConfig();
+        config.miner_kind = kind;
+        PatternClassifierPipeline pipeline(config);
+        ASSERT_TRUE(pipeline.Train(db, std::make_unique<C45Classifier>()).ok());
+        EXPECT_GT(pipeline.Accuracy(db), 0.9)
+            << "miner kind " << static_cast<int>(kind);
+    }
+}
+
+TEST(PipelineTest, WorksWithEveryLearner) {
+    const auto db = XorDb(200, 6);
+    PatternClassifierPipeline svm_pipe(DefaultConfig());
+    ASSERT_TRUE(svm_pipe.Train(db, std::make_unique<SvmClassifier>()).ok());
+    PatternClassifierPipeline tree_pipe(DefaultConfig());
+    ASSERT_TRUE(tree_pipe.Train(db, std::make_unique<C45Classifier>()).ok());
+    PatternClassifierPipeline nb_pipe(DefaultConfig());
+    ASSERT_TRUE(nb_pipe.Train(db, std::make_unique<NaiveBayesClassifier>()).ok());
+    EXPECT_GT(svm_pipe.Accuracy(db), 0.9);
+    EXPECT_GT(tree_pipe.Accuracy(db), 0.9);
+    EXPECT_GT(nb_pipe.Accuracy(db), 0.8);
+}
+
+TEST(PipelineTest, ErrorsPropagate) {
+    const auto db = XorDb(100, 7);
+    PatternClassifierPipeline pipeline(DefaultConfig());
+    EXPECT_FALSE(pipeline.Train(db, nullptr).ok());
+
+    const auto empty = TransactionDatabase::FromTransactions({}, {}, 3, 2);
+    PatternClassifierPipeline pipeline2(DefaultConfig());
+    EXPECT_FALSE(pipeline2.Train(empty, std::make_unique<C45Classifier>()).ok());
+
+    PipelineConfig tiny_budget = DefaultConfig();
+    tiny_budget.miner.max_patterns = 1;
+    tiny_budget.miner.min_sup_rel = 0.01;
+    PatternClassifierPipeline pipeline3(tiny_budget);
+    const Status st = pipeline3.Train(db, std::make_unique<C45Classifier>());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PipelineTest, CandidatesAreDeduplicatedAcrossClasses) {
+    const auto db = XorDb(200, 8);
+    PatternClassifierPipeline pipeline(DefaultConfig());
+    auto candidates = pipeline.MineCandidates(db);
+    ASSERT_TRUE(candidates.ok());
+    std::set<Itemset> seen;
+    for (const auto& p : *candidates) {
+        EXPECT_TRUE(seen.insert(p.items).second)
+            << "duplicate " << ItemsetToString(p.items);
+        EXPECT_GE(p.length(), 2u);  // singletons excluded from candidates
+    }
+}
+
+TEST(PipelineTest, PredictionOnUnseenTransactions) {
+    const auto train = XorDb(300, 9);
+    const auto test = XorDb(100, 10);
+    PatternClassifierPipeline pipeline(DefaultConfig());
+    ASSERT_TRUE(pipeline.Train(train, std::make_unique<SvmClassifier>()).ok());
+    EXPECT_GT(pipeline.Accuracy(test), 0.9);
+}
+
+}  // namespace
+}  // namespace dfp

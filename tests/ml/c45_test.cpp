@@ -1,0 +1,138 @@
+#include "ml/dtree/c45.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(C45Test, LearnsSimpleThreshold) {
+    FeatureMatrix x(20, 1);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 20; ++i) {
+        x.At(i, 0) = static_cast<double>(i);
+        y.push_back(i < 10 ? 0 : 1);
+    }
+    C45Classifier tree;
+    ASSERT_TRUE(tree.Train(x, y, 2).ok());
+    EXPECT_DOUBLE_EQ(tree.Accuracy(x, y), 1.0);
+    std::vector<double> probe = {3.0};
+    EXPECT_EQ(tree.Predict(probe), 0u);
+    probe[0] = 15.0;
+    EXPECT_EQ(tree.Predict(probe), 1u);
+}
+
+TEST(C45Test, LearnsXorWithTwoLevels) {
+    FeatureMatrix x(200, 2);
+    std::vector<ClassLabel> y;
+    Rng rng(1);
+    for (std::size_t i = 0; i < 200; ++i) {
+        const int a = static_cast<int>(rng.UniformInt(std::uint64_t{2}));
+        const int b = static_cast<int>(rng.UniformInt(std::uint64_t{2}));
+        x.At(i, 0) = a;
+        x.At(i, 1) = b;
+        y.push_back(static_cast<ClassLabel>(a ^ b));
+    }
+    C45Classifier tree;
+    ASSERT_TRUE(tree.Train(x, y, 2).ok());
+    EXPECT_DOUBLE_EQ(tree.Accuracy(x, y), 1.0);
+    EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(C45Test, PureDataYieldsSingleLeaf) {
+    FeatureMatrix x(10, 2);
+    std::vector<ClassLabel> y(10, 1);
+    C45Classifier tree;
+    ASSERT_TRUE(tree.Train(x, y, 2).ok());
+    EXPECT_EQ(tree.num_leaves(), 1u);
+    EXPECT_EQ(tree.depth(), 0u);
+    std::vector<double> probe = {0.0, 0.0};
+    EXPECT_EQ(tree.Predict(probe), 1u);
+}
+
+TEST(C45Test, PruningShrinksTreeOnNoise) {
+    // Pure-noise labels: an unpruned tree overfits, a pruned one collapses.
+    Rng rng(5);
+    FeatureMatrix x(300, 4);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 300; ++i) {
+        for (std::size_t f = 0; f < 4; ++f) x.At(i, f) = rng.Uniform();
+        y.push_back(static_cast<ClassLabel>(rng.UniformInt(std::uint64_t{2})));
+    }
+    C45Config no_prune;
+    no_prune.prune = false;
+    C45Classifier raw(no_prune);
+    ASSERT_TRUE(raw.Train(x, y, 2).ok());
+
+    C45Classifier pruned;  // default prunes
+    ASSERT_TRUE(pruned.Train(x, y, 2).ok());
+    EXPECT_LT(pruned.num_leaves(), raw.num_leaves());
+}
+
+TEST(C45Test, MinLeafRespected) {
+    FeatureMatrix x(20, 1);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 20; ++i) {
+        x.At(i, 0) = static_cast<double>(i);
+        y.push_back(static_cast<ClassLabel>(i % 2));  // alternating: splits are
+                                                      // only useful at size 1
+    }
+    C45Config config;
+    config.min_leaf = 5;
+    config.prune = false;
+    C45Classifier tree(config);
+    ASSERT_TRUE(tree.Train(x, y, 2).ok());
+    // With alternating labels and min_leaf=5 no high-gain split exists; the
+    // tree must stay tiny rather than memorizing.
+    EXPECT_LE(tree.num_leaves(), 4u);
+}
+
+TEST(C45Test, MulticlassSplits) {
+    FeatureMatrix x(30, 1);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 30; ++i) {
+        x.At(i, 0) = static_cast<double>(i);
+        y.push_back(static_cast<ClassLabel>(i / 10));  // three bands
+    }
+    C45Classifier tree;
+    ASSERT_TRUE(tree.Train(x, y, 3).ok());
+    EXPECT_DOUBLE_EQ(tree.Accuracy(x, y), 1.0);
+}
+
+TEST(C45Test, RejectsBadInput) {
+    C45Classifier tree;
+    EXPECT_FALSE(tree.Train(FeatureMatrix(), {}, 2).ok());
+    FeatureMatrix x(2, 1);
+    EXPECT_FALSE(tree.Train(x, {0}, 2).ok());
+}
+
+TEST(C45Test, ToTextMentionsSplits) {
+    FeatureMatrix x(20, 1);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 20; ++i) {
+        x.At(i, 0) = static_cast<double>(i);
+        y.push_back(i < 10 ? 0 : 1);
+    }
+    C45Classifier tree;
+    ASSERT_TRUE(tree.Train(x, y, 2).ok());
+    const std::vector<std::string> names = {"age"};
+    const std::string text = tree.ToText(&names);
+    EXPECT_NE(text.find("age <="), std::string::npos);
+    EXPECT_NE(text.find("class"), std::string::npos);
+}
+
+TEST(PessimisticErrorTest, BasicProperties) {
+    // Upper bound exceeds the observed rate and shrinks with more data.
+    EXPECT_GT(PessimisticErrorRate(1, 10, 0.25), 0.1);
+    EXPECT_GT(PessimisticErrorRate(1, 10, 0.25), PessimisticErrorRate(10, 100, 0.25));
+    // Zero errors still get a positive pessimistic estimate.
+    EXPECT_GT(PessimisticErrorRate(0, 10, 0.25), 0.0);
+    // Capped at 1.
+    EXPECT_LE(PessimisticErrorRate(10, 10, 0.25), 1.0);
+    // More confidence (smaller cf) → larger estimate.
+    EXPECT_GT(PessimisticErrorRate(2, 20, 0.1), PessimisticErrorRate(2, 20, 0.4));
+}
+
+}  // namespace
+}  // namespace dfp

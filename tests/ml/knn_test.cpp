@@ -1,0 +1,58 @@
+#include "ml/knn/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(KnnTest, NearestNeighbourOnBlobs) {
+    Rng rng(1);
+    FeatureMatrix x(100, 2);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 100; ++i) {
+        const bool pos = i % 2 == 0;
+        x.At(i, 0) = rng.Gaussian(pos ? 3.0 : 0.0, 0.4);
+        x.At(i, 1) = rng.Gaussian(pos ? 3.0 : 0.0, 0.4);
+        y.push_back(pos ? 1 : 0);
+    }
+    KnnClassifier knn(3);
+    ASSERT_TRUE(knn.Train(x, y, 2).ok());
+    EXPECT_GT(knn.Accuracy(x, y), 0.95);
+    std::vector<double> probe = {3.0, 3.0};
+    EXPECT_EQ(knn.Predict(probe), 1u);
+    probe = {0.0, 0.0};
+    EXPECT_EQ(knn.Predict(probe), 0u);
+}
+
+TEST(KnnTest, KOneMemorizesTraining) {
+    FeatureMatrix x(4, 1);
+    for (std::size_t i = 0; i < 4; ++i) x.At(i, 0) = static_cast<double>(i);
+    const std::vector<ClassLabel> y = {0, 1, 0, 1};
+    KnnClassifier knn(1);
+    ASSERT_TRUE(knn.Train(x, y, 2).ok());
+    EXPECT_DOUBLE_EQ(knn.Accuracy(x, y), 1.0);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetFallsBack) {
+    FeatureMatrix x(3, 1);
+    x.At(0, 0) = 0;
+    x.At(1, 0) = 1;
+    x.At(2, 0) = 2;
+    const std::vector<ClassLabel> y = {1, 1, 0};
+    KnnClassifier knn(50);  // > n: uses all rows → majority class
+    ASSERT_TRUE(knn.Train(x, y, 2).ok());
+    std::vector<double> probe = {5.0};
+    EXPECT_EQ(knn.Predict(probe), 1u);
+}
+
+TEST(KnnTest, RejectsBadInput) {
+    KnnClassifier knn;
+    EXPECT_FALSE(knn.Train(FeatureMatrix(), {}, 2).ok());
+    FeatureMatrix x(2, 1);
+    EXPECT_FALSE(knn.Train(x, {0}, 2).ok());
+}
+
+}  // namespace
+}  // namespace dfp

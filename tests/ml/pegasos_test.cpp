@@ -1,0 +1,85 @@
+#include "ml/svm/pegasos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(PegasosTest, SeparableBlobs) {
+    Rng rng(1);
+    FeatureMatrix x(200, 2);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 200; ++i) {
+        const bool pos = i % 2 == 0;
+        x.At(i, 0) = rng.Gaussian(pos ? 3.0 : 0.0, 0.4);
+        x.At(i, 1) = rng.Gaussian(pos ? 3.0 : 0.0, 0.4);
+        y.push_back(pos ? 1 : 0);
+    }
+    PegasosClassifier svm;
+    ASSERT_TRUE(svm.Train(x, y, 2).ok());
+    EXPECT_GT(svm.Accuracy(x, y), 0.97);
+}
+
+TEST(PegasosTest, MulticlassOneVsRest) {
+    Rng rng(2);
+    FeatureMatrix x(300, 3);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 300; ++i) {
+        const ClassLabel c = i % 3;
+        for (std::size_t f = 0; f < 3; ++f) {
+            x.At(i, f) = rng.Gaussian(f == c ? 2.5 : 0.0, 0.5);
+        }
+        y.push_back(c);
+    }
+    PegasosClassifier svm;
+    ASSERT_TRUE(svm.Train(x, y, 3).ok());
+    EXPECT_GT(svm.Accuracy(x, y), 0.95);
+}
+
+TEST(PegasosTest, BinaryFeatureSpace) {
+    // The framework's actual regime: sparse 0/1 features.
+    Rng rng(3);
+    FeatureMatrix x(500, 20);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 500; ++i) {
+        const ClassLabel c = i % 2;
+        for (std::size_t f = 0; f < 20; ++f) {
+            const double p = (f < 3 && c == 1) ? 0.8 : 0.2;
+            x.At(i, f) = rng.Bernoulli(p) ? 1.0 : 0.0;
+        }
+        y.push_back(c);
+    }
+    PegasosClassifier svm;
+    ASSERT_TRUE(svm.Train(x, y, 2).ok());
+    EXPECT_GT(svm.Accuracy(x, y), 0.85);
+}
+
+TEST(PegasosTest, DeterministicForSeed) {
+    Rng rng(4);
+    FeatureMatrix x(100, 2);
+    std::vector<ClassLabel> y;
+    for (std::size_t i = 0; i < 100; ++i) {
+        x.At(i, 0) = rng.Uniform();
+        x.At(i, 1) = rng.Uniform();
+        y.push_back(x.At(i, 0) > 0.5 ? 1 : 0);
+    }
+    PegasosClassifier a;
+    PegasosClassifier b;
+    ASSERT_TRUE(a.Train(x, y, 2).ok());
+    ASSERT_TRUE(b.Train(x, y, 2).ok());
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Predict(x.Row(i)), b.Predict(x.Row(i)));
+    }
+}
+
+TEST(PegasosTest, RejectsBadInput) {
+    PegasosClassifier svm;
+    EXPECT_FALSE(svm.Train(FeatureMatrix(), {}, 2).ok());
+    FeatureMatrix x(2, 1);
+    EXPECT_FALSE(svm.Train(x, {0}, 2).ok());
+}
+
+}  // namespace
+}  // namespace dfp

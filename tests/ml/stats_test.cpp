@@ -1,0 +1,71 @@
+#include "ml/eval/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dfp {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryAndSymmetry) {
+    EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+    // I_x(a,b) = 1 − I_{1−x}(b,a).
+    const double x = 0.37;
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+                1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-12);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+    // I_x(1,1) = x.
+    for (double x : {0.1, 0.5, 0.9}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+    }
+}
+
+TEST(StudentTCdfTest, SymmetryAndKnownValues) {
+    EXPECT_NEAR(StudentTCdf(0.0, 10), 0.5, 1e-12);
+    // CDF(t) + CDF(-t) = 1.
+    EXPECT_NEAR(StudentTCdf(1.3, 7) + StudentTCdf(-1.3, 7), 1.0, 1e-12);
+    // df=1 is the Cauchy distribution: CDF(1) = 3/4.
+    EXPECT_NEAR(StudentTCdf(1.0, 1), 0.75, 1e-9);
+    // Large df approaches the normal: CDF(1.96, 1e6) ≈ 0.975.
+    EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+    // Critical value check: t_{0.975, 10} = 2.228.
+    EXPECT_NEAR(StudentTCdf(2.228, 10), 0.975, 1e-3);
+}
+
+TEST(PairedTTestTest, ObviousDifference) {
+    const std::vector<double> a = {0.9, 0.91, 0.92, 0.9, 0.89, 0.91};
+    const std::vector<double> b = {0.7, 0.72, 0.69, 0.71, 0.7, 0.73};
+    const auto result = PairedTTestTwoSided(a, b);
+    EXPECT_GT(result.mean_difference, 0.15);
+    EXPECT_LT(result.p_value, 0.001);
+    EXPECT_EQ(result.degrees_of_freedom, 5u);
+}
+
+TEST(PairedTTestTest, NoDifference) {
+    const std::vector<double> a = {0.8, 0.7, 0.9, 0.75};
+    const std::vector<double> b = {0.79, 0.72, 0.88, 0.76};
+    const auto result = PairedTTestTwoSided(a, b);
+    EXPECT_GT(result.p_value, 0.2);
+}
+
+TEST(PairedTTestTest, DegenerateInputs) {
+    EXPECT_DOUBLE_EQ(PairedTTestTwoSided({0.5}, {0.4}).p_value, 1.0);  // n < 2
+    // Identical constant difference: zero variance, non-zero mean → p = 0.
+    const auto constant = PairedTTestTwoSided({0.9, 0.9}, {0.8, 0.8});
+    EXPECT_DOUBLE_EQ(constant.p_value, 0.0);
+    // Exactly equal: p = 1.
+    const auto equal = PairedTTestTwoSided({0.9, 0.8}, {0.9, 0.8});
+    EXPECT_DOUBLE_EQ(equal.p_value, 1.0);
+}
+
+TEST(PairedTTestTest, HandComputedT) {
+    // Differences: 1, 2, 3 → mean 2, sd 1, t = 2/(1/sqrt(3)) = 3.4641.
+    const auto result = PairedTTestTwoSided({2, 4, 6}, {1, 2, 3});
+    EXPECT_NEAR(result.t_statistic, 2.0 * std::sqrt(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace dfp

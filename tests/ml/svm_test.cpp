@@ -1,0 +1,200 @@
+#include "ml/svm/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/svm/smo.hpp"
+
+namespace dfp {
+namespace {
+
+// Linearly separable 2-D blobs around (0,0) and (3,3).
+void MakeBlobs(std::size_t n_per_class, double spread, std::uint64_t seed,
+               FeatureMatrix* x, std::vector<int>* y_pm,
+               std::vector<ClassLabel>* y_cl) {
+    Rng rng(seed);
+    *x = FeatureMatrix(2 * n_per_class, 2);
+    y_pm->clear();
+    y_cl->clear();
+    for (std::size_t i = 0; i < 2 * n_per_class; ++i) {
+        const bool pos = i < n_per_class;
+        const double cx = pos ? 3.0 : 0.0;
+        x->At(i, 0) = rng.Gaussian(cx, spread);
+        x->At(i, 1) = rng.Gaussian(cx, spread);
+        y_pm->push_back(pos ? 1 : -1);
+        y_cl->push_back(pos ? 1 : 0);
+    }
+}
+
+TEST(SmoTest, SeparableDataClassifiedPerfectly) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(40, 0.3, 1, &x, &y, &yc);
+    SmoConfig config;
+    config.c = 10.0;
+    auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok()) << model.status();
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        EXPECT_GT(static_cast<double>(y[i]) * model->Decision(x.Row(i)), 0.0);
+    }
+}
+
+TEST(SmoTest, KktConditionsSatisfied) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(50, 0.8, 2, &x, &y, &yc);
+    SmoConfig config;
+    config.c = 1.0;
+    auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok());
+    // Platt's loop terminates when no example violates KKT beyond tol; allow
+    // modest slack for the bias averaging.
+    EXPECT_LT(MaxKktViolation(*model, x, y, config.c), 10 * config.tol + 0.05);
+}
+
+TEST(SmoTest, DualConstraintHolds) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(40, 1.0, 3, &x, &y, &yc);
+    SmoConfig config;
+    auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_GE(model->alpha[i], -1e-12);
+        EXPECT_LE(model->alpha[i], config.c + 1e-12);
+        sum += model->alpha[i] * y[i];
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(SmoTest, LinearWeightsAgreeWithSvExpansion) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(30, 0.5, 4, &x, &y, &yc);
+    auto model = TrainSmo(x, y, SmoConfig{});
+    ASSERT_TRUE(model.ok());
+    ASSERT_FALSE(model->w.empty());
+    // f(x) via w must equal f(x) via the SV expansion.
+    SmoModel expansion = *model;
+    expansion.w.clear();
+    for (std::size_t i = 0; i < x.rows(); i += 7) {
+        EXPECT_NEAR(model->Decision(x.Row(i)), expansion.Decision(x.Row(i)), 1e-6);
+    }
+}
+
+TEST(SmoTest, RejectsBadInput) {
+    FeatureMatrix x(2, 1);
+    EXPECT_FALSE(TrainSmo(x, {1, 0}, SmoConfig{}).ok());   // label not ±1
+    EXPECT_FALSE(TrainSmo(x, {1}, SmoConfig{}).ok());      // size mismatch
+    SmoConfig bad;
+    bad.c = -1.0;
+    EXPECT_FALSE(TrainSmo(x, {1, -1}, bad).ok());
+    EXPECT_FALSE(TrainSmo(FeatureMatrix(), {}, SmoConfig{}).ok());
+}
+
+TEST(SmoTest, RbfSolvesXor) {
+    // XOR is not linearly separable; RBF must nail it.
+    FeatureMatrix x(4, 2);
+    x.At(0, 0) = 0;
+    x.At(0, 1) = 0;
+    x.At(1, 0) = 1;
+    x.At(1, 1) = 1;
+    x.At(2, 0) = 0;
+    x.At(2, 1) = 1;
+    x.At(3, 0) = 1;
+    x.At(3, 1) = 0;
+    const std::vector<int> y = {-1, -1, 1, 1};
+    SmoConfig config;
+    config.c = 100.0;
+    config.kernel.type = KernelType::kRbf;
+    config.kernel.gamma = 2.0;
+    auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok());
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_GT(static_cast<double>(y[i]) * model->Decision(x.Row(i)), 0.0)
+            << "XOR corner " << i;
+    }
+}
+
+TEST(KernelTest, Values) {
+    const std::vector<double> a = {1.0, 2.0};
+    const std::vector<double> b = {3.0, -1.0};
+    KernelParams linear;
+    EXPECT_DOUBLE_EQ(KernelEval(linear, a, b), 1.0);
+    KernelParams rbf;
+    rbf.type = KernelType::kRbf;
+    rbf.gamma = 0.1;
+    EXPECT_NEAR(KernelEval(rbf, a, b), std::exp(-0.1 * (4.0 + 9.0)), 1e-12);
+    EXPECT_DOUBLE_EQ(KernelEval(rbf, a, a), 1.0);
+    KernelParams poly;
+    poly.type = KernelType::kPolynomial;
+    poly.gamma = 1.0;
+    poly.coef0 = 1.0;
+    poly.degree = 2;
+    EXPECT_DOUBLE_EQ(KernelEval(poly, a, b), 4.0);  // (1+1)^2
+}
+
+TEST(SvmClassifierTest, BinaryViaClassifierInterface) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(40, 0.4, 5, &x, &y, &yc);
+    SvmClassifier svm;
+    ASSERT_TRUE(svm.Train(x, yc, 2).ok());
+    EXPECT_GT(svm.Accuracy(x, yc), 0.97);
+}
+
+TEST(SvmClassifierTest, ThreeClassOneVsOne) {
+    Rng rng(6);
+    const std::size_t per = 30;
+    FeatureMatrix x(3 * per, 2);
+    std::vector<ClassLabel> y;
+    const double centers[3][2] = {{0, 0}, {4, 0}, {0, 4}};
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < per; ++i) {
+            const std::size_t r = c * per + i;
+            x.At(r, 0) = rng.Gaussian(centers[c][0], 0.5);
+            x.At(r, 1) = rng.Gaussian(centers[c][1], 0.5);
+            y.push_back(static_cast<ClassLabel>(c));
+        }
+    }
+    SvmClassifier svm;
+    ASSERT_TRUE(svm.Train(x, y, 3).ok());
+    EXPECT_GT(svm.Accuracy(x, y), 0.95);
+}
+
+TEST(SvmClassifierTest, MissingClassHandled) {
+    // Class 2 absent from training: pairwise machines degrade gracefully.
+    FeatureMatrix x(4, 1);
+    x.At(0, 0) = 0;
+    x.At(1, 0) = 0.1;
+    x.At(2, 0) = 5;
+    x.At(3, 0) = 5.1;
+    const std::vector<ClassLabel> y = {0, 0, 1, 1};
+    SvmClassifier svm;
+    ASSERT_TRUE(svm.Train(x, y, 3).ok());
+    EXPECT_EQ(svm.Predict(x.Row(0)), 0u);
+    EXPECT_EQ(svm.Predict(x.Row(2)), 1u);
+}
+
+TEST(GridSearchTest, PicksAConfigFromGrid) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeBlobs(30, 1.2, 7, &x, &y, &yc);
+    SvmGrid grid;
+    grid.c_values = {0.01, 1.0};
+    grid.folds = 3;
+    const SmoConfig best = GridSearchSvm(x, yc, 2, SmoConfig{}, grid);
+    EXPECT_TRUE(best.c == 0.01 || best.c == 1.0);
+}
+
+}  // namespace
+}  // namespace dfp
