@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_direct.dir/bench_ablation_direct.cpp.o"
+  "CMakeFiles/bench_ablation_direct.dir/bench_ablation_direct.cpp.o.d"
+  "bench_ablation_direct"
+  "bench_ablation_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relevance.dir/bench_ablation_relevance.cpp.o"
+  "CMakeFiles/bench_ablation_relevance.dir/bench_ablation_relevance.cpp.o.d"
+  "bench_ablation_relevance"
+  "bench_ablation_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

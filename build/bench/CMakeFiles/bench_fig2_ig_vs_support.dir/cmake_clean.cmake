@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ig_vs_support.dir/bench_fig2_ig_vs_support.cpp.o"
+  "CMakeFiles/bench_fig2_ig_vs_support.dir/bench_fig2_ig_vs_support.cpp.o.d"
+  "bench_fig2_ig_vs_support"
+  "bench_fig2_ig_vs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ig_vs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_svm.dir/bench_table1_svm.cpp.o"
+  "CMakeFiles/bench_table1_svm.dir/bench_table1_svm.cpp.o.d"
+  "bench_table1_svm"
+  "bench_table1_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_c45.dir/bench_table2_c45.cpp.o"
+  "CMakeFiles/bench_table2_c45.dir/bench_table2_c45.cpp.o.d"
+  "bench_table2_c45"
+  "bench_table2_c45.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_c45.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_chess.dir/bench_table3_chess.cpp.o"
+  "CMakeFiles/bench_table3_chess.dir/bench_table3_chess.cpp.o.d"
+  "bench_table3_chess"
+  "bench_table3_chess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_chess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

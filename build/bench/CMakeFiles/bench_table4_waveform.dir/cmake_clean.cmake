@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_waveform.dir/bench_table4_waveform.cpp.o"
+  "CMakeFiles/bench_table4_waveform.dir/bench_table4_waveform.cpp.o.d"
+  "bench_table4_waveform"
+  "bench_table4_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_letter.dir/bench_table5_letter.cpp.o"
+  "CMakeFiles/bench_table5_letter.dir/bench_table5_letter.cpp.o.d"
+  "bench_table5_letter"
+  "bench_table5_letter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_letter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_demo.dir/compound_demo.cpp.o"
+  "CMakeFiles/compound_demo.dir/compound_demo.cpp.o.d"
+  "compound_demo"
+  "compound_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

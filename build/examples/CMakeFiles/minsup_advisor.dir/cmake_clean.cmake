@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsup_advisor.dir/minsup_advisor.cpp.o"
+  "CMakeFiles/minsup_advisor.dir/minsup_advisor.cpp.o.d"
+  "minsup_advisor"
+  "minsup_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsup_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_explorer.dir/rule_explorer.cpp.o"
+  "CMakeFiles/rule_explorer.dir/rule_explorer.cpp.o.d"
+  "rule_explorer"
+  "rule_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

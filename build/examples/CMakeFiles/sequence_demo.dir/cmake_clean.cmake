@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_demo.dir/sequence_demo.cpp.o"
+  "CMakeFiles/sequence_demo.dir/sequence_demo.cpp.o.d"
+  "sequence_demo"
+  "sequence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

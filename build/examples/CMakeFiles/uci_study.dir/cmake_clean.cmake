@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uci_study.dir/uci_study.cpp.o"
+  "CMakeFiles/uci_study.dir/uci_study.cpp.o.d"
+  "uci_study"
+  "uci_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uci_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uci_study.
+# This may be replaced when dependencies are built.

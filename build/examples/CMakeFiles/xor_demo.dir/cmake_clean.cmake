@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_demo.dir/xor_demo.cpp.o"
+  "CMakeFiles/xor_demo.dir/xor_demo.cpp.o.d"
+  "xor_demo"
+  "xor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

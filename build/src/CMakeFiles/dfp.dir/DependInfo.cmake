@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitvector.cpp" "src/CMakeFiles/dfp.dir/common/bitvector.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/common/bitvector.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/dfp.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/dfp.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/dfp.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/cover_select.cpp" "src/CMakeFiles/dfp.dir/core/cover_select.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/cover_select.cpp.o.d"
+  "/root/repo/src/core/direct_miner.cpp" "src/CMakeFiles/dfp.dir/core/direct_miner.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/direct_miner.cpp.o.d"
+  "/root/repo/src/core/feature_space.cpp" "src/CMakeFiles/dfp.dir/core/feature_space.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/feature_space.cpp.o.d"
+  "/root/repo/src/core/graph_pipeline.cpp" "src/CMakeFiles/dfp.dir/core/graph_pipeline.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/graph_pipeline.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/CMakeFiles/dfp.dir/core/measures.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/measures.cpp.o.d"
+  "/root/repo/src/core/minsup_strategy.cpp" "src/CMakeFiles/dfp.dir/core/minsup_strategy.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/minsup_strategy.cpp.o.d"
+  "/root/repo/src/core/mmrfs.cpp" "src/CMakeFiles/dfp.dir/core/mmrfs.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/mmrfs.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/dfp.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/dfp.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "src/CMakeFiles/dfp.dir/core/redundancy.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/redundancy.cpp.o.d"
+  "/root/repo/src/core/sequence_pipeline.cpp" "src/CMakeFiles/dfp.dir/core/sequence_pipeline.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/core/sequence_pipeline.cpp.o.d"
+  "/root/repo/src/data/chimerge.cpp" "src/CMakeFiles/dfp.dir/data/chimerge.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/chimerge.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/dfp.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/dfp.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/discretizer.cpp" "src/CMakeFiles/dfp.dir/data/discretizer.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/discretizer.cpp.o.d"
+  "/root/repo/src/data/encoder.cpp" "src/CMakeFiles/dfp.dir/data/encoder.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/encoder.cpp.o.d"
+  "/root/repo/src/data/graph.cpp" "src/CMakeFiles/dfp.dir/data/graph.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/graph.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/dfp.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/transaction_db.cpp" "src/CMakeFiles/dfp.dir/data/transaction_db.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/data/transaction_db.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/dfp.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/scalability.cpp" "src/CMakeFiles/dfp.dir/exp/scalability.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/exp/scalability.cpp.o.d"
+  "/root/repo/src/exp/table_printer.cpp" "src/CMakeFiles/dfp.dir/exp/table_printer.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/exp/table_printer.cpp.o.d"
+  "/root/repo/src/fpm/apriori.cpp" "src/CMakeFiles/dfp.dir/fpm/apriori.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/apriori.cpp.o.d"
+  "/root/repo/src/fpm/closed_miner.cpp" "src/CMakeFiles/dfp.dir/fpm/closed_miner.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/closed_miner.cpp.o.d"
+  "/root/repo/src/fpm/eclat.cpp" "src/CMakeFiles/dfp.dir/fpm/eclat.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/eclat.cpp.o.d"
+  "/root/repo/src/fpm/fpgrowth.cpp" "src/CMakeFiles/dfp.dir/fpm/fpgrowth.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/fpgrowth.cpp.o.d"
+  "/root/repo/src/fpm/fptree.cpp" "src/CMakeFiles/dfp.dir/fpm/fptree.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/fptree.cpp.o.d"
+  "/root/repo/src/fpm/itemset.cpp" "src/CMakeFiles/dfp.dir/fpm/itemset.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/itemset.cpp.o.d"
+  "/root/repo/src/fpm/miner.cpp" "src/CMakeFiles/dfp.dir/fpm/miner.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/miner.cpp.o.d"
+  "/root/repo/src/fpm/pathminer.cpp" "src/CMakeFiles/dfp.dir/fpm/pathminer.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/pathminer.cpp.o.d"
+  "/root/repo/src/fpm/prefixspan.cpp" "src/CMakeFiles/dfp.dir/fpm/prefixspan.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/fpm/prefixspan.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/CMakeFiles/dfp.dir/ml/classifier.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/classifier.cpp.o.d"
+  "/root/repo/src/ml/dtree/c45.cpp" "src/CMakeFiles/dfp.dir/ml/dtree/c45.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/dtree/c45.cpp.o.d"
+  "/root/repo/src/ml/eval/cross_validation.cpp" "src/CMakeFiles/dfp.dir/ml/eval/cross_validation.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/eval/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/eval/feature_filter.cpp" "src/CMakeFiles/dfp.dir/ml/eval/feature_filter.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/eval/feature_filter.cpp.o.d"
+  "/root/repo/src/ml/eval/metrics.cpp" "src/CMakeFiles/dfp.dir/ml/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/eval/metrics.cpp.o.d"
+  "/root/repo/src/ml/eval/stats.cpp" "src/CMakeFiles/dfp.dir/ml/eval/stats.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/eval/stats.cpp.o.d"
+  "/root/repo/src/ml/feature_matrix.cpp" "src/CMakeFiles/dfp.dir/ml/feature_matrix.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/feature_matrix.cpp.o.d"
+  "/root/repo/src/ml/knn/knn.cpp" "src/CMakeFiles/dfp.dir/ml/knn/knn.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/knn/knn.cpp.o.d"
+  "/root/repo/src/ml/nb/naive_bayes.cpp" "src/CMakeFiles/dfp.dir/ml/nb/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/nb/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/rules/cba.cpp" "src/CMakeFiles/dfp.dir/ml/rules/cba.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/rules/cba.cpp.o.d"
+  "/root/repo/src/ml/rules/harmony.cpp" "src/CMakeFiles/dfp.dir/ml/rules/harmony.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/rules/harmony.cpp.o.d"
+  "/root/repo/src/ml/svm/kernel.cpp" "src/CMakeFiles/dfp.dir/ml/svm/kernel.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/svm/kernel.cpp.o.d"
+  "/root/repo/src/ml/svm/pegasos.cpp" "src/CMakeFiles/dfp.dir/ml/svm/pegasos.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/svm/pegasos.cpp.o.d"
+  "/root/repo/src/ml/svm/smo.cpp" "src/CMakeFiles/dfp.dir/ml/svm/smo.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/svm/smo.cpp.o.d"
+  "/root/repo/src/ml/svm/svm.cpp" "src/CMakeFiles/dfp.dir/ml/svm/svm.cpp.o" "gcc" "src/CMakeFiles/dfp.dir/ml/svm/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitvector_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/bitvector_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/bitvector_test.cpp.o.d"
+  "/root/repo/tests/common/math_util_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/math_util_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/math_util_test.cpp.o.d"
+  "/root/repo/tests/common/misc_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/misc_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/misc_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/string_util_test.cpp" "tests/CMakeFiles/dfp_common_tests.dir/common/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_common_tests.dir/common/string_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_common_tests.dir/common/bitvector_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/bitvector_test.cpp.o.d"
+  "CMakeFiles/dfp_common_tests.dir/common/math_util_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/math_util_test.cpp.o.d"
+  "CMakeFiles/dfp_common_tests.dir/common/misc_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/misc_test.cpp.o.d"
+  "CMakeFiles/dfp_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/dfp_common_tests.dir/common/status_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/dfp_common_tests.dir/common/string_util_test.cpp.o"
+  "CMakeFiles/dfp_common_tests.dir/common/string_util_test.cpp.o.d"
+  "dfp_common_tests"
+  "dfp_common_tests.pdb"
+  "dfp_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bounds_property_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/bounds_property_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/bounds_property_test.cpp.o.d"
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/direct_miner_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/direct_miner_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/direct_miner_test.cpp.o.d"
+  "/root/repo/tests/core/feature_space_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/feature_space_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/feature_space_test.cpp.o.d"
+  "/root/repo/tests/core/graph_pipeline_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/graph_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/graph_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/measures_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/measures_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/measures_test.cpp.o.d"
+  "/root/repo/tests/core/minsup_strategy_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/minsup_strategy_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/minsup_strategy_test.cpp.o.d"
+  "/root/repo/tests/core/mmrfs_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/mmrfs_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/mmrfs_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/redundancy_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/redundancy_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/redundancy_test.cpp.o.d"
+  "/root/repo/tests/core/sequence_pipeline_test.cpp" "tests/CMakeFiles/dfp_core_tests.dir/core/sequence_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_core_tests.dir/core/sequence_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_core_tests.dir/core/bounds_property_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/bounds_property_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/bounds_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/bounds_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/direct_miner_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/direct_miner_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/feature_space_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/feature_space_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/graph_pipeline_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/graph_pipeline_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/measures_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/measures_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/minsup_strategy_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/minsup_strategy_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/mmrfs_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/mmrfs_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/model_io_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/model_io_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/redundancy_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/redundancy_test.cpp.o.d"
+  "CMakeFiles/dfp_core_tests.dir/core/sequence_pipeline_test.cpp.o"
+  "CMakeFiles/dfp_core_tests.dir/core/sequence_pipeline_test.cpp.o.d"
+  "dfp_core_tests"
+  "dfp_core_tests.pdb"
+  "dfp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

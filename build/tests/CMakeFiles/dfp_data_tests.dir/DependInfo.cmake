@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/chimerge_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/chimerge_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/chimerge_test.cpp.o.d"
+  "/root/repo/tests/data/csv_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/csv_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/csv_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/discretizer_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/discretizer_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/discretizer_test.cpp.o.d"
+  "/root/repo/tests/data/encoder_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/encoder_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/synthetic_test.cpp.o.d"
+  "/root/repo/tests/data/transaction_db_test.cpp" "tests/CMakeFiles/dfp_data_tests.dir/data/transaction_db_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_data_tests.dir/data/transaction_db_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

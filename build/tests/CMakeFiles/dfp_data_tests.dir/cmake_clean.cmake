@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_data_tests.dir/data/chimerge_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/chimerge_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/csv_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/csv_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/discretizer_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/discretizer_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/encoder_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/encoder_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/synthetic_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/synthetic_test.cpp.o.d"
+  "CMakeFiles/dfp_data_tests.dir/data/transaction_db_test.cpp.o"
+  "CMakeFiles/dfp_data_tests.dir/data/transaction_db_test.cpp.o.d"
+  "dfp_data_tests"
+  "dfp_data_tests.pdb"
+  "dfp_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_exp_tests.dir/exp/experiment_test.cpp.o"
+  "CMakeFiles/dfp_exp_tests.dir/exp/experiment_test.cpp.o.d"
+  "dfp_exp_tests"
+  "dfp_exp_tests.pdb"
+  "dfp_exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fpm/fptree_test.cpp" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/fptree_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/fptree_test.cpp.o.d"
+  "/root/repo/tests/fpm/miners_property_test.cpp" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/miners_property_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/miners_property_test.cpp.o.d"
+  "/root/repo/tests/fpm/miners_test.cpp" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/miners_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/miners_test.cpp.o.d"
+  "/root/repo/tests/fpm/pathminer_test.cpp" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/pathminer_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/pathminer_test.cpp.o.d"
+  "/root/repo/tests/fpm/prefixspan_test.cpp" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/prefixspan_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_fpm_tests.dir/fpm/prefixspan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/fptree_test.cpp.o"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/fptree_test.cpp.o.d"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/miners_property_test.cpp.o"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/miners_property_test.cpp.o.d"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/miners_test.cpp.o"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/miners_test.cpp.o.d"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/pathminer_test.cpp.o"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/pathminer_test.cpp.o.d"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/prefixspan_test.cpp.o"
+  "CMakeFiles/dfp_fpm_tests.dir/fpm/prefixspan_test.cpp.o.d"
+  "dfp_fpm_tests"
+  "dfp_fpm_tests.pdb"
+  "dfp_fpm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_fpm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_integration_tests.dir/integration/csv_pipeline_test.cpp.o"
+  "CMakeFiles/dfp_integration_tests.dir/integration/csv_pipeline_test.cpp.o.d"
+  "CMakeFiles/dfp_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/dfp_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/dfp_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/dfp_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "dfp_integration_tests"
+  "dfp_integration_tests.pdb"
+  "dfp_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

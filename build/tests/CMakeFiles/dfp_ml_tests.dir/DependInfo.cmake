@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/c45_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/c45_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/c45_test.cpp.o.d"
+  "/root/repo/tests/ml/cba_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/cba_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/cba_test.cpp.o.d"
+  "/root/repo/tests/ml/eval_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/eval_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/eval_test.cpp.o.d"
+  "/root/repo/tests/ml/harmony_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/harmony_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/harmony_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/naive_bayes_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/naive_bayes_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/naive_bayes_test.cpp.o.d"
+  "/root/repo/tests/ml/pegasos_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/pegasos_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/pegasos_test.cpp.o.d"
+  "/root/repo/tests/ml/stats_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/stats_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/stats_test.cpp.o.d"
+  "/root/repo/tests/ml/svm_test.cpp" "tests/CMakeFiles/dfp_ml_tests.dir/ml/svm_test.cpp.o" "gcc" "tests/CMakeFiles/dfp_ml_tests.dir/ml/svm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

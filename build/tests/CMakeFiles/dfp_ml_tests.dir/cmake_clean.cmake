@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_ml_tests.dir/ml/c45_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/c45_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/cba_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/cba_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/eval_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/eval_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/harmony_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/harmony_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/knn_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/knn_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/naive_bayes_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/naive_bayes_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/pegasos_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/pegasos_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/stats_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/stats_test.cpp.o.d"
+  "CMakeFiles/dfp_ml_tests.dir/ml/svm_test.cpp.o"
+  "CMakeFiles/dfp_ml_tests.dir/ml/svm_test.cpp.o.d"
+  "dfp_ml_tests"
+  "dfp_ml_tests.pdb"
+  "dfp_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

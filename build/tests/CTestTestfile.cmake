@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dfp_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_fpm_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_exp_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfp_integration_tests[1]_include.cmake")
