@@ -11,11 +11,13 @@ using namespace dfp;
 
 int main(int, char**) {
     std::puts("Table 3: accuracy & time on Chess data\n");
+    bench::BeginBenchObservability();
     const auto db = PrepareTransactions(ChessSpec());
     ScalabilityConfig config;
     config.min_sups = {2000, 2200, 2500, 2800, 3000};
     config.coverage_delta = 3;
     const auto rows = RunScalability(db, config);
     PrintScalability("chess", db, rows);
+    bench::WriteBenchReport("table3_chess");
     return 0;
 }

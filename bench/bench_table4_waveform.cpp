@@ -11,6 +11,7 @@ using namespace dfp;
 
 int main(int, char**) {
     std::puts("Table 4: accuracy & time on Waveform data\n");
+    bench::BeginBenchObservability();
     const auto db = PrepareTransactions(WaveformSpec());
     ScalabilityConfig config;
     config.min_sups = {80, 100, 150, 200};
@@ -18,5 +19,6 @@ int main(int, char**) {
     config.coverage_delta = 3;
     const auto rows = RunScalability(db, config);
     PrintScalability("waveform", db, rows);
+    bench::WriteBenchReport("table4_waveform");
     return 0;
 }

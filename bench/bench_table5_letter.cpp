@@ -14,6 +14,7 @@ using namespace dfp;
 
 int main(int, char**) {
     std::puts("Table 5: accuracy & time on Letter Recognition data\n");
+    bench::BeginBenchObservability();
     const auto db = PrepareTransactions(LetterSpec());
     ScalabilityConfig config;
     config.min_sups = {3000, 3500, 4000, 4500};
@@ -22,5 +23,6 @@ int main(int, char**) {
     config.max_features = 600;
     const auto rows = RunScalability(db, config);
     PrintScalability("letter", db, rows);
+    bench::WriteBenchReport("table5_letter");
     return 0;
 }

@@ -8,8 +8,35 @@
 #include "common/string_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/table_printer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace dfp::bench {
+
+/// Turns on span collection and clears any metrics left over from process
+/// start, so the BENCH_*.json written at exit covers exactly this run.
+inline void BeginBenchObservability() {
+    dfp::obs::Registry::Get().ResetValues();
+    dfp::obs::Tracer::Get().Clear();
+    dfp::obs::EnableTracing(true);
+}
+
+/// Serializes the run's metrics + span trees to BENCH_<name>.json in the
+/// working directory; these files are the machine-tracked perf trajectory
+/// (git-ignored — the numbers live in EXPERIMENTS.md / CI artifacts).
+inline void WriteBenchReport(const std::string& name) {
+    const dfp::obs::RunReport report = dfp::obs::CollectRunReport(name);
+    const std::string path = "BENCH_" + name + ".json";
+    const Status st = dfp::obs::WriteReportJsonFile(report, path);
+    if (st.ok()) {
+        std::printf("\n[bench] wrote %s (%zu counters, %zu gauges, %zu spans)\n",
+                    path.c_str(), report.metrics.counters.size(),
+                    report.metrics.gauges.size(), report.spans.size());
+    } else {
+        std::fprintf(stderr, "[bench] report failed: %s\n",
+                     st.ToString().c_str());
+    }
+}
 
 /// The three datasets used in Figures 1–3 of the paper, with a per-dataset
 /// mining threshold (sonar's 60 attributes need a higher floor to keep the

@@ -6,15 +6,35 @@
 //   4. predict.
 //
 // Build & run:  ./build/examples/quickstart
+// With a machine-readable run report (metrics + nested phase timings):
+//               ./build/examples/quickstart --report out.json
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "data/encoder.hpp"
 #include "data/synthetic.hpp"
 #include "ml/svm/svm.hpp"
+#include "obs/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dfp;
+
+    // Optional: --report <path> (or --report=<path>) dumps a JSON run report.
+    std::string report_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--report") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --report requires a path\n");
+                return 2;
+            }
+            report_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+            report_path = argv[i] + 9;
+        }
+    }
+    if (!report_path.empty()) obs::EnableTracing(true);
 
     // 1. A dataset with hidden multi-attribute structure, split 80/20.
     SyntheticSpec spec;
@@ -60,5 +80,18 @@ int main() {
     const auto& example = test.transaction(0);
     std::printf("first test row   -> predicted class %u (true %u)\n",
                 pipeline.Predict(example), test.label(0));
+
+    // 5. Optional run report: every dfp.* metric plus the nested span tree
+    //    (train → mine[per-class] → pool_dedup → mmrfs → transform → learn).
+    if (!report_path.empty()) {
+        const obs::RunReport report = obs::CollectRunReport("quickstart");
+        const Status wst = obs::WriteReportJsonFile(report, report_path);
+        if (!wst.ok()) {
+            std::fprintf(stderr, "report failed: %s\n", wst.ToString().c_str());
+            return 1;
+        }
+        std::printf("run report       : wrote %s (%zu metrics)\n",
+                    report_path.c_str(), report.metrics.TotalMetrics());
+    }
     return 0;
 }

@@ -1,11 +1,23 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/string_util.hpp"
 
 namespace dfp {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+
+// The sink is guarded by a mutex: replacement and invocation are serialized,
+// so concurrent LogMessage calls cannot interleave writes or race a swap.
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
 
 const char* LevelName(LogLevel level) {
     switch (level) {
@@ -17,14 +29,73 @@ const char* LevelName(LogLevel level) {
     }
     return "?";
 }
+
+// DFP_LOG_LEVEL is read once, lazily, before the first level access; an
+// explicit SetLogLevel afterwards wins.
+void EnsureEnvInit() {
+    std::call_once(g_env_once, [] {
+        const char* env = std::getenv("DFP_LOG_LEVEL");
+        LogLevel level;
+        if (env != nullptr && ParseLogLevel(env, &level)) {
+            g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+        }
+    });
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : Trim(text)) {
+        lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                             : c);
+    }
+    if (lower == "debug") {
+        *out = LogLevel::kDebug;
+    } else if (lower == "info") {
+        *out = LogLevel::kInfo;
+    } else if (lower == "warn" || lower == "warning") {
+        *out = LogLevel::kWarn;
+    } else if (lower == "error") {
+        *out = LogLevel::kError;
+    } else if (lower == "off" || lower == "none") {
+        *out = LogLevel::kOff;
+    } else {
+        long v = 0;
+        if (!ParseInt(lower, &v) || v < 0 ||
+            v > static_cast<long>(LogLevel::kOff)) {
+            return false;
+        }
+        *out = static_cast<LogLevel>(v);
+    }
+    return true;
+}
+
+void SetLogLevel(LogLevel level) {
+    EnsureEnvInit();  // consume the env var so it cannot clobber this later
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+    EnsureEnvInit();
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    g_sink = std::move(sink);
+}
 
 void LogMessage(LogLevel level, const std::string& msg) {
-    if (level < g_level || g_level == LogLevel::kOff) return;
-    std::fprintf(stderr, "[dfp %s] %s\n", LevelName(level), msg.c_str());
+    const LogLevel threshold = GetLogLevel();
+    if (level < threshold || threshold == LogLevel::kOff) return;
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink) {
+        g_sink(level, msg);
+    } else {
+        std::fprintf(stderr, "[dfp %s] %s\n", LevelName(level), msg.c_str());
+    }
 }
 
 }  // namespace dfp

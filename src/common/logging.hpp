@@ -1,11 +1,15 @@
 // Minimal leveled logging for the experiment harness.
 //
-// The library itself stays silent by default (level = kWarn); benches and
-// examples raise the level for progress reporting. Not thread-safe by design —
-// the library is single-threaded per pipeline.
+// The library stays silent by default (level = kWarn); benches and examples
+// raise the level for progress reporting. Thread-safe: the level is an atomic
+// and sink invocation is serialized by a mutex. The initial level honors the
+// DFP_LOG_LEVEL environment variable ("debug", "info", "warn", "error",
+// "off"); an explicit SetLogLevel call overrides it.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace dfp {
 
@@ -15,7 +19,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits `msg` to stderr if `level` >= the global level.
+/// Parses a level name ("debug"/"info"/"warn"/"error"/"off", case-insensitive,
+/// or the numeric value). Returns false (leaving *out untouched) on garbage.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Receives every emitted message (after level filtering).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink; nullptr restores the default stderr sink.
+/// Tests use this to capture log output.
+void SetLogSink(LogSink sink);
+
+/// Emits `msg` through the sink if `level` >= the global level.
 void LogMessage(LogLevel level, const std::string& msg);
 
 }  // namespace dfp

@@ -1,4 +1,9 @@
-// Wall-clock stopwatch for the experiment harness and benchmarks.
+// Wall-clock stopwatch for the benches' *outer* measurement loops.
+//
+// Library code (pipeline phases, miners, selection, learning) should time
+// itself with obs::Span instead, which feeds the same number into the trace
+// tree and run reports; reach for a bare Stopwatch only where a timing tree
+// makes no sense (e.g. wrapping a whole bench sweep).
 #pragma once
 
 #include <chrono>

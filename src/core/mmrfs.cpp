@@ -4,8 +4,36 @@
 #include <cassert>
 
 #include "core/redundancy.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
+
+namespace {
+
+// Flushes one selection run's tallies to the registry: how many greedy rounds
+// ran, the accept/discard split, the gain distribution of accepted features
+// and how many instances were still under δ coverage at the stop.
+void FlushMmrfsMetrics(std::size_t iterations, std::size_t accepted,
+                       std::size_t discarded, const std::vector<double>& gains,
+                       std::size_t under_covered, std::size_t pool_size) {
+    auto& registry = obs::Registry::Get();
+    static auto& iter_c = registry.GetCounter("dfp.core.mmrfs.iterations");
+    static auto& accept_c = registry.GetCounter("dfp.core.mmrfs.accepted");
+    static auto& discard_c = registry.GetCounter("dfp.core.mmrfs.discarded");
+    static auto& gain_h = registry.GetHistogram(
+        "dfp.core.mmrfs.gain",
+        {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
+    iter_c.Inc(iterations);
+    accept_c.Inc(accepted);
+    discard_c.Inc(discarded);
+    for (double g : gains) gain_h.Observe(g);
+    registry.GetGauge("dfp.core.mmrfs.under_covered_final")
+        .Set(static_cast<double>(under_covered));
+    registry.GetGauge("dfp.core.mmrfs.pool_size")
+        .Set(static_cast<double>(pool_size));
+}
+
+}  // namespace
 
 MmrfsResult RunMmrfs(const TransactionDatabase& db,
                      const std::vector<Pattern>& candidates,
@@ -48,7 +76,9 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
         return hit;
     };
 
+    std::size_t iterations = 0;
     while (under_covered > 0 && result.selected.size() < config.max_features) {
+        ++iterations;
         // Candidate with maximum marginal gain among the remaining pool.
         std::size_t best = candidates.size();
         double best_gain = -std::numeric_limits<double>::infinity();
@@ -82,6 +112,9 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
             max_red[i] = std::max(max_red[i], r);
         }
     }
+    FlushMmrfsMetrics(iterations, result.selected.size(),
+                      iterations - result.selected.size(), result.gains,
+                      under_covered, candidates.size());
     return result;
 }
 

@@ -2,10 +2,14 @@
 
 #include <unordered_set>
 
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
 #include "fpm/apriori.hpp"
 #include "fpm/closed_miner.hpp"
 #include "fpm/eclat.hpp"
 #include "fpm/fpgrowth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dfp {
 
@@ -33,6 +37,23 @@ struct ItemsetHash {
     }
 };
 
+// Mirrors a finished run's stats into the registry (the struct stays the
+// caller-facing façade; the registry carries the same numbers into reports).
+void PublishPipelineStats(const PipelineStats& stats) {
+    auto& registry = obs::Registry::Get();
+    registry.GetGauge("dfp.core.pipeline.num_candidates")
+        .Set(static_cast<double>(stats.num_candidates));
+    registry.GetGauge("dfp.core.pipeline.num_selected")
+        .Set(static_cast<double>(stats.num_selected));
+    registry.GetGauge("dfp.core.pipeline.mine_seconds").Set(stats.mine_seconds);
+    registry.GetGauge("dfp.core.pipeline.select_seconds")
+        .Set(stats.select_seconds);
+    registry.GetGauge("dfp.core.pipeline.transform_seconds")
+        .Set(stats.transform_seconds);
+    registry.GetGauge("dfp.core.pipeline.learn_seconds").Set(stats.learn_seconds);
+    registry.GetCounter("dfp.core.pipeline.train_runs").Inc();
+}
+
 }  // namespace
 
 Result<std::vector<Pattern>> PatternClassifierPipeline::MineCandidates(
@@ -43,30 +64,39 @@ Result<std::vector<Pattern>> PatternClassifierPipeline::MineCandidates(
     // pattern candidates would only duplicate coordinates.
     mine_config.include_singletons = false;
 
-    std::vector<Pattern> pooled;
-    std::unordered_set<Itemset, ItemsetHash> seen;
-    auto pool = [&pooled, &seen](std::vector<Pattern>&& mined) {
-        for (Pattern& p : mined) {
-            if (seen.insert(p.items).second) pooled.push_back(std::move(p));
-        }
-    };
-
+    std::vector<std::vector<Pattern>> partitions;
     if (config_.per_class_mining) {
         for (ClassLabel c = 0; c < train.num_classes(); ++c) {
             TransactionDatabase partition = train.FilterByClass(c);
             if (partition.num_transactions() == 0) continue;
+            obs::Span span(
+                StrFormat("mine.class_%u", static_cast<unsigned>(c)));
             auto mined = miner->Mine(partition, mine_config);
             if (!mined.ok()) return mined.status();
-            pool(std::move(mined).value());
+            span.Annotate("patterns", static_cast<double>(mined->size()));
+            partitions.push_back(std::move(mined).value());
         }
     } else {
+        obs::Span span("mine.all");
         auto mined = miner->Mine(train, mine_config);
         if (!mined.ok()) return mined.status();
-        pool(std::move(mined).value());
+        span.Annotate("patterns", static_cast<double>(mined->size()));
+        partitions.push_back(std::move(mined).value());
     }
-    // Metadata (cover, per-class counts, support) is re-anchored on the full
-    // training database regardless of which partition produced the pattern.
+
+    // Pool the per-class results, dropping itemsets already seen in an earlier
+    // partition, then re-anchor metadata (cover, per-class counts, support) on
+    // the full training database.
+    obs::Span pool_span("pool_dedup");
+    std::vector<Pattern> pooled;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    for (auto& mined : partitions) {
+        for (Pattern& p : mined) {
+            if (seen.insert(p.items).second) pooled.push_back(std::move(p));
+        }
+    }
     AttachMetadata(train, &pooled);
+    pool_span.Annotate("pooled", static_cast<double>(pooled.size()));
     return pooled;
 }
 
@@ -78,34 +108,55 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     if (train.num_transactions() == 0) {
         return Status::InvalidArgument("empty training database");
     }
-    Stopwatch watch;
-    auto mined = MineCandidates(train);
-    if (!mined.ok()) return mined.status();
-    candidates_ = std::move(mined).value();
-    stats_.mine_seconds = watch.ElapsedSeconds();
+    obs::Span train_span("train");
+
+    {
+        obs::Span mine_span("mine");
+        auto mined = MineCandidates(train);
+        if (!mined.ok()) return mined.status();
+        candidates_ = std::move(mined).value();
+        mine_span.Annotate("candidates", static_cast<double>(candidates_.size()));
+        stats_.mine_seconds = mine_span.ElapsedSeconds();
+    }
     stats_.num_candidates = candidates_.size();
 
-    watch.Reset();
     std::vector<Pattern> features;
-    if (config_.feature_selection) {
-        features = SelectPatterns(train, candidates_, config_.mmrfs);
-    } else {
-        features = candidates_;
+    {
+        obs::Span select_span("mmrfs");
+        if (config_.feature_selection) {
+            features = SelectPatterns(train, candidates_, config_.mmrfs);
+        } else {
+            features = candidates_;
+        }
+        select_span.Annotate("selected", static_cast<double>(features.size()));
+        stats_.select_seconds = select_span.ElapsedSeconds();
     }
-    stats_.select_seconds = watch.ElapsedSeconds();
     stats_.num_selected = features.size();
 
-    watch.Reset();
-    const std::size_t items = config_.include_single_items ? train.num_items() : 0;
-    feature_space_ = FeatureSpace::Build(items, std::move(features));
-    const FeatureMatrix x = feature_space_.Transform(train);
-    stats_.transform_seconds = watch.ElapsedSeconds();
+    FeatureMatrix x;
+    {
+        obs::Span transform_span("transform");
+        const std::size_t items =
+            config_.include_single_items ? train.num_items() : 0;
+        feature_space_ = FeatureSpace::Build(items, std::move(features));
+        x = feature_space_.Transform(train);
+        transform_span.Annotate("dim", static_cast<double>(feature_space_.dim()));
+        stats_.transform_seconds = transform_span.ElapsedSeconds();
+    }
 
-    watch.Reset();
-    num_classes_ = train.num_classes();
-    DFP_RETURN_NOT_OK(learner->Train(x, train.labels(), num_classes_));
-    stats_.learn_seconds = watch.ElapsedSeconds();
+    {
+        obs::Span learn_span("learn");
+        num_classes_ = train.num_classes();
+        DFP_RETURN_NOT_OK(learner->Train(x, train.labels(), num_classes_));
+        stats_.learn_seconds = learn_span.ElapsedSeconds();
+    }
     learner_ = std::move(learner);
+    PublishPipelineStats(stats_);
+    DFP_LOG_DEBUG(StrFormat(
+        "pipeline: mined %zu candidates (%.3fs), selected %zu (%.3fs), "
+        "dim %zu, learned in %.3fs",
+        stats_.num_candidates, stats_.mine_seconds, stats_.num_selected,
+        stats_.select_seconds, feature_space_.dim(), stats_.learn_seconds));
     return Status::Ok();
 }
 

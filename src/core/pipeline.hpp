@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "common/status.hpp"
-#include "common/stopwatch.hpp"
 #include "core/feature_space.hpp"
 #include "core/mmrfs.hpp"
 #include "data/transaction_db.hpp"
@@ -35,6 +34,13 @@ struct PipelineConfig {
 };
 
 /// Timing and size diagnostics of one training run.
+///
+/// Thin façade over the observability registry: `Train` fills these fields
+/// from its `obs::Span` phase timings and mirrors them into
+/// `dfp.core.pipeline.*` gauges, so run reports (obs/report.hpp) and this
+/// struct always agree. Enable `obs::EnableTracing(true)` before `Train` to
+/// additionally capture the nested span tree
+/// (train → mine[per-class] → pool_dedup → mmrfs → transform → learn).
 struct PipelineStats {
     std::size_t num_candidates = 0;  ///< |F| after per-class pooling + dedup
     std::size_t num_selected = 0;    ///< |Fs|

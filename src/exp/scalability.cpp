@@ -14,6 +14,7 @@
 #include "ml/dtree/c45.hpp"
 #include "ml/eval/cross_validation.hpp"
 #include "ml/svm/pegasos.hpp"
+#include "obs/trace.hpp"
 
 namespace dfp {
 
@@ -78,47 +79,67 @@ std::vector<ScalabilityRow> RunScalability(const TransactionDatabase& db,
     for (std::size_t min_sup : config.min_sups) {
         ScalabilityRow row;
         row.min_sup = min_sup;
-        Stopwatch watch;
+        obs::Span row_span(StrFormat("scalability.min_sup_%zu", min_sup));
+        double mine_seconds = 0.0;
 
         // 1. Closed-pattern mining over the full database (paper's #Patterns).
-        MinerConfig mc;
-        mc.min_sup_abs = min_sup;
-        mc.max_pattern_len = config.max_pattern_len;
-        mc.max_patterns = config.pattern_budget;
-        mc.include_singletons = false;
-        auto mined = ClosedMiner().Mine(db, mc);
-        if (!mined.ok()) {
-            row.note = mined.status().ToString();
-            rows.push_back(std::move(row));
-            continue;
+        std::vector<Pattern> patterns;
+        {
+            obs::Span mine_span("mine");
+            MinerConfig mc;
+            mc.min_sup_abs = min_sup;
+            mc.max_pattern_len = config.max_pattern_len;
+            mc.max_patterns = config.pattern_budget;
+            mc.include_singletons = false;
+            auto mined = ClosedMiner().Mine(db, mc);
+            if (!mined.ok()) {
+                row.note = mined.status().ToString();
+                rows.push_back(std::move(row));
+                continue;
+            }
+            patterns = std::move(*mined);
+            AttachMetadata(db, &patterns);
+            mine_span.Annotate("patterns", static_cast<double>(patterns.size()));
+            mine_seconds = mine_span.ElapsedSeconds();
         }
-        std::vector<Pattern> patterns = std::move(*mined);
-        AttachMetadata(db, &patterns);
         row.patterns = patterns.size();
 
         // 2. MMRFS feature selection (time column = mining + selection).
-        MmrfsConfig fs;
-        fs.coverage_delta = config.coverage_delta;
-        fs.max_features = config.max_features;
-        const auto selection = RunMmrfs(db, patterns, fs);
-        row.time_seconds = watch.ElapsedSeconds();
+        MmrfsResult selection;
+        {
+            obs::Span select_span("select");
+            MmrfsConfig fs;
+            fs.coverage_delta = config.coverage_delta;
+            fs.max_features = config.max_features;
+            selection = RunMmrfs(db, patterns, fs);
+            select_span.Annotate("selected",
+                                 static_cast<double>(selection.selected.size()));
+            row.time_seconds = mine_seconds + select_span.ElapsedSeconds();
+        }
         row.selected = selection.selected.size();
 
         // 3. Accuracy on the held-out 20%: re-anchor the selected patterns on
         // the training split and train both learners on I ∪ Fs.
-        std::vector<Pattern> selected;
-        selected.reserve(selection.selected.size());
-        for (std::size_t idx : selection.selected) selected.push_back(patterns[idx]);
-        const FeatureSpace space =
-            FeatureSpace::Build(db.num_items(), std::move(selected));
-        const FeatureMatrix train_x = space.Transform(train);
+        {
+            obs::Span eval_span("evaluate");
+            std::vector<Pattern> selected;
+            selected.reserve(selection.selected.size());
+            for (std::size_t idx : selection.selected) {
+                selected.push_back(patterns[idx]);
+            }
+            const FeatureSpace space =
+                FeatureSpace::Build(db.num_items(), std::move(selected));
+            const FeatureMatrix train_x = space.Transform(train);
 
-        PegasosClassifier svm;
-        row.svm_accuracy = EvaluateLearner(&svm, space, train_x, train.labels(),
-                                           db, test_rows, db.num_classes());
-        C45Classifier c45;
-        row.c45_accuracy = EvaluateLearner(&c45, space, train_x, train.labels(),
-                                           db, test_rows, db.num_classes());
+            PegasosClassifier svm;
+            row.svm_accuracy = EvaluateLearner(&svm, space, train_x,
+                                               train.labels(), db, test_rows,
+                                               db.num_classes());
+            C45Classifier c45;
+            row.c45_accuracy = EvaluateLearner(&c45, space, train_x,
+                                               train.labels(), db, test_rows,
+                                               db.num_classes());
+        }
         row.feasible = true;
         rows.push_back(std::move(row));
     }

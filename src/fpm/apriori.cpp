@@ -3,10 +3,37 @@
 #include <algorithm>
 
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
 
 namespace {
+
+// Instrumentation tallies, flushed to the registry once per Mine().
+struct AprioriTallies {
+    std::size_t levels = 0;
+    std::size_t candidates_generated = 0;  // joins surviving the subset check
+    std::size_t subset_checks = 0;
+};
+
+void FlushAprioriMetrics(const AprioriTallies& tallies, std::size_t emitted,
+                         bool budget_abort) {
+    static auto& levels =
+        obs::Registry::Get().GetCounter("dfp.fpm.apriori.levels");
+    static auto& candidates =
+        obs::Registry::Get().GetCounter("dfp.fpm.apriori.candidates_generated");
+    static auto& checks =
+        obs::Registry::Get().GetCounter("dfp.fpm.apriori.subset_checks");
+    static auto& patterns =
+        obs::Registry::Get().GetCounter("dfp.fpm.apriori.patterns_emitted");
+    static auto& aborts =
+        obs::Registry::Get().GetCounter("dfp.fpm.apriori.budget_aborts");
+    levels.Inc(tallies.levels);
+    candidates.Inc(tallies.candidates_generated);
+    checks.Inc(tallies.subset_checks);
+    patterns.Inc(emitted);
+    if (budget_abort) aborts.Inc();
+}
 
 // Candidate itemset with the cover of its (k-1)-prefix parent, so support
 // counting is one AND away.
@@ -38,6 +65,7 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
                                                 const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
     std::vector<Pattern> out;
+    AprioriTallies tallies;
 
     // L1.
     Level current;
@@ -51,8 +79,10 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
 
     std::size_t level = 1;
     while (!current.itemsets.empty() && level <= config.max_pattern_len) {
+        ++tallies.levels;
         for (std::size_t i = 0; i < current.itemsets.size(); ++i) {
             if (out.size() >= config.max_patterns) {
+                FlushAprioriMetrics(tallies, out.size(), /*budget_abort=*/true);
                 return Status::ResourceExhausted(StrFormat(
                     "apriori exceeded pattern budget (%zu) at min_sup=%zu",
                     config.max_patterns, min_sup));
@@ -82,7 +112,9 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
                 if (cand[cand.size() - 2] > cand.back()) {
                     std::swap(cand[cand.size() - 2], cand[cand.size() - 1]);
                 }
+                ++tallies.subset_checks;
                 if (!AllSubsetsFrequent(cand, prev_sorted)) continue;
+                ++tallies.candidates_generated;
                 BitVector cover = current.covers[a];
                 cover &= db.ItemCover(cand.back());
                 const std::size_t s = cover.Count();
@@ -96,6 +128,7 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
         ++level;
     }
     FilterPatterns(config, &out);
+    FlushAprioriMetrics(tallies, out.size(), /*budget_abort=*/false);
     return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fpgrowth.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
 
@@ -16,7 +18,26 @@ struct ClosedContext {
     std::size_t budget;
     std::vector<char> in_closed;  // membership of the current closed set
     std::vector<Pattern>* out;
+    // Instrumentation tallies, flushed to the registry once per Mine().
+    std::size_t nodes_expanded = 0;   // prefix extensions whose support we took
+    std::size_t closure_checks = 0;   // closure/subsumption scans
 };
+
+void FlushClosedMetrics(const ClosedContext& ctx, std::size_t emitted,
+                        bool budget_abort) {
+    static auto& nodes =
+        obs::Registry::Get().GetCounter("dfp.fpm.closed.nodes_expanded");
+    static auto& closures =
+        obs::Registry::Get().GetCounter("dfp.fpm.closed.closure_checks");
+    static auto& patterns =
+        obs::Registry::Get().GetCounter("dfp.fpm.closed.patterns_emitted");
+    static auto& aborts =
+        obs::Registry::Get().GetCounter("dfp.fpm.closed.budget_aborts");
+    nodes.Inc(ctx.nodes_expanded);
+    closures.Inc(ctx.closure_checks);
+    patterns.Inc(emitted);
+    if (budget_abort) aborts.Inc();
+}
 
 // Prefix-preserving closure extension DFS (LCM). `closed` is the current
 // closed itemset (sorted), `tidset` its cover, `core` the extension item that
@@ -29,10 +50,12 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         BitVector extended = tidset;
         extended &= ctx.db->ItemCover(i);
         const std::size_t support = extended.Count();
+        ++ctx.nodes_expanded;
         if (support < ctx.min_sup) continue;
 
         // Closure: every frequent item whose cover contains the new tidset.
         // Prefix-preservation: no item < i may newly enter the closure.
+        ++ctx.closure_checks;
         Itemset closure;
         bool prefix_ok = true;
         for (ItemId j : ctx.frequent) {
@@ -113,7 +136,9 @@ Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
         if (ctx.in_closed[i]) continue;
         BitVector tidset = db.ItemCover(i);
         const std::size_t support = tidset.Count();
+        ++ctx.nodes_expanded;
         if (support < min_sup) continue;
+        ++ctx.closure_checks;
         Itemset closure;
         bool prefix_ok = true;
         for (ItemId j : ctx.frequent) {
@@ -146,11 +171,16 @@ Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
         for (ItemId j : root_closed) ctx.in_closed[j] = 1;
     }
     if (!ok) {
+        FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/true);
+        DFP_LOG_WARN(StrFormat(
+            "closed miner aborted at %zu patterns (budget %zu, min_sup=%zu)",
+            out.size(), config.max_patterns, min_sup));
         return Status::ResourceExhausted(
             StrFormat("closed miner exceeded pattern budget (%zu) at min_sup=%zu",
                       config.max_patterns, min_sup));
     }
     FilterPatterns(config, &out);
+    FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/false);
     return out;
 }
 

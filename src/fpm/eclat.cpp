@@ -1,6 +1,7 @@
 #include "fpm/eclat.hpp"
 
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
 
@@ -12,7 +13,22 @@ struct EclatContext {
     std::size_t max_len;
     std::size_t budget;
     std::vector<Pattern>* out;
+    // Instrumentation tally, flushed to the registry once per Mine().
+    std::size_t intersections = 0;  // tidset ANDs computed (= nodes expanded)
 };
+
+void FlushEclatMetrics(const EclatContext& ctx, std::size_t emitted,
+                       bool budget_abort) {
+    static auto& nodes =
+        obs::Registry::Get().GetCounter("dfp.fpm.eclat.nodes_expanded");
+    static auto& patterns =
+        obs::Registry::Get().GetCounter("dfp.fpm.eclat.patterns_emitted");
+    static auto& aborts =
+        obs::Registry::Get().GetCounter("dfp.fpm.eclat.budget_aborts");
+    nodes.Inc(ctx.intersections);
+    patterns.Inc(emitted);
+    if (budget_abort) aborts.Inc();
+}
 
 // Extends `prefix` (whose cover is `cover`) with every item > last item.
 // Returns false when the budget is exhausted.
@@ -23,6 +39,7 @@ bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
         BitVector extended = cover;
         extended &= ctx.db->ItemCover(i);
         const std::size_t support = extended.Count();
+        ++ctx.intersections;
         if (support < ctx.min_sup) continue;
         if (ctx.out->size() >= ctx.budget) return false;
 
@@ -62,11 +79,13 @@ Result<std::vector<Pattern>> EclatMiner::Mine(const TransactionDatabase& db,
     all.Fill();
     Itemset prefix;
     if (!EclatDfs(ctx, prefix, all, frequent)) {
+        FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/true);
         return Status::ResourceExhausted(
             StrFormat("eclat exceeded pattern budget (%zu) at min_sup=%zu",
                       config.max_patterns, min_sup));
     }
     FilterPatterns(config, &out);
+    FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/false);
     return out;
 }
 

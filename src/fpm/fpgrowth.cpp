@@ -4,6 +4,7 @@
 
 #include "common/string_util.hpp"
 #include "fpm/fptree.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
 
@@ -14,7 +15,26 @@ struct GrowthContext {
     std::size_t max_len;
     std::size_t budget;
     std::vector<Pattern>* out;
+    // Instrumentation tallies, flushed to the registry once per Mine().
+    std::size_t nodes_expanded = 0;    // header entries visited across all trees
+    std::size_t cond_trees_built = 0;  // conditional FP-trees constructed
 };
+
+void FlushGrowthMetrics(const GrowthContext& ctx, std::size_t emitted,
+                        bool budget_abort) {
+    static auto& nodes =
+        obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.nodes_expanded");
+    static auto& trees =
+        obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.cond_trees_built");
+    static auto& patterns =
+        obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.patterns_emitted");
+    static auto& aborts =
+        obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.budget_aborts");
+    nodes.Inc(ctx.nodes_expanded);
+    trees.Inc(ctx.cond_trees_built);
+    patterns.Inc(emitted);
+    if (budget_abort) aborts.Inc();
+}
 
 // Recursively mines `tree`, emitting suffix ∪ {item} patterns. Returns false
 // when the pattern budget is exhausted.
@@ -24,6 +44,7 @@ bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
     const auto& header = tree.header();
     for (std::size_t idx = header.size(); idx-- > 0;) {
         const auto& entry = header[idx];
+        ++ctx.nodes_expanded;
         suffix.push_back(entry.item);
         if (ctx.out->size() >= ctx.budget) {
             suffix.pop_back();
@@ -38,6 +59,7 @@ bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
         if (suffix.size() < ctx.max_len) {
             const FpTree cond =
                 FpTree::Build(tree.ConditionalBase(idx), ctx.min_sup);
+            ++ctx.cond_trees_built;
             if (!Grow(cond, suffix, ctx)) {
                 suffix.pop_back();
                 return false;
@@ -63,11 +85,13 @@ Result<std::vector<Pattern>> FpGrowthMiner::Mine(const TransactionDatabase& db,
     std::vector<ItemId> suffix;
     GrowthContext ctx{min_sup, config.max_pattern_len, config.max_patterns, &out};
     if (!Grow(tree, suffix, ctx)) {
+        FlushGrowthMetrics(ctx, out.size(), /*budget_abort=*/true);
         return Status::ResourceExhausted(
             StrFormat("fpgrowth exceeded pattern budget (%zu) at min_sup=%zu",
                       config.max_patterns, min_sup));
     }
     FilterPatterns(config, &out);
+    FlushGrowthMetrics(ctx, out.size(), /*budget_abort=*/false);
     return out;
 }
 

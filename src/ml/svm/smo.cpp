@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp {
 
@@ -31,6 +32,7 @@ class SmoSolver {
                     gram_[j * n_ + i] = k;
                 }
             }
+            kernel_evals_ += n_ * (n_ + 1) / 2;  // the Gram build itself
         }
         if (config_.kernel.type == KernelType::kLinear) {
             w_.assign(x_.cols(), 0.0);
@@ -60,13 +62,35 @@ class SmoSolver {
             }
             ++passes;
         }
+        FlushMetrics(passes);
         return BuildModel();
     }
 
   private:
     double Kern(std::size_t i, std::size_t j) const {
-        if (use_gram_) return gram_[i * n_ + j];
+        if (use_gram_) {
+            ++cache_hits_;
+            return gram_[i * n_ + j];
+        }
+        ++kernel_evals_;
         return KernelEval(config_.kernel, x_.Row(i), x_.Row(j));
+    }
+
+    // One registry flush per Solve(); the per-call tallies above keep the
+    // inner loops free of atomics.
+    void FlushMetrics(std::size_t passes) const {
+        auto& registry = obs::Registry::Get();
+        static auto& passes_c = registry.GetCounter("dfp.ml.smo.passes");
+        static auto& steps_c = registry.GetCounter("dfp.ml.smo.take_steps");
+        static auto& examine_c = registry.GetCounter("dfp.ml.smo.examine_calls");
+        static auto& kern_c = registry.GetCounter("dfp.ml.smo.kernel_evals");
+        static auto& hits_c = registry.GetCounter("dfp.ml.smo.cache_hits");
+        passes_c.Inc(passes);
+        steps_c.Inc(steps_);
+        examine_c.Inc(examine_calls_);
+        kern_c.Inc(kernel_evals_);
+        hits_c.Inc(cache_hits_);
+        registry.GetCounter("dfp.ml.smo.solves").Inc();
     }
 
     bool IsNonBound(std::size_t i) const {
@@ -77,6 +101,7 @@ class SmoSolver {
     double Error(std::size_t i) const { return error_[i]; }
 
     std::size_t ExamineExample(std::size_t i2) {
+        ++examine_calls_;
         const double y2 = y_[i2];
         const double e2 = Error(i2);
         const double r2 = e2 * y2;
@@ -246,6 +271,10 @@ class SmoSolver {
     double bias_ = 0.0;  // Platt's threshold b (f = Σ αyK − b)
     bool use_gram_ = false;
     std::size_t steps_ = 0;
+    std::size_t examine_calls_ = 0;
+    // mutable: tallied inside const Kern() on both lookup paths.
+    mutable std::size_t kernel_evals_ = 0;
+    mutable std::size_t cache_hits_ = 0;
     Rng rng_;
 };
 

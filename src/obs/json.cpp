@@ -1,0 +1,296 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace dfp::obs {
+
+void WriteJsonString(std::ostream& out, std::string_view s) {
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\r': out << "\\r"; break;
+            case '\t': out << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out << buf;
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+void WriteJsonNumber(std::ostream& out, double v) {
+    if (!std::isfinite(v)) {
+        out << "null";
+        return;
+    }
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 9.0e15) {
+        out << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out << buf;
+}
+
+JsonValue JsonValue::Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> members) {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    v.object_ = std::move(members);
+    return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = object_.find(std::string(key));
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue> ParseDocument() {
+        JsonValue value;
+        DFP_RETURN_NOT_OK(ParseValue(&value));
+        SkipWhitespace();
+        if (pos_ != text_.size()) {
+            return Status::ParseError(
+                StrFormat("trailing characters at offset %zu", pos_));
+        }
+        return value;
+    }
+
+  private:
+    Status ParseValue(JsonValue* out) {
+        SkipWhitespace();
+        if (pos_ >= text_.size()) {
+            return Status::ParseError("unexpected end of JSON input");
+        }
+        switch (text_[pos_]) {
+            case '{': return ParseObject(out);
+            case '[': return ParseArray(out);
+            case '"': {
+                std::string s;
+                DFP_RETURN_NOT_OK(ParseString(&s));
+                *out = JsonValue::String(std::move(s));
+                return Status::Ok();
+            }
+            case 't':
+                DFP_RETURN_NOT_OK(Expect("true"));
+                *out = JsonValue::Bool(true);
+                return Status::Ok();
+            case 'f':
+                DFP_RETURN_NOT_OK(Expect("false"));
+                *out = JsonValue::Bool(false);
+                return Status::Ok();
+            case 'n':
+                DFP_RETURN_NOT_OK(Expect("null"));
+                *out = JsonValue::Null();
+                return Status::Ok();
+            default: return ParseNumber(out);
+        }
+    }
+
+    Status ParseObject(JsonValue* out) {
+        ++pos_;  // '{'
+        std::map<std::string, JsonValue> members;
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            *out = JsonValue::Object(std::move(members));
+            return Status::Ok();
+        }
+        while (true) {
+            SkipWhitespace();
+            std::string key;
+            DFP_RETURN_NOT_OK(ParseString(&key));
+            SkipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                return Status::ParseError("expected ':' in object");
+            }
+            ++pos_;
+            JsonValue value;
+            DFP_RETURN_NOT_OK(ParseValue(&value));
+            members.emplace(std::move(key), std::move(value));
+            SkipWhitespace();
+            if (pos_ >= text_.size()) {
+                return Status::ParseError("unterminated object");
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                break;
+            }
+            return Status::ParseError("expected ',' or '}' in object");
+        }
+        *out = JsonValue::Object(std::move(members));
+        return Status::Ok();
+    }
+
+    Status ParseArray(JsonValue* out) {
+        ++pos_;  // '['
+        std::vector<JsonValue> items;
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            *out = JsonValue::Array(std::move(items));
+            return Status::Ok();
+        }
+        while (true) {
+            JsonValue value;
+            DFP_RETURN_NOT_OK(ParseValue(&value));
+            items.push_back(std::move(value));
+            SkipWhitespace();
+            if (pos_ >= text_.size()) {
+                return Status::ParseError("unterminated array");
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                break;
+            }
+            return Status::ParseError("expected ',' or ']' in array");
+        }
+        *out = JsonValue::Array(std::move(items));
+        return Status::Ok();
+    }
+
+    Status ParseString(std::string* out) {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return Status::ParseError("expected string");
+        }
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return Status::Ok();
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out->push_back('"'); break;
+                case '\\': out->push_back('\\'); break;
+                case '/': out->push_back('/'); break;
+                case 'n': out->push_back('\n'); break;
+                case 'r': out->push_back('\r'); break;
+                case 't': out->push_back('\t'); break;
+                case 'b': out->push_back('\b'); break;
+                case 'f': out->push_back('\f'); break;
+                case 'u': {
+                    // Keep it simple: skip the 4 hex digits, emit '?' for
+                    // non-ASCII escapes (reports never produce them).
+                    if (text_.size() - pos_ < 4) {
+                        return Status::ParseError("truncated \\u escape");
+                    }
+                    pos_ += 4;
+                    out->push_back('?');
+                    break;
+                }
+                default: return Status::ParseError("bad escape in string");
+            }
+        }
+        return Status::ParseError("unterminated string");
+    }
+
+    Status ParseNumber(JsonValue* out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        double v = 0.0;
+        if (pos_ == start || !ParseDouble(text_.substr(start, pos_ - start), &v)) {
+            return Status::ParseError(
+                StrFormat("malformed number at offset %zu", start));
+        }
+        *out = JsonValue::Number(v);
+        return Status::Ok();
+    }
+
+    Status Expect(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return Status::ParseError(StrFormat("expected '%.*s'",
+                                                static_cast<int>(literal.size()),
+                                                literal.data()));
+        }
+        pos_ += literal.size();
+        return Status::Ok();
+    }
+
+    void SkipWhitespace() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+    return Parser(text).ParseDocument();
+}
+
+}  // namespace dfp::obs

@@ -1,0 +1,67 @@
+// Minimal JSON support for run reports: a writer (escaping + number
+// formatting) and a small recursive-descent parser used to validate emitted
+// reports in tests and to re-ingest BENCH_*.json trajectories.
+//
+// Deliberately tiny: objects/arrays/strings/numbers/bools/null, UTF-8 passed
+// through verbatim, no \uXXXX decoding. Not a general-purpose JSON library.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dfp::obs {
+
+/// Writes `s` as a double-quoted JSON string with escapes.
+void WriteJsonString(std::ostream& out, std::string_view s);
+
+/// Writes a finite double compactly (integral values without trailing ".0"
+/// noise); non-finite values are serialized as null.
+void WriteJsonNumber(std::ostream& out, double v);
+
+/// Parsed JSON value (tree of variants).
+class JsonValue {
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+
+    double number() const { return number_; }
+    bool boolean() const { return bool_; }
+    const std::string& string() const { return string_; }
+    const std::vector<JsonValue>& array() const { return array_; }
+    const std::map<std::string, JsonValue>& object() const { return object_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* Find(std::string_view key) const;
+
+    static JsonValue Null() { return JsonValue(); }
+    static JsonValue Bool(bool b);
+    static JsonValue Number(double v);
+    static JsonValue String(std::string s);
+    static JsonValue Array(std::vector<JsonValue> items);
+    static JsonValue Object(std::map<std::string, JsonValue> members);
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is a ParseError).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace dfp::obs

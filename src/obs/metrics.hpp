@@ -1,0 +1,129 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, cheap enough for hot loops.
+//
+// Design:
+//  * Metric objects live forever once registered; `GetCounter` et al. return a
+//    stable reference, so hot paths resolve a metric once (static local or a
+//    member) and then touch only a relaxed atomic per update. Tighter loops
+//    should accumulate into a plain local and flush once per call — that is
+//    what the miners and the SMO solver do.
+//  * Reads take a consistent-enough `Snapshot()` copy; writers are never
+//    blocked by readers (the registry mutex only guards the name maps).
+//  * Names follow `dfp.<module>.<metric>` (see DESIGN.md "Observability").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfp::obs {
+
+/// Adds `delta` to an atomic double (CAS loop; fetch_add on double is not
+/// universally available).
+inline void AtomicAdd(std::atomic<double>& target, double delta) {
+    double current = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/// Monotonically increasing event count.
+class Counter {
+  public:
+    void Inc(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (sizes, seconds, ratios).
+class Gauge {
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void Add(double delta) { AtomicAdd(value_, delta); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Plain-data view of a histogram for snapshots and serialization.
+struct HistogramData {
+    /// Ascending upper bounds; bucket i counts observations <= bounds[i].
+    std::vector<double> bounds;
+    /// bounds.size() + 1 entries; the last bucket counts v > bounds.back().
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket layout is immutable after registration.
+class Histogram {
+  public:
+    /// `bounds` must be ascending; empty falls back to DefaultBounds().
+    explicit Histogram(std::vector<double> bounds);
+
+    void Observe(double v);
+    HistogramData Read() const;
+    void Reset();
+
+    /// Decade bounds 0.001 .. 1000 — a sane default for seconds and gains.
+    static std::vector<double> DefaultBounds();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    std::size_t TotalMetrics() const {
+        return counters.size() + gauges.size() + histograms.size();
+    }
+};
+
+/// Global metric registry. Thread-safe; lookups lock only the name maps.
+class Registry {
+  public:
+    static Registry& Get();
+
+    /// Returns the metric registered under `name`, creating it on first use.
+    /// References stay valid for the process lifetime.
+    Counter& GetCounter(std::string_view name);
+    Gauge& GetGauge(std::string_view name);
+    /// `bounds` is only consulted on first registration of `name`.
+    Histogram& GetHistogram(std::string_view name,
+                            std::vector<double> bounds = {});
+
+    /// Copies all current values.
+    MetricsSnapshot Snapshot() const;
+
+    /// Zeroes every metric (names stay registered). For per-run reports/tests.
+    void ResetValues();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dfp::obs

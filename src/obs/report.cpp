@@ -1,0 +1,172 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace dfp::obs {
+
+RunReport CollectRunReport(std::string name) {
+    RunReport report;
+    report.name = std::move(name);
+    report.metrics = Registry::Get().Snapshot();
+    report.spans = Tracer::Get().TakeRoots();
+    return report;
+}
+
+void WriteSpanJson(std::ostream& out, const SpanNode& node) {
+    out << "{\"name\":";
+    WriteJsonString(out, node.name);
+    out << ",\"seconds\":";
+    WriteJsonNumber(out, node.seconds);
+    out << ",\"annotations\":{";
+    for (std::size_t i = 0; i < node.annotations.size(); ++i) {
+        if (i > 0) out << ',';
+        WriteJsonString(out, node.annotations[i].first);
+        out << ':';
+        WriteJsonNumber(out, node.annotations[i].second);
+    }
+    out << "},\"children\":[";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out << ',';
+        WriteSpanJson(out, *node.children[i]);
+    }
+    out << "]}";
+}
+
+namespace {
+
+void WriteHistogramJson(std::ostream& out, const HistogramData& data) {
+    out << "{\"count\":";
+    WriteJsonNumber(out, static_cast<double>(data.count));
+    out << ",\"sum\":";
+    WriteJsonNumber(out, data.sum);
+    out << ",\"buckets\":[";
+    for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"le\":";
+        if (i < data.bounds.size()) {
+            WriteJsonNumber(out, data.bounds[i]);
+        } else {
+            out << "null";  // the overflow bucket
+        }
+        out << ",\"count\":";
+        WriteJsonNumber(out, static_cast<double>(data.bucket_counts[i]));
+        out << '}';
+    }
+    out << "]}";
+}
+
+}  // namespace
+
+void WriteReportJson(std::ostream& out, const RunReport& report) {
+    out << "{\"name\":";
+    WriteJsonString(out, report.name);
+    out << ",\"metrics\":{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : report.metrics.counters) {
+        if (!first) out << ',';
+        first = false;
+        WriteJsonString(out, name);
+        out << ':';
+        WriteJsonNumber(out, static_cast<double>(value));
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : report.metrics.gauges) {
+        if (!first) out << ',';
+        first = false;
+        WriteJsonString(out, name);
+        out << ':';
+        WriteJsonNumber(out, value);
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, data] : report.metrics.histograms) {
+        if (!first) out << ',';
+        first = false;
+        WriteJsonString(out, name);
+        out << ':';
+        WriteHistogramJson(out, data);
+    }
+    out << "}},\"spans\":[";
+    for (std::size_t i = 0; i < report.spans.size(); ++i) {
+        if (i > 0) out << ',';
+        WriteSpanJson(out, *report.spans[i]);
+    }
+    out << "]}";
+}
+
+std::string ReportToJsonString(const RunReport& report) {
+    std::ostringstream out;
+    WriteReportJson(out, report);
+    return out.str();
+}
+
+Status WriteReportJsonFile(const RunReport& report, const std::string& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        return Status::Internal("cannot open report file: " + path);
+    }
+    WriteReportJson(out, report);
+    out << '\n';
+    out.flush();
+    if (!out) {
+        return Status::Internal("failed writing report file: " + path);
+    }
+    return Status::Ok();
+}
+
+namespace {
+
+void WriteSpanTable(std::ostream& out, const SpanNode& node, int depth) {
+    out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << node.name
+        << "  " << std::fixed << std::setprecision(4) << node.seconds << "s";
+    for (const auto& [key, value] : node.annotations) {
+        out << "  " << key << "=" << std::defaultfloat << value
+            << std::fixed;
+    }
+    out << '\n';
+    for (const auto& child : node.children) {
+        WriteSpanTable(out, *child, depth + 1);
+    }
+}
+
+}  // namespace
+
+void WriteReportTable(std::ostream& out, const RunReport& report) {
+    out << "run report: " << report.name << '\n';
+    if (!report.spans.empty()) {
+        out << "-- spans --\n";
+        for (const auto& root : report.spans) WriteSpanTable(out, *root, 1);
+    }
+    std::size_t width = 0;
+    for (const auto& [name, value] : report.metrics.counters) {
+        width = std::max(width, name.size());
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+        width = std::max(width, name.size());
+    }
+    for (const auto& [name, data] : report.metrics.histograms) {
+        width = std::max(width, name.size());
+    }
+    if (width > 0) out << "-- metrics --\n";
+    for (const auto& [name, value] : report.metrics.counters) {
+        out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+            << "  " << value << '\n';
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+        out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+            << "  " << std::defaultfloat << value << '\n';
+    }
+    for (const auto& [name, data] : report.metrics.histograms) {
+        out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+            << "  count=" << data.count << " sum=" << std::defaultfloat
+            << data.sum << '\n';
+    }
+}
+
+}  // namespace dfp::obs

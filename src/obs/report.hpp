@@ -1,0 +1,58 @@
+// Machine-readable run reports: a metrics snapshot plus the completed span
+// trees of the current thread, serialized to JSON (for BENCH_*.json
+// trajectories and `--report` flags) or a human-readable table.
+//
+// JSON schema (validated by tests/integration/report_smoke_test.cpp):
+//   {
+//     "name": "<run name>",
+//     "metrics": {
+//       "counters":   { "dfp.fpm.closed.nodes_expanded": 123, ... },
+//       "gauges":     { "dfp.core.pipeline.mine_seconds": 0.12, ... },
+//       "histograms": { "dfp.core.mmrfs.gain": {
+//                          "count": 9, "sum": 1.5,
+//                          "buckets": [ {"le": 0.01, "count": 2}, ...,
+//                                       {"le": null, "count": 0} ] } }
+//     },
+//     "spans": [ { "name": "train", "seconds": 0.5,
+//                  "annotations": { "candidates": 42 },
+//                  "children": [ ... ] } ]
+//   }
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dfp::obs {
+
+/// One run's observability payload.
+struct RunReport {
+    std::string name;
+    MetricsSnapshot metrics;
+    /// Completed root spans (empty when tracing was disabled).
+    std::vector<std::unique_ptr<SpanNode>> spans;
+};
+
+/// Snapshots the global registry and *takes* this thread's completed span
+/// roots (so consecutive runs don't accumulate each other's trees).
+RunReport CollectRunReport(std::string name);
+
+/// Serializes one span subtree as a JSON object.
+void WriteSpanJson(std::ostream& out, const SpanNode& node);
+
+/// Serializes the full report as a single JSON document.
+void WriteReportJson(std::ostream& out, const RunReport& report);
+std::string ReportToJsonString(const RunReport& report);
+
+/// Writes the JSON document to `path` (overwrites).
+Status WriteReportJsonFile(const RunReport& report, const std::string& path);
+
+/// Human-readable dump: indented span tree + aligned metric table.
+void WriteReportTable(std::ostream& out, const RunReport& report);
+
+}  // namespace dfp::obs

@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace dfp::obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+void EnableTracing(bool enabled) {
+    g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+    return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Get() {
+    thread_local Tracer tracer;
+    return tracer;
+}
+
+SpanNode* Tracer::BeginSpan(std::string name) {
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::move(name);
+    SpanNode* raw = node.get();
+    if (stack_.empty()) {
+        pending_roots_.push_back(std::move(node));
+    } else {
+        stack_.back()->children.push_back(std::move(node));
+    }
+    stack_.push_back(raw);
+    return raw;
+}
+
+void Tracer::EndSpan(SpanNode* node, double seconds) {
+    assert(!stack_.empty() && stack_.back() == node &&
+           "spans must close in LIFO order");
+    if (stack_.empty() || stack_.back() != node) return;
+    node->seconds = seconds;
+    stack_.pop_back();
+    if (stack_.empty()) {
+        // The root just completed: move it from pending to the done list.
+        for (auto it = pending_roots_.begin(); it != pending_roots_.end(); ++it) {
+            if (it->get() == node) {
+                roots_.push_back(std::move(*it));
+                pending_roots_.erase(it);
+                break;
+            }
+        }
+    }
+}
+
+std::vector<std::unique_ptr<SpanNode>> Tracer::TakeRoots() {
+    std::vector<std::unique_ptr<SpanNode>> out;
+    out.swap(roots_);
+    return out;
+}
+
+Span::Span(std::string_view name) {
+    if (TracingEnabled()) {
+        node_ = Tracer::Get().BeginSpan(std::string(name));
+    }
+}
+
+Span::~Span() {
+    if (node_ != nullptr) {
+        Tracer::Get().EndSpan(node_, watch_.ElapsedSeconds());
+    }
+}
+
+void Span::Annotate(std::string_view key, double value) {
+    if (node_ != nullptr) {
+        node_->annotations.emplace_back(std::string(key), value);
+    }
+}
+
+}  // namespace dfp::obs

@@ -1,0 +1,88 @@
+// Scoped trace spans: RAII guards that build a nested wall-clock timing tree
+// (train → mine[per-class] → pool/dedup → mmrfs → transform → learn).
+//
+// Collection is opt-in via EnableTracing(true). When disabled a Span is two
+// steady_clock reads and nothing else — no allocation, no tree mutation — so
+// instrumented library code costs nothing in production paths. The span stack
+// is thread-local; each thread builds its own tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace dfp::obs {
+
+/// One completed (or in-flight) node of the timing tree.
+struct SpanNode {
+    std::string name;
+    double seconds = 0.0;
+    /// Scalar facts attached while the span was open (counts, sizes).
+    std::vector<std::pair<std::string, double>> annotations;
+    std::vector<std::unique_ptr<SpanNode>> children;
+
+    /// Total nodes in this subtree, including this one.
+    std::size_t TreeSize() const {
+        std::size_t n = 1;
+        for (const auto& c : children) n += c->TreeSize();
+        return n;
+    }
+};
+
+/// Globally enables/disables span collection (default: off).
+void EnableTracing(bool enabled);
+bool TracingEnabled();
+
+/// Per-thread collector of completed span trees.
+class Tracer {
+  public:
+    /// This thread's tracer.
+    static Tracer& Get();
+
+    /// Opens a child of the innermost open span (or a new root). Returns the
+    /// node; the caller must close it with EndSpan in LIFO order.
+    SpanNode* BeginSpan(std::string name);
+    void EndSpan(SpanNode* node, double seconds);
+
+    /// Roots completed on this thread, in completion order.
+    const std::vector<std::unique_ptr<SpanNode>>& roots() const { return roots_; }
+    /// Moves all completed roots out (leaves the tracer empty).
+    std::vector<std::unique_ptr<SpanNode>> TakeRoots();
+    /// Number of currently open spans.
+    std::size_t depth() const { return stack_.size(); }
+    /// Drops completed roots; open spans are unaffected.
+    void Clear() { roots_.clear(); }
+
+  private:
+    std::vector<std::unique_ptr<SpanNode>> roots_;
+    /// Owns in-flight roots until they complete and move to roots_.
+    std::vector<std::unique_ptr<SpanNode>> pending_roots_;
+    std::vector<SpanNode*> stack_;
+};
+
+/// RAII span guard. Always measures elapsed time (so callers can reuse it for
+/// plain timing); records a SpanNode only while tracing is enabled.
+class Span {
+  public:
+    explicit Span(std::string_view name);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attaches a scalar fact to this span (no-op when tracing is disabled).
+    void Annotate(std::string_view key, double value);
+
+    /// Seconds since construction; usable whether or not tracing is enabled.
+    double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  private:
+    SpanNode* node_ = nullptr;  // null when tracing was off at construction
+    Stopwatch watch_;
+};
+
+}  // namespace dfp::obs

@@ -1,7 +1,10 @@
 // Tests for the small utilities: logging, stopwatch, serialization tokens.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
@@ -19,6 +22,67 @@ TEST(LoggingTest, LevelGate) {
     SetLogLevel(LogLevel::kOff);
     LogMessage(LogLevel::kError, "also ignored");
     SetLogLevel(original);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+    LogLevel level = LogLevel::kInfo;
+    EXPECT_TRUE(ParseLogLevel("debug", &level));
+    EXPECT_EQ(level, LogLevel::kDebug);
+    EXPECT_TRUE(ParseLogLevel("WARN", &level));
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_TRUE(ParseLogLevel("warning", &level));
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_TRUE(ParseLogLevel("Error", &level));
+    EXPECT_EQ(level, LogLevel::kError);
+    EXPECT_TRUE(ParseLogLevel("off", &level));
+    EXPECT_EQ(level, LogLevel::kOff);
+    EXPECT_TRUE(ParseLogLevel("0", &level));
+    EXPECT_EQ(level, LogLevel::kDebug);
+    EXPECT_FALSE(ParseLogLevel("loud", &level));
+    EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST(LoggingTest, InjectedSinkCapturesMessages) {
+    const LogLevel original = GetLogLevel();
+    SetLogLevel(LogLevel::kInfo);
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    SetLogSink([&captured](LogLevel level, const std::string& message) {
+        captured.emplace_back(level, message);
+    });
+    LogMessage(LogLevel::kInfo, "hello");
+    LogMessage(LogLevel::kDebug, "filtered out");
+    LogMessage(LogLevel::kWarn, "careful");
+    SetLogSink(nullptr);  // restore stderr
+    SetLogLevel(original);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+    EXPECT_EQ(captured[0].second, "hello");
+    EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+    EXPECT_EQ(captured[1].second, "careful");
+}
+
+TEST(LoggingTest, ConcurrentLoggingIsSafe) {
+    const LogLevel original = GetLogLevel();
+    SetLogLevel(LogLevel::kInfo);
+    std::atomic<int> delivered{0};
+    SetLogSink([&delivered](LogLevel, const std::string&) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+    constexpr int kThreads = 4;
+    constexpr int kMessages = 250;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kMessages; ++i) {
+                LogMessage(LogLevel::kInfo, "burst");
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    SetLogSink(nullptr);
+    SetLogLevel(original);
+    EXPECT_EQ(delivered.load(), kThreads * kMessages);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

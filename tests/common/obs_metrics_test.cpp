@@ -1,0 +1,146 @@
+// Counter/gauge/histogram semantics, snapshot isolation, concurrent updates.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dfp::obs {
+namespace {
+
+TEST(ObsCounterTest, IncrementsAndResets) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.Inc();
+    c.Inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.Reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAddAndReset) {
+    Gauge g;
+    g.Set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.Add(0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.Set(-1.0);  // last write wins
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+    g.Reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogramTest, BucketsObservationsByUpperBound) {
+    Histogram h({1.0, 10.0, 100.0});
+    h.Observe(0.5);    // <= 1      -> bucket 0
+    h.Observe(1.0);    // <= 1      -> bucket 0 (bounds are inclusive)
+    h.Observe(5.0);    // <= 10     -> bucket 1
+    h.Observe(1000.0); // overflow  -> bucket 3
+    const HistogramData data = h.Read();
+    ASSERT_EQ(data.bucket_counts.size(), 4u);
+    EXPECT_EQ(data.bucket_counts[0], 2u);
+    EXPECT_EQ(data.bucket_counts[1], 1u);
+    EXPECT_EQ(data.bucket_counts[2], 0u);
+    EXPECT_EQ(data.bucket_counts[3], 1u);
+    EXPECT_EQ(data.count, 4u);
+    EXPECT_DOUBLE_EQ(data.sum, 1006.5);
+    h.Reset();
+    EXPECT_EQ(h.Read().count, 0u);
+}
+
+TEST(ObsHistogramTest, EmptyBoundsFallBackToDefaults) {
+    Histogram h({});
+    const HistogramData data = h.Read();
+    EXPECT_EQ(data.bounds, Histogram::DefaultBounds());
+    EXPECT_EQ(data.bucket_counts.size(), data.bounds.size() + 1);
+}
+
+TEST(ObsRegistryTest, ReturnsStableReferencesByName) {
+    auto& registry = Registry::Get();
+    Counter& a = registry.GetCounter("dfp.test.registry.stable");
+    Counter& b = registry.GetCounter("dfp.test.registry.stable");
+    EXPECT_EQ(&a, &b);
+    Gauge& g1 = registry.GetGauge("dfp.test.registry.stable");  // distinct kind
+    Gauge& g2 = registry.GetGauge("dfp.test.registry.stable");
+    EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ObsRegistryTest, SnapshotIsAnIsolatedCopy) {
+    auto& registry = Registry::Get();
+    Counter& c = registry.GetCounter("dfp.test.snapshot.counter");
+    c.Reset();
+    c.Inc(7);
+    const MetricsSnapshot snap = registry.Snapshot();
+    ASSERT_TRUE(snap.counters.contains("dfp.test.snapshot.counter"));
+    EXPECT_EQ(snap.counters.at("dfp.test.snapshot.counter"), 7u);
+    // Mutating the live metric must not change the already-taken snapshot.
+    c.Inc(100);
+    EXPECT_EQ(snap.counters.at("dfp.test.snapshot.counter"), 7u);
+    EXPECT_EQ(registry.Snapshot().counters.at("dfp.test.snapshot.counter"),
+              107u);
+}
+
+TEST(ObsRegistryTest, HistogramBoundsFixedAtFirstRegistration) {
+    auto& registry = Registry::Get();
+    Histogram& h1 =
+        registry.GetHistogram("dfp.test.hist.bounds", {1.0, 2.0});
+    Histogram& h2 =
+        registry.GetHistogram("dfp.test.hist.bounds", {99.0});  // ignored
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.Read().bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsRegistryTest, ResetValuesKeepsNamesButZeroes) {
+    auto& registry = Registry::Get();
+    registry.GetCounter("dfp.test.reset.counter").Inc(5);
+    registry.GetGauge("dfp.test.reset.gauge").Set(5.0);
+    registry.ResetValues();
+    const MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counters.at("dfp.test.reset.counter"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("dfp.test.reset.gauge"), 0.0);
+}
+
+TEST(ObsRegistryTest, ConcurrentIncrementsAreLossless) {
+    auto& registry = Registry::Get();
+    Counter& c = registry.GetCounter("dfp.test.concurrent.counter");
+    c.Reset();
+    Histogram& h = registry.GetHistogram("dfp.test.concurrent.hist", {0.5});
+    h.Reset();
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c, &h] {
+            for (int i = 0; i < kIncrements; ++i) {
+                c.Inc();
+                h.Observe(i % 2 == 0 ? 0.25 : 1.0);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+    const HistogramData data = h.Read();
+    EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+    EXPECT_EQ(data.bucket_counts[0] + data.bucket_counts[1], data.count);
+}
+
+TEST(ObsRegistryTest, ConcurrentRegistrationReturnsOneMetricPerName) {
+    auto& registry = Registry::Get();
+    constexpr int kThreads = 8;
+    std::vector<Counter*> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry, &seen, t] {
+            seen[static_cast<std::size_t>(t)] =
+                &registry.GetCounter("dfp.test.concurrent.registration");
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+    }
+}
+
+}  // namespace
+}  // namespace dfp::obs

@@ -1,0 +1,143 @@
+// Span nesting, JSON round-trip, and the disabled (no-collection) fast path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace dfp::obs {
+namespace {
+
+// RAII guard: every test leaves tracing off and the tracer empty.
+class TracingFixture : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        Tracer::Get().Clear();
+        EnableTracing(true);
+    }
+    void TearDown() override {
+        EnableTracing(false);
+        Tracer::Get().Clear();
+    }
+};
+
+using TraceSpanTest = TracingFixture;
+
+TEST_F(TraceSpanTest, BuildsNestedTree) {
+    {
+        Span root("train");
+        {
+            Span mine("mine");
+            { Span c0("mine.class_0"); }
+            { Span c1("mine.class_1"); }
+        }
+        { Span select("mmrfs"); }
+        root.Annotate("candidates", 12.0);
+    }
+    const auto& roots = Tracer::Get().roots();
+    ASSERT_EQ(roots.size(), 1u);
+    const SpanNode& root = *roots[0];
+    EXPECT_EQ(root.name, "train");
+    EXPECT_GE(root.seconds, 0.0);
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0]->name, "mine");
+    ASSERT_EQ(root.children[0]->children.size(), 2u);
+    EXPECT_EQ(root.children[0]->children[0]->name, "mine.class_0");
+    EXPECT_EQ(root.children[0]->children[1]->name, "mine.class_1");
+    EXPECT_EQ(root.children[1]->name, "mmrfs");
+    ASSERT_EQ(root.annotations.size(), 1u);
+    EXPECT_EQ(root.annotations[0].first, "candidates");
+    EXPECT_DOUBLE_EQ(root.annotations[0].second, 12.0);
+    EXPECT_EQ(root.TreeSize(), 5u);
+    // Parent time covers its children.
+    EXPECT_GE(root.seconds,
+              root.children[0]->seconds + root.children[1]->seconds);
+}
+
+TEST_F(TraceSpanTest, SequentialRootsAccumulateInOrder) {
+    { Span a("first"); }
+    { Span b("second"); }
+    const auto& roots = Tracer::Get().roots();
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_EQ(roots[0]->name, "first");
+    EXPECT_EQ(roots[1]->name, "second");
+    EXPECT_EQ(Tracer::Get().depth(), 0u);
+}
+
+TEST_F(TraceSpanTest, TakeRootsDrainsTheTracer) {
+    { Span a("run"); }
+    auto taken = Tracer::Get().TakeRoots();
+    ASSERT_EQ(taken.size(), 1u);
+    EXPECT_EQ(taken[0]->name, "run");
+    EXPECT_TRUE(Tracer::Get().roots().empty());
+}
+
+TEST_F(TraceSpanTest, JsonRoundTripsStructure) {
+    {
+        Span root("train");
+        root.Annotate("rows", 800.0);
+        {
+            Span mine("mine");
+            mine.Annotate("patterns", 42.0);
+        }
+        { Span learn("learn"); }
+    }
+    std::ostringstream out;
+    WriteSpanJson(out, *Tracer::Get().roots()[0]);
+
+    const auto parsed = ParseJson(out.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const JsonValue& root = *parsed;
+    ASSERT_TRUE(root.is_object());
+    ASSERT_NE(root.Find("name"), nullptr);
+    EXPECT_EQ(root.Find("name")->string(), "train");
+    ASSERT_NE(root.Find("seconds"), nullptr);
+    EXPECT_GE(root.Find("seconds")->number(), 0.0);
+    const JsonValue* annotations = root.Find("annotations");
+    ASSERT_NE(annotations, nullptr);
+    ASSERT_NE(annotations->Find("rows"), nullptr);
+    EXPECT_DOUBLE_EQ(annotations->Find("rows")->number(), 800.0);
+    const JsonValue* children = root.Find("children");
+    ASSERT_NE(children, nullptr);
+    ASSERT_TRUE(children->is_array());
+    ASSERT_EQ(children->array().size(), 2u);
+    EXPECT_EQ(children->array()[0].Find("name")->string(), "mine");
+    EXPECT_DOUBLE_EQ(
+        children->array()[0].Find("annotations")->Find("patterns")->number(),
+        42.0);
+    EXPECT_EQ(children->array()[1].Find("name")->string(), "learn");
+}
+
+TEST_F(TraceSpanTest, DisabledTracingCollectsNothing) {
+    EnableTracing(false);
+    {
+        Span root("ignored");
+        { Span child("also_ignored"); }
+        root.Annotate("k", 1.0);  // must be a no-op, not a crash
+        EXPECT_GE(root.ElapsedSeconds(), 0.0);  // timing still works
+    }
+    EXPECT_TRUE(Tracer::Get().roots().empty());
+    EXPECT_EQ(Tracer::Get().depth(), 0u);
+}
+
+TEST_F(TraceSpanTest, SpansOpenedWhileDisabledStayDetached) {
+    EnableTracing(false);
+    Span outer("outer");  // not collected: tracing was off at construction
+    EnableTracing(true);
+    { Span inner("inner"); }  // becomes its own root, not a child of `outer`
+    const auto& roots = Tracer::Get().roots();
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(roots[0]->name, "inner");
+}
+
+TEST(TraceJsonTest, ParserRejectsGarbage) {
+    EXPECT_FALSE(ParseJson("{\"unterminated\": ").ok());
+    EXPECT_FALSE(ParseJson("{} trailing").ok());
+    EXPECT_FALSE(ParseJson("{1: 2}").ok());
+    EXPECT_TRUE(ParseJson(" { \"a\" : [1, 2.5, null, true, \"s\"] } ").ok());
+}
+
+}  // namespace
+}  // namespace dfp::obs
