@@ -8,7 +8,10 @@
 // Build & run:  ./build/examples/quickstart
 // With a machine-readable run report (metrics + nested phase timings):
 //               ./build/examples/quickstart --report out.json
+// With an execution budget (graceful degradation instead of runaway mining):
+//               ./build/examples/quickstart --time-budget-ms 200 --max-patterns 5000
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -21,17 +24,35 @@
 int main(int argc, char** argv) {
     using namespace dfp;
 
-    // Optional: --report <path> (or --report=<path>) dumps a JSON run report.
+    // Optional flags:
+    //   --report <path>          dump a JSON run report (metrics/guard/spans)
+    //   --time-budget-ms <ms>    wall-clock budget for the whole Train
+    //   --max-patterns <n>       cap on mined pattern candidates
     std::string report_path;
+    double time_budget_ms = -1.0;
+    std::size_t max_patterns = 0;
+    auto flag_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--report") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "error: --report requires a path\n");
-                return 2;
-            }
-            report_path = argv[++i];
+            report_path = flag_value(i, "--report");
         } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
             report_path = argv[i] + 9;
+        } else if (std::strcmp(argv[i], "--time-budget-ms") == 0) {
+            time_budget_ms = std::atof(flag_value(i, "--time-budget-ms"));
+        } else if (std::strncmp(argv[i], "--time-budget-ms=", 17) == 0) {
+            time_budget_ms = std::atof(argv[i] + 17);
+        } else if (std::strcmp(argv[i], "--max-patterns") == 0) {
+            max_patterns = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--max-patterns"), nullptr, 10));
+        } else if (std::strncmp(argv[i], "--max-patterns=", 15) == 0) {
+            max_patterns = static_cast<std::size_t>(
+                std::strtoull(argv[i] + 15, nullptr, 10));
         }
     }
     if (!report_path.empty()) obs::EnableTracing(true);
@@ -60,6 +81,10 @@ int main(int argc, char** argv) {
     config.miner.min_sup_rel = 0.10;
     config.miner.max_pattern_len = 5;
     config.mmrfs.coverage_delta = 4;
+    // Execution budget: Train degrades gracefully (min_sup escalation,
+    // truncated stages) instead of running away; see pipeline.budget_report().
+    config.budget.time_budget_ms = time_budget_ms;
+    if (max_patterns > 0) config.budget.max_patterns = max_patterns;
 
     // 3. Train a linear SVM on single items + selected patterns.
     PatternClassifierPipeline pipeline(config);
@@ -75,6 +100,15 @@ int main(int argc, char** argv) {
     std::printf("features selected: %zu patterns (+ %zu single items)\n",
                 pipeline.stats().num_selected, train.num_items());
     std::printf("test accuracy    : %.2f%%\n", 100.0 * pipeline.Accuracy(test));
+
+    const BudgetReport& guard = pipeline.budget_report();
+    if (guard.degraded()) {
+        std::printf("budget           : degraded (mine=%s, select=%s, "
+                    "%zu attempt(s), %zu min_sup escalation(s))\n",
+                    BudgetBreachName(guard.mine_breach),
+                    BudgetBreachName(guard.select_breach), guard.mine_attempts,
+                    guard.minsup_escalations);
+    }
 
     // Bonus: what does the pipeline say about one unseen transaction?
     const auto& example = test.transaction(0);

@@ -1,0 +1,59 @@
+#include "common/budget.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace dfp {
+
+const char* BudgetBreachName(BudgetBreach breach) {
+    switch (breach) {
+        case BudgetBreach::kNone: return "none";
+        case BudgetBreach::kDeadline: return "deadline";
+        case BudgetBreach::kPatternCap: return "pattern_cap";
+        case BudgetBreach::kMemoryCap: return "memory_cap";
+        case BudgetBreach::kCancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+GuardLog& GuardLog::Get() {
+    static GuardLog* log = new GuardLog();
+    return *log;
+}
+
+void GuardLog::Record(std::string_view stage, std::string_view kind, double value) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        events_.push_back(GuardEvent{std::string(stage), std::string(kind), value});
+    }
+    obs::Registry::Get().GetCounter(std::string("dfp.guard.") + std::string(kind))
+        .Inc();
+}
+
+std::vector<GuardEvent> GuardLog::Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+std::vector<GuardEvent> GuardLog::Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<GuardEvent> out;
+    out.swap(events_);
+    return out;
+}
+
+void GuardLog::Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+}
+
+std::size_t GuardLog::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void RecordBreach(std::string_view stage, BudgetBreach breach, double value) {
+    if (breach == BudgetBreach::kNone) return;
+    GuardLog::Get().Record(stage, BudgetBreachName(breach), value);
+}
+
+}  // namespace dfp

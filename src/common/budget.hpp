@@ -1,0 +1,264 @@
+// Budgeted execution and graceful degradation primitives.
+//
+// The paper's Tables 3–5 show what happens when min_sup is set too low:
+// pattern enumeration explodes combinatorially. A production pipeline must
+// survive that instead of hanging or OOMing, so every long-running stage
+// (mining DFS/level loops, MMRFS greedy selection, SMO pair updates) threads
+// an ExecutionBudget through a BudgetGuard and checks it cooperatively:
+//
+//  * ExecutionBudget — declarative limits: wall-clock deadline, pattern cap,
+//    estimated-memory cap, and an optional shared CancelToken.
+//  * BudgetGuard     — the armed per-operation checker. Check() is designed
+//    for hot loops: a few branches per call, clock reads amortized over
+//    kClockStride calls. The first breach is sticky.
+//  * CancelToken     — thread-safe cooperative cancellation, with a
+//    deterministic fault-injection fuse (CancelAfterChecks) so every
+//    degradation path is unit-testable without timing races.
+//  * GuardLog        — process-wide log of degradation events; every Record()
+//    also bumps the matching `dfp.guard.<kind>` counter so guard activity
+//    flows into run reports (obs/report.hpp renders a "guard" section).
+//  * MineOutcome<P>  — partial results + the breach that stopped enumeration.
+//    A truncated mine is still *sound*: every emitted pattern has its exact
+//    support; the set is merely incomplete.
+//  * BudgetReport    — per-Train summary of what was truncated, where, and
+//    how the pipeline degraded (min_sup escalations, retries).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfp {
+
+/// Why an operation stopped early. kNone means it ran to completion.
+enum class BudgetBreach {
+    kNone = 0,
+    kDeadline,    ///< wall-clock budget exhausted
+    kPatternCap,  ///< pattern-count cap reached
+    kMemoryCap,   ///< estimated memory cap exceeded
+    kCancelled,   ///< CancelToken fired
+};
+
+/// Short identifier ("deadline", "pattern_cap", ...) used for guard events
+/// and `dfp.guard.*` metric names.
+const char* BudgetBreachName(BudgetBreach breach);
+
+/// Thread-safe cooperative cancellation. Shared by the caller with any number
+/// of budget-guarded operations; Cancel() makes every subsequent Poll()/
+/// cancelled() observation true.
+class CancelToken {
+  public:
+    void Cancel() { cancelled_.store(true, std::memory_order_release); }
+    bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+    /// Clears the flag and disarms the fuse (for token reuse in tests).
+    void Reset() {
+        cancelled_.store(false, std::memory_order_release);
+        fuse_.store(-1, std::memory_order_release);
+    }
+
+    /// Deterministic fault-injection seam: the token fires on the `checks`-th
+    /// Poll() observation. CancelAfterChecks(1) fires on the first check.
+    void CancelAfterChecks(std::int64_t checks) {
+        fuse_.store(checks, std::memory_order_release);
+    }
+
+    /// Counts one cooperative check (burning the fuse if armed) and returns
+    /// whether the token has fired.
+    bool Poll() {
+        if (fuse_.load(std::memory_order_relaxed) >= 0 &&
+            fuse_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+            Cancel();
+        }
+        return cancelled();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    /// Remaining Poll()s before auto-cancel; negative = disarmed.
+    std::atomic<std::int64_t> fuse_{-1};
+};
+
+/// Declarative execution limits. Default-constructed = unlimited, so adding a
+/// budget field to a config struct changes nothing until a caller opts in.
+struct ExecutionBudget {
+    /// Wall-clock budget in milliseconds; negative = unlimited.
+    double time_budget_ms = -1.0;
+    /// Additional pattern cap applied on top of any per-algorithm cap.
+    std::size_t max_patterns = std::numeric_limits<std::size_t>::max();
+    /// Estimated-memory cap in bytes; 0 = unlimited. Estimates are coarse
+    /// (emitted patterns + per-level index structures), by design.
+    std::size_t max_memory_bytes = 0;
+    /// Optional cancellation token (borrowed, not owned; may be null).
+    CancelToken* cancel = nullptr;
+
+    bool Unlimited() const {
+        return time_budget_ms < 0.0 &&
+               max_patterns == std::numeric_limits<std::size_t>::max() &&
+               max_memory_bytes == 0 && cancel == nullptr;
+    }
+};
+
+/// Wall-clock deadline resolved at construction. Used by the pipeline to
+/// derive per-stage remaining budgets from one overall deadline.
+class DeadlineTimer {
+  public:
+    /// `budget_ms` < 0 means no deadline.
+    explicit DeadlineTimer(double budget_ms) : limited_(budget_ms >= 0.0) {
+        if (limited_) {
+            deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double, std::milli>(
+                                               budget_ms));
+        }
+    }
+
+    bool unlimited() const { return !limited_; }
+
+    /// Milliseconds until the deadline, clamped to >= 0. Unlimited timers
+    /// report a negative value (the ExecutionBudget convention).
+    double remaining_ms() const {
+        if (!limited_) return -1.0;
+        const double ms =
+            std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+                .count();
+        return ms > 0.0 ? ms : 0.0;
+    }
+
+    bool expired() const { return limited_ && Clock::now() >= deadline_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool limited_;
+    Clock::time_point deadline_{};
+};
+
+/// Armed budget checker for one operation. Cheap enough for mining DFS loops:
+/// pattern/memory caps and the cancel flag are checked every call; the clock
+/// only every kClockStride calls (so micro-bench timings don't regress when
+/// budgets are enabled but not firing).
+class BudgetGuard {
+  public:
+    /// `pattern_cap` is the per-algorithm cap (e.g. MinerConfig::max_patterns);
+    /// the effective cap is its min with budget.max_patterns. `clock_stride`
+    /// is how many Check() calls share one clock read: keep the default in
+    /// hot per-pattern loops; pass 1 when each check covers substantial work
+    /// (an SGD epoch, a greedy selection round).
+    explicit BudgetGuard(
+        const ExecutionBudget& budget,
+        std::size_t pattern_cap = std::numeric_limits<std::size_t>::max(),
+        std::uint64_t clock_stride = kClockStride)
+        : cancel_(budget.cancel),
+          timer_(budget.time_budget_ms),
+          pattern_cap_(std::min(pattern_cap, budget.max_patterns)),
+          memory_cap_(budget.max_memory_bytes),
+          clock_stride_(clock_stride == 0 ? 1 : clock_stride) {}
+
+    /// Cooperative check: `emitted` results so far, `est_bytes` the coarse
+    /// memory estimate. Returns kNone or the (sticky) first breach.
+    BudgetBreach Check(std::size_t emitted, std::size_t est_bytes = 0) {
+        if (breach_ != BudgetBreach::kNone) return breach_;
+        ++checks_;
+        if (emitted >= pattern_cap_) return breach_ = BudgetBreach::kPatternCap;
+        if (memory_cap_ != 0 && est_bytes > memory_cap_) {
+            return breach_ = BudgetBreach::kMemoryCap;
+        }
+        if (cancel_ != nullptr && cancel_->Poll()) {
+            return breach_ = BudgetBreach::kCancelled;
+        }
+        if (!timer_.unlimited() && checks_ % clock_stride_ == 0 &&
+            timer_.expired()) {
+            return breach_ = BudgetBreach::kDeadline;
+        }
+        return BudgetBreach::kNone;
+    }
+
+    BudgetBreach breach() const { return breach_; }
+    bool ok() const { return breach_ == BudgetBreach::kNone; }
+    std::uint64_t checks() const { return checks_; }
+
+    /// Clock reads happen on every kClockStride-th Check() call.
+    static constexpr std::uint64_t kClockStride = 64;
+
+  private:
+    CancelToken* cancel_;
+    DeadlineTimer timer_;
+    std::size_t pattern_cap_;
+    std::size_t memory_cap_;
+    std::uint64_t clock_stride_;
+    BudgetBreach breach_ = BudgetBreach::kNone;
+    std::uint64_t checks_ = 0;
+};
+
+/// Partial mining result: whatever was enumerated before `breach` fired.
+/// Every pattern carries its exact support (truncated ≠ unsound).
+template <typename PatternT>
+struct MineOutcome {
+    std::vector<PatternT> patterns;
+    BudgetBreach breach = BudgetBreach::kNone;
+
+    bool complete() const { return breach == BudgetBreach::kNone; }
+    bool truncated() const { return !complete(); }
+};
+
+/// One degradation event: which stage, what kind ("deadline", "cancelled",
+/// "minsup_escalated", "smo_nonconverged", ...), and a scalar detail (e.g.
+/// patterns kept, escalated min_sup).
+struct GuardEvent {
+    std::string stage;
+    std::string kind;
+    double value = 0.0;
+};
+
+/// Process-wide, thread-safe log of guard events. Record() also bumps the
+/// `dfp.guard.<kind>` counter so events show up in metric snapshots; run
+/// reports drain the structured log into their "guard" section.
+class GuardLog {
+  public:
+    static GuardLog& Get();
+
+    void Record(std::string_view stage, std::string_view kind, double value = 0.0);
+
+    std::vector<GuardEvent> Snapshot() const;
+    /// Moves all events out (run-report collection).
+    std::vector<GuardEvent> Drain();
+    void Clear();
+    std::size_t size() const;
+
+  private:
+    GuardLog() = default;
+
+    mutable std::mutex mu_;
+    std::vector<GuardEvent> events_;
+};
+
+/// Records `breach` (when != kNone) under `stage` with a scalar detail.
+void RecordBreach(std::string_view stage, BudgetBreach breach, double value = 0.0);
+
+/// Summary of how one pipeline Train run degraded under its budget.
+struct BudgetReport {
+    /// Mining attempts (1 = no retry).
+    std::size_t mine_attempts = 0;
+    /// min_sup escalations along the IG_ub ladder.
+    std::size_t minsup_escalations = 0;
+    /// Last escalated relative min_sup (< 0 when never escalated).
+    double escalated_min_sup_rel = -1.0;
+    /// Breach accepted for the final candidate set (kNone = complete mine).
+    BudgetBreach mine_breach = BudgetBreach::kNone;
+    /// Feature selection stopped early.
+    BudgetBreach select_breach = BudgetBreach::kNone;
+    /// Guard events observed during the run (mining, selection, learning).
+    std::vector<GuardEvent> events;
+
+    bool mine_truncated() const { return mine_breach != BudgetBreach::kNone; }
+    bool select_truncated() const { return select_breach != BudgetBreach::kNone; }
+    bool degraded() const {
+        return mine_truncated() || select_truncated() || minsup_escalations > 0;
+    }
+};
+
+}  // namespace dfp

@@ -4,7 +4,8 @@
 // throwing; exceptions are reserved for programming errors at API boundaries.
 #pragma once
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -22,6 +23,7 @@ enum class StatusCode {
     kResourceExhausted,
     kParseError,
     kInternal,
+    kCancelled,
 };
 
 /// Returns a short human-readable name for a StatusCode ("Ok", "ParseError", ...).
@@ -35,6 +37,7 @@ inline const char* StatusCodeName(StatusCode code) {
         case StatusCode::kResourceExhausted: return "ResourceExhausted";
         case StatusCode::kParseError: return "ParseError";
         case StatusCode::kInternal: return "Internal";
+        case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
 }
@@ -68,6 +71,9 @@ class Status {
     static Status Internal(std::string m) {
         return Status(StatusCode::kInternal, std::move(m));
     }
+    static Status Cancelled(std::string m) {
+        return Status(StatusCode::kCancelled, std::move(m));
+    }
 
     bool ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }
@@ -88,28 +94,46 @@ class Status {
     std::string message_;
 };
 
-/// A value of type T or an error Status. Dereference only when ok().
+namespace internal {
+
+/// Aborts with the carried error. An assert() would compile out under NDEBUG
+/// and turn dereference-on-error into silent UB in release builds; misusing a
+/// Result is a programming error that must die loudly in every build type.
+[[noreturn]] inline void DieOnResultMisuse(const char* what, const Status& status) {
+    std::fprintf(stderr, "dfp: fatal Result misuse: %s (status: %s)\n", what,
+                 status.ToString().c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace internal
+
+/// A value of type T or an error Status. Dereference only when ok();
+/// dereferencing an error aborts (in all build types) with the carried Status.
 template <typename T>
 class Result {
   public:
     Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
     Result(Status status) : status_(std::move(status)) {  // NOLINT
-        assert(!status_.ok() && "Result constructed from Ok status without value");
+        if (status_.ok()) {
+            internal::DieOnResultMisuse("Result constructed from Ok status without a value",
+                                        status_);
+        }
     }
 
     bool ok() const { return status_.ok(); }
     const Status& status() const { return status_; }
 
     T& value() & {
-        assert(ok());
+        CheckOk();
         return *value_;
     }
     const T& value() const& {
-        assert(ok());
+        CheckOk();
         return *value_;
     }
     T&& value() && {
-        assert(ok());
+        CheckOk();
         return std::move(*value_);
     }
 
@@ -122,6 +146,12 @@ class Result {
     T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
   private:
+    void CheckOk() const {
+        if (!ok()) {
+            internal::DieOnResultMisuse("value() called on an error Result", status_);
+        }
+    }
+
     std::optional<T> value_;
     Status status_;
 };

@@ -77,6 +77,45 @@ MinSupRecommendation RecommendMinSupFisher(double fisher0,
     return MakeRecommendation(theta_star, bound(theta_star), n);
 }
 
+std::vector<MinSupRecommendation> MinSupEscalationLadder(
+    double theta_start, const std::vector<double>& priors, std::size_t n,
+    std::size_t rungs) {
+    std::vector<MinSupRecommendation> ladder;
+    if (rungs == 0 || n == 0) return ladder;
+    auto bound = [&priors](double theta) {
+        double b = 0.0;
+        for (double p : priors) b = std::max(b, IgUpperBound(theta, p));
+        return b;
+    };
+    const double ceiling = MonotoneCeiling(priors);
+    const double theta0 = std::clamp(theta_start, 0.0, ceiling);
+    const double b0 = bound(theta0);
+    const double b_top = bound(ceiling);
+    std::size_t prev_abs = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(theta0 * static_cast<double>(n))));
+    for (std::size_t k = 1; k <= rungs; ++k) {
+        const double t = static_cast<double>(k) / static_cast<double>(rungs);
+        const double target = b0 + t * (b_top - b0);
+        double theta = LargestThetaBelow(bound, target, ceiling);
+        std::size_t abs = static_cast<std::size_t>(
+            std::ceil(theta * static_cast<double>(n)));
+        // Guarantee progress even when the bound is flat or degenerate: every
+        // rung must raise the absolute threshold, falling back to doubling.
+        if (abs <= prev_abs) {
+            abs = std::max(prev_abs + 1, prev_abs * 2);
+            theta = std::min(1.0, static_cast<double>(abs) / static_cast<double>(n));
+        }
+        if (abs > n) break;
+        MinSupRecommendation rec;
+        rec.theta_star = theta;
+        rec.min_sup_abs = abs;
+        rec.bound_at_theta_star = bound(std::min(theta, ceiling));
+        ladder.push_back(rec);
+        prev_abs = abs;
+    }
+    return ladder;
+}
+
 std::vector<std::pair<double, double>> IgBoundCurve(
     const std::vector<double>& priors, std::size_t points) {
     std::vector<std::pair<double, double>> curve;

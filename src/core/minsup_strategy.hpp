@@ -45,4 +45,17 @@ MinSupRecommendation RecommendMinSupFisher(double fisher0,
 std::vector<std::pair<double, double>> IgBoundCurve(
     const std::vector<double>& priors, std::size_t points);
 
+/// Principled degradation ladder for budget-exhausted mining: starting from
+/// the threshold θ_start that proved too explosive, returns up to `rungs`
+/// strictly coarser thresholds climbing toward the IG bound's monotone
+/// ceiling. Rung k is the largest θ whose IG_ub stays below a bound target
+/// equally spaced between IG_ub(θ_start) and IG_ub(ceiling) — so each retry
+/// gives up discriminative-power headroom in even steps rather than blindly
+/// doubling min_sup. Each rung's min_sup_abs is guaranteed strictly greater
+/// than its predecessor's (with a doubling fallback when the bound is flat),
+/// and rungs that would exceed n are dropped.
+std::vector<MinSupRecommendation> MinSupEscalationLadder(
+    double theta_start, const std::vector<double>& priors, std::size_t n,
+    std::size_t rungs = 4);
+
 }  // namespace dfp

@@ -44,9 +44,21 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
     result.relevance.resize(candidates.size());
     if (candidates.empty() || n == 0) return result;
 
+    // The effective feature cap folds budget.max_patterns into max_features;
+    // selections emitted so far play the "pattern count" role for the guard.
+    // Every check covers an O(|F|) scan, so read the clock on each one.
+    BudgetGuard guard(config.budget, config.max_features, /*clock_stride=*/1);
+
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         assert(candidates[i].cover.size() == n && "metadata not attached");
         result.relevance[i] = PatternRelevance(config.relevance, db, candidates[i]);
+        if (guard.Check(0) != BudgetBreach::kNone &&
+            guard.breach() != BudgetBreach::kPatternCap) {
+            // Deadline/cancel during scoring: nothing selected yet, bail.
+            result.breach = guard.breach();
+            RecordBreach("core.mmrfs", result.breach, 0.0);
+            return result;
+        }
     }
 
     // Per-candidate running state: selected/discarded flag and the current
@@ -78,6 +90,10 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
 
     std::size_t iterations = 0;
     while (under_covered > 0 && result.selected.size() < config.max_features) {
+        if (guard.Check(result.selected.size()) != BudgetBreach::kNone) {
+            result.breach = guard.breach();
+            break;
+        }
         ++iterations;
         // Candidate with maximum marginal gain among the remaining pool.
         std::size_t best = candidates.size();
@@ -111,6 +127,10 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
                            result.relevance[best]);
             max_red[i] = std::max(max_red[i], r);
         }
+    }
+    if (result.breach != BudgetBreach::kNone) {
+        RecordBreach("core.mmrfs", result.breach,
+                     static_cast<double>(result.selected.size()));
     }
     FlushMmrfsMetrics(iterations, result.selected.size(),
                       iterations - result.selected.size(), result.gains,

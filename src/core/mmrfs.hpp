@@ -15,6 +15,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "core/measures.hpp"
 #include "data/transaction_db.hpp"
 #include "fpm/itemset.hpp"
@@ -28,6 +29,9 @@ struct MmrfsConfig {
     std::size_t coverage_delta = 3;
     /// Hard cap on |Fs| (the paper's algorithm has none; useful in sweeps).
     std::size_t max_features = std::numeric_limits<std::size_t>::max();
+    /// Execution limits; a breach stops the greedy loop early, keeping the
+    /// features selected so far (each selection is individually valid).
+    ExecutionBudget budget;
 };
 
 struct MmrfsResult {
@@ -39,6 +43,9 @@ struct MmrfsResult {
     std::vector<double> relevance;
     /// Per-instance final coverage counts.
     std::vector<std::size_t> coverage;
+    /// kNone when selection ran to its natural stop; otherwise the budget
+    /// breach that truncated the greedy loop.
+    BudgetBreach breach = BudgetBreach::kNone;
 };
 
 /// Runs Algorithm 1. Candidates must have metadata attached against `db`

@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
+#include "core/minsup_strategy.hpp"
 #include "fpm/apriori.hpp"
 #include "fpm/closed_miner.hpp"
 #include "fpm/eclat.hpp"
@@ -56,48 +58,86 @@ void PublishPipelineStats(const PipelineStats& stats) {
 
 }  // namespace
 
-Result<std::vector<Pattern>> PatternClassifierPipeline::MineCandidates(
-    const TransactionDatabase& train) const {
+Result<MineOutcome<Pattern>> PatternClassifierPipeline::MineCandidatesBudgeted(
+    const TransactionDatabase& train, const MinerConfig& mine_config) const {
     const std::unique_ptr<Miner> miner = MakeMiner(config_.miner_kind);
-    MinerConfig mine_config = config_.miner;
+    MinerConfig partition_config = mine_config;
     // Single items are always part of the feature space I ∪ F; keeping them as
     // pattern candidates would only duplicate coordinates.
-    mine_config.include_singletons = false;
+    partition_config.include_singletons = false;
 
+    // One deadline shared by all partitions: each gets the remaining clock,
+    // not a fresh window.
+    DeadlineTimer timer(mine_config.budget.time_budget_ms);
+    MineOutcome<Pattern> outcome;
     std::vector<std::vector<Pattern>> partitions;
+    auto mine_one = [&](const TransactionDatabase& part,
+                        obs::Span& span) -> Status {
+        partition_config.budget.time_budget_ms = timer.remaining_ms();
+        auto mined = miner->MineBudgeted(part, partition_config);
+        if (!mined.ok()) return mined.status();
+        MineOutcome<Pattern> part_outcome = std::move(mined).value();
+        span.Annotate("patterns",
+                      static_cast<double>(part_outcome.patterns.size()));
+        if (part_outcome.breach != BudgetBreach::kNone &&
+            outcome.breach == BudgetBreach::kNone) {
+            outcome.breach = part_outcome.breach;
+        }
+        partitions.push_back(std::move(part_outcome.patterns));
+        return Status::Ok();
+    };
+
     if (config_.per_class_mining) {
         for (ClassLabel c = 0; c < train.num_classes(); ++c) {
+            // A fired token stops everything; other breaches still let later
+            // partitions mine with whatever budget remains.
+            if (outcome.breach == BudgetBreach::kCancelled) break;
             TransactionDatabase partition = train.FilterByClass(c);
             if (partition.num_transactions() == 0) continue;
             obs::Span span(
                 StrFormat("mine.class_%u", static_cast<unsigned>(c)));
-            auto mined = miner->Mine(partition, mine_config);
-            if (!mined.ok()) return mined.status();
-            span.Annotate("patterns", static_cast<double>(mined->size()));
-            partitions.push_back(std::move(mined).value());
+            DFP_RETURN_NOT_OK(mine_one(partition, span));
         }
     } else {
         obs::Span span("mine.all");
-        auto mined = miner->Mine(train, mine_config);
-        if (!mined.ok()) return mined.status();
-        span.Annotate("patterns", static_cast<double>(mined->size()));
-        partitions.push_back(std::move(mined).value());
+        DFP_RETURN_NOT_OK(mine_one(train, span));
     }
 
     // Pool the per-class results, dropping itemsets already seen in an earlier
     // partition, then re-anchor metadata (cover, per-class counts, support) on
     // the full training database.
     obs::Span pool_span("pool_dedup");
-    std::vector<Pattern> pooled;
     std::unordered_set<Itemset, ItemsetHash> seen;
     for (auto& mined : partitions) {
         for (Pattern& p : mined) {
-            if (seen.insert(p.items).second) pooled.push_back(std::move(p));
+            if (seen.insert(p.items).second) {
+                outcome.patterns.push_back(std::move(p));
+            }
         }
     }
-    AttachMetadata(train, &pooled);
-    pool_span.Annotate("pooled", static_cast<double>(pooled.size()));
-    return pooled;
+    AttachMetadata(train, &outcome.patterns);
+    pool_span.Annotate("pooled", static_cast<double>(outcome.patterns.size()));
+    return outcome;
+}
+
+Result<std::vector<Pattern>> PatternClassifierPipeline::MineCandidates(
+    const TransactionDatabase& train) const {
+    auto mined = MineCandidatesBudgeted(train, config_.miner);
+    if (!mined.ok()) return mined.status();
+    MineOutcome<Pattern> outcome = std::move(mined).value();
+    if (outcome.breach == BudgetBreach::kCancelled) {
+        return Status::Cancelled(
+            StrFormat("candidate mining cancelled after %zu patterns",
+                      outcome.patterns.size()));
+    }
+    if (outcome.truncated()) {
+        return Status::ResourceExhausted(
+            StrFormat("candidate mining stopped by budget (%s) after %zu "
+                      "patterns",
+                      BudgetBreachName(outcome.breach),
+                      outcome.patterns.size()));
+    }
+    return std::move(outcome.patterns);
 }
 
 Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
@@ -109,12 +149,97 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         return Status::InvalidArgument("empty training database");
     }
     obs::Span train_span("train");
+    budget_report_ = BudgetReport{};
+    const std::size_t guard_mark = GuardLog::Get().size();
+    // Collects the guard events recorded since Train started (the log is
+    // process-wide; run reports drain it separately).
+    auto finalize_report = [&] {
+        std::vector<GuardEvent> events = GuardLog::Get().Snapshot();
+        const std::size_t from = std::min(guard_mark, events.size());
+        budget_report_.events.assign(
+            std::make_move_iterator(events.begin() +
+                                    static_cast<std::ptrdiff_t>(from)),
+            std::make_move_iterator(events.end()));
+    };
+    // One wall-clock deadline for the whole run; every stage gets whatever
+    // remains of it.
+    DeadlineTimer timer(config_.budget.time_budget_ms);
+    const std::size_t n = train.num_transactions();
 
     {
         obs::Span mine_span("mine");
-        auto mined = MineCandidates(train);
-        if (!mined.ok()) return mined.status();
-        candidates_ = std::move(mined).value();
+        MinerConfig mc = config_.miner;
+        // Fold the pipeline-wide caps/token into the miner's own budget; the
+        // tighter constraint wins.
+        if (mc.budget.cancel == nullptr) mc.budget.cancel = config_.budget.cancel;
+        mc.budget.max_patterns =
+            std::min(mc.budget.max_patterns, config_.budget.max_patterns);
+        if (config_.budget.max_memory_bytes != 0 &&
+            (mc.budget.max_memory_bytes == 0 ||
+             config_.budget.max_memory_bytes < mc.budget.max_memory_bytes)) {
+            mc.budget.max_memory_bytes = config_.budget.max_memory_bytes;
+        }
+
+        std::vector<MinSupRecommendation> ladder;
+        std::size_t rung = 0;
+        for (;;) {
+            ++budget_report_.mine_attempts;
+            mc.budget.time_budget_ms = timer.remaining_ms();
+            auto mined = MineCandidatesBudgeted(train, mc);
+            if (!mined.ok()) return mined.status();
+            MineOutcome<Pattern> outcome = std::move(mined).value();
+            if (outcome.breach == BudgetBreach::kCancelled) {
+                budget_report_.mine_breach = outcome.breach;
+                finalize_report();
+                return Status::Cancelled(StrFormat(
+                    "pipeline training cancelled during mining (%zu patterns "
+                    "pooled)",
+                    outcome.patterns.size()));
+            }
+            // A deadline breach is final — re-mining has no clock left. The
+            // pattern/memory cap is what min_sup escalation can relieve.
+            const bool capped = outcome.breach == BudgetBreach::kPatternCap ||
+                                outcome.breach == BudgetBreach::kMemoryCap;
+            const bool retry =
+                capped && config_.degrade.escalate_min_sup &&
+                budget_report_.mine_attempts <=
+                    config_.degrade.max_mine_retries &&
+                !timer.expired();
+            if (retry && ladder.empty()) {
+                std::vector<double> priors(train.num_classes(), 0.0);
+                for (std::size_t t = 0; t < n; ++t) {
+                    priors[train.label(t)] += 1.0;
+                }
+                for (double& p : priors) p /= static_cast<double>(n);
+                const double theta_start =
+                    static_cast<double>(ResolveMinSup(mc, n)) /
+                    static_cast<double>(n);
+                ladder = MinSupEscalationLadder(theta_start, priors, n,
+                                                config_.degrade.ladder_rungs);
+            }
+            if (!retry || rung >= ladder.size()) {
+                // Accept the (possibly truncated) pool.
+                budget_report_.mine_breach = outcome.breach;
+                if (outcome.breach != BudgetBreach::kNone) {
+                    RecordBreach("core.pipeline.mine", outcome.breach,
+                                 static_cast<double>(outcome.patterns.size()));
+                }
+                candidates_ = std::move(outcome.patterns);
+                break;
+            }
+            const MinSupRecommendation& next = ladder[rung++];
+            mc.min_sup_rel = -1.0;
+            mc.min_sup_abs = next.min_sup_abs;
+            ++budget_report_.minsup_escalations;
+            budget_report_.escalated_min_sup_rel = next.theta_star;
+            GuardLog::Get().Record("core.pipeline", "minsup_escalated",
+                                   next.theta_star);
+            DFP_LOG_WARN(StrFormat(
+                "pipeline: mining breached budget (%s); escalating min_sup to "
+                "%zu (θ=%.4g) and re-mining (attempt %zu)",
+                BudgetBreachName(outcome.breach), next.min_sup_abs,
+                next.theta_star, budget_report_.mine_attempts + 1));
+        }
         mine_span.Annotate("candidates", static_cast<double>(candidates_.size()));
         stats_.mine_seconds = mine_span.ElapsedSeconds();
     }
@@ -124,7 +249,25 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     {
         obs::Span select_span("mmrfs");
         if (config_.feature_selection) {
-            features = SelectPatterns(train, candidates_, config_.mmrfs);
+            MmrfsConfig sc = config_.mmrfs;
+            if (sc.budget.cancel == nullptr) {
+                sc.budget.cancel = config_.budget.cancel;
+            }
+            sc.budget.time_budget_ms = timer.remaining_ms();
+            const MmrfsResult selection = RunMmrfs(train, candidates_, sc);
+            if (selection.breach == BudgetBreach::kCancelled) {
+                budget_report_.select_breach = selection.breach;
+                finalize_report();
+                return Status::Cancelled(
+                    "pipeline training cancelled during feature selection");
+            }
+            // Deadline/cap breach: the greedily selected prefix is still a
+            // valid (if smaller) feature set — keep it.
+            budget_report_.select_breach = selection.breach;
+            features.reserve(selection.selected.size());
+            for (std::size_t i : selection.selected) {
+                features.push_back(candidates_[i]);
+            }
         } else {
             features = candidates_;
         }
@@ -147,11 +290,28 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     {
         obs::Span learn_span("learn");
         num_classes_ = train.num_classes();
-        DFP_RETURN_NOT_OK(learner->Train(x, train.labels(), num_classes_));
+        ExecutionBudget learn_budget = config_.budget;
+        learn_budget.time_budget_ms = timer.remaining_ms();
+        learner->SetExecutionBudget(learn_budget);
+        const Status learned = learner->Train(x, train.labels(), num_classes_);
+        if (!learned.ok()) {
+            finalize_report();
+            return learned;
+        }
         stats_.learn_seconds = learn_span.ElapsedSeconds();
     }
     learner_ = std::move(learner);
+    finalize_report();
     PublishPipelineStats(stats_);
+    if (budget_report_.degraded()) {
+        DFP_LOG_WARN(StrFormat(
+            "pipeline: trained degraded (mine=%s after %zu attempt(s), "
+            "select=%s, %zu escalation(s), %zu guard event(s))",
+            BudgetBreachName(budget_report_.mine_breach),
+            budget_report_.mine_attempts,
+            BudgetBreachName(budget_report_.select_breach),
+            budget_report_.minsup_escalations, budget_report_.events.size()));
+    }
     DFP_LOG_DEBUG(StrFormat(
         "pipeline: mined %zu candidates (%.3fs), selected %zu (%.3fs), "
         "dim %zu, learned in %.3fs",

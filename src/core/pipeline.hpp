@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "core/feature_space.hpp"
 #include "core/mmrfs.hpp"
@@ -31,6 +32,21 @@ struct PipelineConfig {
     MmrfsConfig mmrfs;
     /// Include the single items I in the feature space (the paper always does).
     bool include_single_items = true;
+    /// Overall Train budget: one wall-clock deadline shared by mining,
+    /// selection and learning; the cancel token and pattern/memory caps are
+    /// merged into every stage's own budget. Default = unlimited.
+    ExecutionBudget budget;
+    /// How Train degrades when the mining budget fires.
+    struct DegradePolicy {
+        /// Escalate min_sup along the IG_ub ladder (core/minsup_strategy) and
+        /// re-mine when the pattern/memory cap fires; otherwise (or once the
+        /// ladder/retries are exhausted) accept the truncated candidate set.
+        bool escalate_min_sup = true;
+        /// Re-mines allowed after the initial attempt.
+        std::size_t max_mine_retries = 3;
+        /// Rungs requested from MinSupEscalationLadder.
+        std::size_t ladder_rungs = 4;
+    } degrade;
 };
 
 /// Timing and size diagnostics of one training run.
@@ -57,8 +73,11 @@ class PatternClassifierPipeline {
         : config_(std::move(config)) {}
 
     /// Mines, selects, transforms and trains. The pipeline takes ownership of
-    /// the learner. Fails (propagating miner/learner status) without partial
-    /// state on error.
+    /// the learner. Under config.budget, degrades gracefully instead of
+    /// failing: truncated mining escalates min_sup and retries (per
+    /// config.degrade), stage breaches are accepted as partial results, and
+    /// budget_report() records what happened. A fired CancelToken (or a hard
+    /// miner/learner error) still fails with a non-Ok Status.
     Status Train(const TransactionDatabase& train,
                  std::unique_ptr<Classifier> learner);
 
@@ -69,18 +88,29 @@ class PatternClassifierPipeline {
     double Accuracy(const TransactionDatabase& test) const;
 
     const PipelineStats& stats() const { return stats_; }
+    /// How the last Train run degraded under its budget (empty when it ran
+    /// to completion without breaches, escalations or retries).
+    const BudgetReport& budget_report() const { return budget_report_; }
     const FeatureSpace& feature_space() const { return feature_space_; }
     const std::vector<Pattern>& candidates() const { return candidates_; }
     const Classifier* learner() const { return learner_.get(); }
 
     /// Mines and pools candidates exactly as Train does, without training —
-    /// for benches that inspect the candidate set.
+    /// for benches that inspect the candidate set. Strict semantics: a
+    /// budget breach becomes Cancelled / ResourceExhausted.
     Result<std::vector<Pattern>> MineCandidates(
         const TransactionDatabase& train) const;
 
   private:
+    /// Budget-aware single mining attempt over all class partitions: pools,
+    /// dedups and re-anchors metadata like MineCandidates, but returns the
+    /// partial pool plus the first breach instead of failing.
+    Result<MineOutcome<Pattern>> MineCandidatesBudgeted(
+        const TransactionDatabase& train, const MinerConfig& mine_config) const;
+
     PipelineConfig config_;
     PipelineStats stats_;
+    BudgetReport budget_report_;
     FeatureSpace feature_space_;
     std::vector<Pattern> candidates_;
     std::unique_ptr<Classifier> learner_;

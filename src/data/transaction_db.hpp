@@ -33,6 +33,15 @@ class TransactionDatabase {
         std::size_t num_items, std::size_t num_classes,
         std::vector<std::string> item_names = {});
 
+    /// Validating variant of FromTransactions for untrusted inputs: returns
+    /// InvalidArgument (instead of asserting / indexing out of bounds) when
+    /// sizes mismatch, an item id is >= num_items, a label is >= num_classes,
+    /// or item_names has the wrong length.
+    static Result<TransactionDatabase> FromTransactionsChecked(
+        std::vector<std::vector<ItemId>> transactions, std::vector<ClassLabel> labels,
+        std::size_t num_items, std::size_t num_classes,
+        std::vector<std::string> item_names = {});
+
     std::size_t num_transactions() const { return labels_.size(); }
     std::size_t num_items() const { return num_items_; }
     std::size_t num_classes() const { return num_classes_; }

@@ -61,11 +61,17 @@ bool AllSubsetsFrequent(const Itemset& candidate,
 
 }  // namespace
 
-Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
-                                                const MinerConfig& config) const {
+Result<MineOutcome<Pattern>> AprioriMiner::MineBudgeted(
+    const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
-    std::vector<Pattern> out;
+    MineOutcome<Pattern> outcome;
+    std::vector<Pattern>& out = outcome.patterns;
     AprioriTallies tallies;
+    BudgetGuard guard(config.budget, config.max_patterns);
+    // Coarse live-memory estimate: emitted patterns plus the per-level bitset
+    // covers (the dominant allocation for dense databases).
+    const std::size_t cover_bytes = (db.num_transactions() + 7) / 8;
+    std::size_t out_bytes = 0;
 
     // L1.
     Level current;
@@ -78,20 +84,22 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
     }
 
     std::size_t level = 1;
-    while (!current.itemsets.empty() && level <= config.max_pattern_len) {
+    while (!current.itemsets.empty() && level <= config.max_pattern_len &&
+           guard.ok()) {
         ++tallies.levels;
+        std::size_t covers_bytes = current.covers.size() * cover_bytes;
         for (std::size_t i = 0; i < current.itemsets.size(); ++i) {
-            if (out.size() >= config.max_patterns) {
-                FlushAprioriMetrics(tallies, out.size(), /*budget_abort=*/true);
-                return Status::ResourceExhausted(StrFormat(
-                    "apriori exceeded pattern budget (%zu) at min_sup=%zu",
-                    config.max_patterns, min_sup));
+            if (guard.Check(out.size(), out_bytes + covers_bytes) !=
+                BudgetBreach::kNone) {
+                break;
             }
             Pattern p;
             p.items = current.itemsets[i];
             p.support = current.supports[i];
+            out_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
             out.push_back(std::move(p));
         }
+        if (!guard.ok()) break;
         if (level == config.max_pattern_len) break;
 
         // Candidate generation: join itemsets sharing a (k-1)-prefix. The
@@ -100,8 +108,12 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
         std::vector<Itemset> prev_sorted = current.itemsets;
         std::sort(prev_sorted.begin(), prev_sorted.end());
         Level next;
-        for (std::size_t a = 0; a < current.itemsets.size(); ++a) {
+        for (std::size_t a = 0; a < current.itemsets.size() && guard.ok(); ++a) {
             for (std::size_t b = a + 1; b < current.itemsets.size(); ++b) {
+                if (guard.Check(out.size(), out_bytes + covers_bytes) !=
+                    BudgetBreach::kNone) {
+                    break;
+                }
                 const Itemset& x = current.itemsets[a];
                 const Itemset& y = current.itemsets[b];
                 if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
@@ -122,14 +134,24 @@ Result<std::vector<Pattern>> AprioriMiner::Mine(const TransactionDatabase& db,
                 next.itemsets.push_back(std::move(cand));
                 next.covers.push_back(std::move(cover));
                 next.supports.push_back(s);
+                covers_bytes += cover_bytes;
             }
         }
+        if (!guard.ok()) break;
         current = std::move(next);
         ++level;
     }
+    outcome.breach = guard.breach();
+    if (outcome.truncated()) {
+        FlushAprioriMetrics(tallies, out.size(), /*budget_abort=*/true);
+        RecordBreach("fpm.apriori", outcome.breach,
+                     static_cast<double>(out.size()));
+        FilterPatterns(config, &out);
+        return outcome;
+    }
     FilterPatterns(config, &out);
     FlushAprioriMetrics(tallies, out.size(), /*budget_abort=*/false);
-    return out;
+    return outcome;
 }
 
 }  // namespace dfp

@@ -14,8 +14,8 @@ namespace dfp {
 class AprioriMiner : public Miner {
   public:
     std::string Name() const override { return "apriori"; }
-    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
-                                      const MinerConfig& config) const override;
+    Result<MineOutcome<Pattern>> MineBudgeted(
+        const TransactionDatabase& db, const MinerConfig& config) const override;
 };
 
 }  // namespace dfp

@@ -15,7 +15,8 @@ struct ClosedContext {
     const TransactionDatabase* db;
     std::vector<ItemId> frequent;  // ascending item ids, support >= min_sup
     std::size_t min_sup;
-    std::size_t budget;
+    BudgetGuard* guard = nullptr;
+    std::size_t est_bytes = 0;    // coarse output-memory estimate for the guard
     std::vector<char> in_closed;  // membership of the current closed set
     std::vector<Pattern>* out;
     // Instrumentation tallies, flushed to the registry once per Mine().
@@ -41,7 +42,7 @@ void FlushClosedMetrics(const ClosedContext& ctx, std::size_t emitted,
 
 // Prefix-preserving closure extension DFS (LCM). `closed` is the current
 // closed itemset (sorted), `tidset` its cover, `core` the extension item that
-// produced it. Returns false when the pattern budget is exhausted.
+// produced it. Returns false when the execution budget fires.
 bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidset,
                ItemId core) {
     for (ItemId i : ctx.frequent) {
@@ -51,6 +52,10 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         extended &= ctx.db->ItemCover(i);
         const std::size_t support = extended.Count();
         ++ctx.nodes_expanded;
+        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
+            BudgetBreach::kNone) {
+            return false;
+        }
         if (support < ctx.min_sup) continue;
 
         // Closure: every frequent item whose cover contains the new tidset.
@@ -73,11 +78,11 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         }
         if (!prefix_ok) continue;
 
-        if (ctx.out->size() >= ctx.budget) return false;
         std::sort(closure.begin(), closure.end());
         Pattern p;
         p.items = closure;
         p.support = support;
+        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
         ctx.out->push_back(std::move(p));
 
         // Note: recurse on the local `closure`, not out->back() — the output
@@ -94,17 +99,19 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
 
 }  // namespace
 
-Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
-                                               const MinerConfig& config) const {
+Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
+    const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t n = db.num_transactions();
     const std::size_t min_sup = ResolveMinSup(config, n);
 
+    BudgetGuard guard(config.budget, config.max_patterns);
+    MineOutcome<Pattern> outcome;
+    std::vector<Pattern>& out = outcome.patterns;
     ClosedContext ctx;
     ctx.db = &db;
     ctx.min_sup = min_sup;
-    ctx.budget = config.max_patterns;
+    ctx.guard = &guard;
     ctx.in_closed.assign(db.num_items(), 0);
-    std::vector<Pattern> out;
     ctx.out = &out;
     for (ItemId i = 0; i < db.num_items(); ++i) {
         if (db.ItemSupport(i) >= min_sup) ctx.frequent.push_back(i);
@@ -137,6 +144,10 @@ Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
         BitVector tidset = db.ItemCover(i);
         const std::size_t support = tidset.Count();
         ++ctx.nodes_expanded;
+        if (guard.Check(out.size(), ctx.est_bytes) != BudgetBreach::kNone) {
+            ok = false;
+            break;
+        }
         if (support < min_sup) continue;
         ++ctx.closure_checks;
         Itemset closure;
@@ -155,14 +166,11 @@ Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
             }
         }
         if (!prefix_ok) continue;
-        if (out.size() >= ctx.budget) {
-            ok = false;
-            break;
-        }
         std::sort(closure.begin(), closure.end());
         Pattern p;
         p.items = closure;
         p.support = support;
+        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
         out.push_back(std::move(p));
 
         for (ItemId j : closure) ctx.in_closed[j] = 1;
@@ -171,17 +179,19 @@ Result<std::vector<Pattern>> ClosedMiner::Mine(const TransactionDatabase& db,
         for (ItemId j : root_closed) ctx.in_closed[j] = 1;
     }
     if (!ok) {
+        outcome.breach = guard.breach();
         FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/true);
+        RecordBreach("fpm.closed", outcome.breach,
+                     static_cast<double>(out.size()));
         DFP_LOG_WARN(StrFormat(
-            "closed miner aborted at %zu patterns (budget %zu, min_sup=%zu)",
-            out.size(), config.max_patterns, min_sup));
-        return Status::ResourceExhausted(
-            StrFormat("closed miner exceeded pattern budget (%zu) at min_sup=%zu",
-                      config.max_patterns, min_sup));
+            "closed miner stopped on %s at %zu patterns (min_sup=%zu)",
+            BudgetBreachName(outcome.breach), out.size(), min_sup));
+        FilterPatterns(config, &out);
+        return outcome;
     }
     FilterPatterns(config, &out);
     FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/false);
-    return out;
+    return outcome;
 }
 
 Result<std::vector<Pattern>> BruteForceClosed(const TransactionDatabase& db,

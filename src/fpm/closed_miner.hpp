@@ -17,8 +17,8 @@ namespace dfp {
 class ClosedMiner : public Miner {
   public:
     std::string Name() const override { return "closed"; }
-    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
-                                      const MinerConfig& config) const override;
+    Result<MineOutcome<Pattern>> MineBudgeted(
+        const TransactionDatabase& db, const MinerConfig& config) const override;
 };
 
 /// Reference implementation for tests: mines all frequent itemsets with the

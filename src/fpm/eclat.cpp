@@ -11,8 +11,9 @@ struct EclatContext {
     const TransactionDatabase* db;
     std::size_t min_sup;
     std::size_t max_len;
-    std::size_t budget;
+    BudgetGuard* guard;
     std::vector<Pattern>* out;
+    std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
     // Instrumentation tally, flushed to the registry once per Mine().
     std::size_t intersections = 0;  // tidset ANDs computed (= nodes expanded)
 };
@@ -31,7 +32,7 @@ void FlushEclatMetrics(const EclatContext& ctx, std::size_t emitted,
 }
 
 // Extends `prefix` (whose cover is `cover`) with every item > last item.
-// Returns false when the budget is exhausted.
+// Returns false when the execution budget fires.
 bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
               const std::vector<ItemId>& candidates) {
     for (std::size_t k = 0; k < candidates.size(); ++k) {
@@ -41,12 +42,16 @@ bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
         const std::size_t support = extended.Count();
         ++ctx.intersections;
         if (support < ctx.min_sup) continue;
-        if (ctx.out->size() >= ctx.budget) return false;
+        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
+            BudgetBreach::kNone) {
+            return false;
+        }
 
         prefix.push_back(i);
         Pattern p;
         p.items = prefix;
         p.support = support;
+        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
         ctx.out->push_back(std::move(p));
 
         if (prefix.size() < ctx.max_len) {
@@ -65,11 +70,13 @@ bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
 
 }  // namespace
 
-Result<std::vector<Pattern>> EclatMiner::Mine(const TransactionDatabase& db,
-                                              const MinerConfig& config) const {
+Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
+    const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
-    std::vector<Pattern> out;
-    EclatContext ctx{&db, min_sup, config.max_pattern_len, config.max_patterns, &out};
+    BudgetGuard guard(config.budget, config.max_patterns);
+    MineOutcome<Pattern> outcome;
+    std::vector<Pattern>& out = outcome.patterns;
+    EclatContext ctx{&db, min_sup, config.max_pattern_len, &guard, &out};
 
     std::vector<ItemId> frequent;
     for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -79,14 +86,16 @@ Result<std::vector<Pattern>> EclatMiner::Mine(const TransactionDatabase& db,
     all.Fill();
     Itemset prefix;
     if (!EclatDfs(ctx, prefix, all, frequent)) {
+        outcome.breach = guard.breach();
         FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/true);
-        return Status::ResourceExhausted(
-            StrFormat("eclat exceeded pattern budget (%zu) at min_sup=%zu",
-                      config.max_patterns, min_sup));
+        RecordBreach("fpm.eclat", outcome.breach,
+                     static_cast<double>(out.size()));
+        FilterPatterns(config, &out);
+        return outcome;
     }
     FilterPatterns(config, &out);
     FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/false);
-    return out;
+    return outcome;
 }
 
 }  // namespace dfp

@@ -13,8 +13,8 @@ namespace dfp {
 class EclatMiner : public Miner {
   public:
     std::string Name() const override { return "eclat"; }
-    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
-                                      const MinerConfig& config) const override;
+    Result<MineOutcome<Pattern>> MineBudgeted(
+        const TransactionDatabase& db, const MinerConfig& config) const override;
 };
 
 }  // namespace dfp

@@ -13,8 +13,9 @@ namespace {
 struct GrowthContext {
     std::size_t min_sup;
     std::size_t max_len;
-    std::size_t budget;
+    BudgetGuard* guard;
     std::vector<Pattern>* out;
+    std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
     // Instrumentation tallies, flushed to the registry once per Mine().
     std::size_t nodes_expanded = 0;    // header entries visited across all trees
     std::size_t cond_trees_built = 0;  // conditional FP-trees constructed
@@ -37,7 +38,7 @@ void FlushGrowthMetrics(const GrowthContext& ctx, std::size_t emitted,
 }
 
 // Recursively mines `tree`, emitting suffix ∪ {item} patterns. Returns false
-// when the pattern budget is exhausted.
+// when the execution budget fires.
 bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
     if (tree.empty()) return true;
     // Least-frequent items first, as in the original algorithm.
@@ -45,15 +46,16 @@ bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
     for (std::size_t idx = header.size(); idx-- > 0;) {
         const auto& entry = header[idx];
         ++ctx.nodes_expanded;
-        suffix.push_back(entry.item);
-        if (ctx.out->size() >= ctx.budget) {
-            suffix.pop_back();
+        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
+            BudgetBreach::kNone) {
             return false;
         }
+        suffix.push_back(entry.item);
         Pattern p;
         p.items = suffix;
         std::sort(p.items.begin(), p.items.end());
         p.support = entry.count;
+        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
         ctx.out->push_back(std::move(p));
 
         if (suffix.size() < ctx.max_len) {
@@ -72,8 +74,8 @@ bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
 
 }  // namespace
 
-Result<std::vector<Pattern>> FpGrowthMiner::Mine(const TransactionDatabase& db,
-                                                 const MinerConfig& config) const {
+Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
+    const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
 
     std::vector<FpTree::WeightedTransaction> txns;
@@ -81,18 +83,21 @@ Result<std::vector<Pattern>> FpGrowthMiner::Mine(const TransactionDatabase& db,
     for (const auto& t : db.transactions()) txns.push_back({t, 1});
     const FpTree tree = FpTree::Build(txns, min_sup);
 
-    std::vector<Pattern> out;
+    BudgetGuard guard(config.budget, config.max_patterns);
+    MineOutcome<Pattern> outcome;
     std::vector<ItemId> suffix;
-    GrowthContext ctx{min_sup, config.max_pattern_len, config.max_patterns, &out};
+    GrowthContext ctx{min_sup, config.max_pattern_len, &guard, &outcome.patterns};
     if (!Grow(tree, suffix, ctx)) {
-        FlushGrowthMetrics(ctx, out.size(), /*budget_abort=*/true);
-        return Status::ResourceExhausted(
-            StrFormat("fpgrowth exceeded pattern budget (%zu) at min_sup=%zu",
-                      config.max_patterns, min_sup));
+        outcome.breach = guard.breach();
+        FlushGrowthMetrics(ctx, outcome.patterns.size(), /*budget_abort=*/true);
+        RecordBreach("fpm.fpgrowth", outcome.breach,
+                     static_cast<double>(outcome.patterns.size()));
+        FilterPatterns(config, &outcome.patterns);
+        return outcome;
     }
-    FilterPatterns(config, &out);
-    FlushGrowthMetrics(ctx, out.size(), /*budget_abort=*/false);
-    return out;
+    FilterPatterns(config, &outcome.patterns);
+    FlushGrowthMetrics(ctx, outcome.patterns.size(), /*budget_abort=*/false);
+    return outcome;
 }
 
 }  // namespace dfp

@@ -6,12 +6,12 @@
 namespace dfp {
 
 /// Han/Pei/Yin FP-growth. Emits every frequent itemset (subject to the
-/// config's length filter and pattern budget).
+/// config's length filter and execution budget).
 class FpGrowthMiner : public Miner {
   public:
     std::string Name() const override { return "fpgrowth"; }
-    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
-                                      const MinerConfig& config) const override;
+    Result<MineOutcome<Pattern>> MineBudgeted(
+        const TransactionDatabase& db, const MinerConfig& config) const override;
 };
 
 }  // namespace dfp

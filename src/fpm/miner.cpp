@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/string_util.hpp"
+
 namespace dfp {
+
+Result<std::vector<Pattern>> Miner::Mine(const TransactionDatabase& db,
+                                         const MinerConfig& config) const {
+    auto outcome = MineBudgeted(db, config);
+    if (!outcome.ok()) return outcome.status();
+    MineOutcome<Pattern> mined = std::move(outcome).value();
+    if (mined.breach == BudgetBreach::kCancelled) {
+        return Status::Cancelled(
+            StrFormat("%s miner cancelled after %zu patterns", Name().c_str(),
+                      mined.patterns.size()));
+    }
+    if (mined.truncated()) {
+        return Status::ResourceExhausted(
+            StrFormat("%s miner stopped on %s after %zu patterns", Name().c_str(),
+                      BudgetBreachName(mined.breach), mined.patterns.size()));
+    }
+    return std::move(mined.patterns);
+}
 
 std::size_t ResolveMinSup(const MinerConfig& config, std::size_t num_transactions) {
     std::size_t abs = config.min_sup_abs;

@@ -8,9 +8,13 @@
 //                     preserving closure extension; output semantics identical
 //                     to FPClose, which the paper uses).
 //
-// All miners honour a pattern budget so that runaway enumerations (e.g. the
-// paper's min_sup = 1 rows in Tables 3–5) fail fast with ResourceExhausted
-// instead of exhausting memory.
+// All miners honour an ExecutionBudget (pattern cap, wall-clock deadline,
+// estimated-memory cap, cancellation) so that runaway enumerations (e.g. the
+// paper's min_sup = 1 rows in Tables 3–5) stop cooperatively. The primary
+// entry point, MineBudgeted(), returns whatever was enumerated before the
+// breach (truncated sets are still support-correct); the strict Mine()
+// wrapper converts any breach into an error Status for callers that need
+// all-or-nothing semantics.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "data/transaction_db.hpp"
 #include "fpm/itemset.hpp"
@@ -34,11 +39,14 @@ struct MinerConfig {
     /// Maximum pattern length emitted (ClosedMiner applies it as a post-filter
     /// since truncating closed patterns would change closure semantics).
     std::size_t max_pattern_len = std::numeric_limits<std::size_t>::max();
-    /// Safety budget: mining aborts with ResourceExhausted beyond this count.
+    /// Safety cap on emitted patterns; the effective cap is the min of this
+    /// and budget.max_patterns. MineBudgeted() truncates here; Mine() fails.
     std::size_t max_patterns = 20'000'000;
     /// Emit single-item patterns too (the framework's feature space is I ∪ F,
     /// so singletons are usually redundant as patterns; default keeps them).
     bool include_singletons = true;
+    /// Execution limits (deadline, memory, cancellation). Default = unlimited.
+    ExecutionBudget budget;
 };
 
 /// Resolves the effective absolute support threshold (always >= 1).
@@ -52,10 +60,20 @@ class Miner {
     /// Short identifier ("fpgrowth", "closed", ...).
     virtual std::string Name() const = 0;
 
-    /// Mines patterns from `db`. On success every pattern has items + support
-    /// filled (covers/class counts are attached by the caller when needed).
-    virtual Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
-                                              const MinerConfig& config) const = 0;
+    /// Mines patterns from `db`, honouring config.budget cooperatively. On
+    /// success every pattern has items + support filled (covers/class counts
+    /// are attached by the caller when needed). If a budget fired, the
+    /// outcome carries the patterns enumerated so far plus the breach —
+    /// each emitted pattern still has its exact support.
+    virtual Result<MineOutcome<Pattern>> MineBudgeted(
+        const TransactionDatabase& db, const MinerConfig& config) const = 0;
+
+    /// Strict all-or-nothing wrapper over MineBudgeted(): any breach becomes
+    /// an error (Cancelled for a fired CancelToken, ResourceExhausted
+    /// otherwise). Existing callers that cannot use partial sets keep these
+    /// semantics.
+    Result<std::vector<Pattern>> Mine(const TransactionDatabase& db,
+                                      const MinerConfig& config) const;
 };
 
 /// Applies config.include_singletons / max_pattern_len as post-filters.

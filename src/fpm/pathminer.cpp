@@ -64,8 +64,8 @@ bool ContainsPath(const LabeledGraph& graph, const PathPattern& pattern) {
     return false;
 }
 
-Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
-                                           const PathMinerConfig& config) {
+Result<MineOutcome<PathPattern>> MinePathsBudgeted(const GraphDatabase& db,
+                                                   const PathMinerConfig& config) {
     std::size_t min_sup = config.min_sup_abs;
     if (config.min_sup_rel >= 0.0) {
         min_sup = static_cast<std::size_t>(
@@ -73,7 +73,10 @@ Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
     }
     min_sup = std::max<std::size_t>(min_sup, 1);
 
-    std::vector<PathPattern> out;
+    BudgetGuard guard(config.budget, config.max_patterns);
+    MineOutcome<PathPattern> outcome;
+    std::vector<PathPattern>& out = outcome.patterns;
+    std::size_t est_bytes = 0;  // coarse: emitted patterns + dedup set entries
     // Level k patterns together with their supporting graph ids, so level k+1
     // only re-tests the graphs that contained the parent (anti-monotone).
     struct Open {
@@ -96,16 +99,22 @@ Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
     }
 
     std::set<PathPattern> seen;
-    for (std::size_t level = 0; level < config.max_edges && !frontier.empty();
-         ++level) {
+    for (std::size_t level = 0;
+         level < config.max_edges && !frontier.empty() && guard.ok(); ++level) {
         std::vector<Open> next;
         for (const Open& parent : frontier) {
+            if (!guard.ok()) break;
             // Both ends must be extended: a canonical path's parent may only
             // be stored in the orientation that requires prepending. The
             // `seen` set dedups the two orientations of each child.
-            for (int end = 0; end < 2; ++end) {
-                for (EdgeLabel el = 0; el < db.num_edge_labels(); ++el) {
+            for (int end = 0; end < 2 && guard.ok(); ++end) {
+                for (EdgeLabel el = 0; el < db.num_edge_labels() && guard.ok();
+                     ++el) {
                     for (VertexLabel vl = 0; vl < db.num_vertex_labels(); ++vl) {
+                        if (guard.Check(out.size(), est_bytes) !=
+                            BudgetBreach::kNone) {
+                            break;
+                        }
                         Open child;
                         if (end == 0) {
                             child.pattern.vertices = parent.pattern.vertices;
@@ -125,17 +134,16 @@ Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
                         }
                         child.pattern.Canonicalize();
                         if (!seen.insert(child.pattern).second) continue;
+                        est_bytes += sizeof(PathPattern) +
+                                     child.pattern.vertices.size() *
+                                         sizeof(VertexLabel) +
+                                     child.pattern.edges.size() * sizeof(EdgeLabel);
                         for (std::uint32_t g : parent.graphs) {
                             if (ContainsPath(db.graph(g), child.pattern)) {
                                 child.graphs.push_back(g);
                             }
                         }
                         if (child.graphs.size() < min_sup) continue;
-                        if (out.size() >= config.max_patterns) {
-                            return Status::ResourceExhausted(StrFormat(
-                                "path miner exceeded pattern budget (%zu)",
-                                config.max_patterns));
-                        }
                         child.pattern.support = child.graphs.size();
                         out.push_back(child.pattern);
                         next.push_back(std::move(child));
@@ -145,7 +153,29 @@ Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
         }
         frontier = std::move(next);
     }
-    return out;
+    outcome.breach = guard.breach();
+    if (outcome.truncated()) {
+        RecordBreach("fpm.pathminer", outcome.breach,
+                     static_cast<double>(out.size()));
+    }
+    return outcome;
+}
+
+Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
+                                           const PathMinerConfig& config) {
+    auto outcome = MinePathsBudgeted(db, config);
+    if (!outcome.ok()) return outcome.status();
+    MineOutcome<PathPattern> mined = std::move(outcome).value();
+    if (mined.breach == BudgetBreach::kCancelled) {
+        return Status::Cancelled(StrFormat("path miner cancelled after %zu patterns",
+                                           mined.patterns.size()));
+    }
+    if (mined.truncated()) {
+        return Status::ResourceExhausted(
+            StrFormat("path miner stopped on %s after %zu patterns",
+                      BudgetBreachName(mined.breach), mined.patterns.size()));
+    }
+    return std::move(mined.patterns);
 }
 
 }  // namespace dfp

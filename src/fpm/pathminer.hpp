@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "data/graph.hpp"
 
@@ -49,11 +50,19 @@ struct PathMinerConfig {
     std::size_t min_sup_abs = 1;
     std::size_t max_edges = 4;  ///< maximum path length in edges
     std::size_t max_patterns = 1'000'000;
+    ExecutionBudget budget;     ///< deadline / memory / cancellation limits
 };
 
-/// Mines all frequent canonical labeled paths of `db`. Patterns with 0 edges
-/// (single vertex labels) are included; callers typically drop them when the
-/// feature space already includes vertex-label counts.
+/// Mines frequent canonical labeled paths of `db`, honouring config.budget
+/// cooperatively. Patterns with 0 edges (single vertex labels) are included;
+/// callers typically drop them when the feature space already includes
+/// vertex-label counts. On a breach, the outcome carries the paths found so
+/// far (each support-correct).
+Result<MineOutcome<PathPattern>> MinePathsBudgeted(const GraphDatabase& db,
+                                                   const PathMinerConfig& config);
+
+/// Strict all-or-nothing wrapper: any breach becomes Cancelled /
+/// ResourceExhausted.
 Result<std::vector<PathPattern>> MinePaths(const GraphDatabase& db,
                                            const PathMinerConfig& config);
 

@@ -65,12 +65,13 @@ struct SpanContext {
     const SequenceDatabase* db;
     std::size_t min_sup;
     std::size_t max_len;
-    std::size_t budget;
+    BudgetGuard* guard;
     std::vector<SequentialPattern>* out;
+    std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
 };
 
-// Recursively extends `prefix` over the projected database. Returns false on
-// budget exhaustion.
+// Recursively extends `prefix` over the projected database. Returns false
+// when the execution budget fires.
 bool Span(SpanContext& ctx, Sequence& prefix,
           const std::vector<Projection>& projections) {
     // Count each item's support in the projected suffixes (once per sequence).
@@ -88,8 +89,13 @@ bool Span(SpanContext& ctx, Sequence& prefix,
     }
     for (ItemId item = 0; item < ctx.db->num_items(); ++item) {
         if (support[item] < ctx.min_sup) continue;
-        if (ctx.out->size() >= ctx.budget) return false;
+        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
+            BudgetBreach::kNone) {
+            return false;
+        }
         prefix.push_back(item);
+        ctx.est_bytes +=
+            sizeof(SequentialPattern) + prefix.capacity() * sizeof(ItemId);
         ctx.out->push_back({prefix, support[item]});
 
         if (prefix.size() < ctx.max_len) {
@@ -117,7 +123,7 @@ bool Span(SpanContext& ctx, Sequence& prefix,
 
 }  // namespace
 
-Result<std::vector<SequentialPattern>> MineSequences(
+Result<MineOutcome<SequentialPattern>> MineSequencesBudgeted(
     const SequenceDatabase& db, const PrefixSpanConfig& config) {
     std::size_t min_sup = config.min_sup_abs;
     if (config.min_sup_rel >= 0.0) {
@@ -126,20 +132,40 @@ Result<std::vector<SequentialPattern>> MineSequences(
     }
     min_sup = std::max<std::size_t>(min_sup, 1);
 
-    std::vector<SequentialPattern> out;
+    BudgetGuard guard(config.budget, config.max_patterns);
+    MineOutcome<SequentialPattern> outcome;
     std::vector<Projection> root;
     root.reserve(db.size());
     for (std::size_t i = 0; i < db.size(); ++i) {
         root.push_back({static_cast<std::uint32_t>(i), 0});
     }
     Sequence prefix;
-    SpanContext ctx{&db, min_sup, config.max_pattern_len, config.max_patterns, &out};
+    SpanContext ctx{&db, min_sup, config.max_pattern_len, &guard,
+                    &outcome.patterns};
     if (!Span(ctx, prefix, root)) {
-        return Status::ResourceExhausted(
-            StrFormat("prefixspan exceeded pattern budget (%zu) at min_sup=%zu",
-                      config.max_patterns, min_sup));
+        outcome.breach = guard.breach();
+        RecordBreach("fpm.prefixspan", outcome.breach,
+                     static_cast<double>(outcome.patterns.size()));
     }
-    return out;
+    return outcome;
+}
+
+Result<std::vector<SequentialPattern>> MineSequences(
+    const SequenceDatabase& db, const PrefixSpanConfig& config) {
+    auto outcome = MineSequencesBudgeted(db, config);
+    if (!outcome.ok()) return outcome.status();
+    MineOutcome<SequentialPattern> mined = std::move(outcome).value();
+    if (mined.breach == BudgetBreach::kCancelled) {
+        return Status::Cancelled(
+            StrFormat("prefixspan cancelled after %zu patterns",
+                      mined.patterns.size()));
+    }
+    if (mined.truncated()) {
+        return Status::ResourceExhausted(
+            StrFormat("prefixspan stopped on %s after %zu patterns",
+                      BudgetBreachName(mined.breach), mined.patterns.size()));
+    }
+    return std::move(mined.patterns);
 }
 
 SequenceDatabase GenerateSequences(const SequenceSpec& spec) {

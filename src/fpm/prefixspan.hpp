@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "data/dataset.hpp"
 #include "data/encoder.hpp"
@@ -61,10 +62,17 @@ struct PrefixSpanConfig {
     std::size_t min_sup_abs = 1;
     std::size_t max_pattern_len = 8;
     std::size_t max_patterns = 5'000'000;
+    ExecutionBudget budget;  ///< deadline / memory / cancellation limits
 };
 
-/// Mines all frequent subsequences of `db` with PrefixSpan (pseudo-projected
-/// databases). Returns ResourceExhausted beyond the pattern budget.
+/// Mines frequent subsequences of `db` with PrefixSpan (pseudo-projected
+/// databases), honouring config.budget cooperatively. On a breach, the
+/// outcome carries the subsequences found so far (each support-correct).
+Result<MineOutcome<SequentialPattern>> MineSequencesBudgeted(
+    const SequenceDatabase& db, const PrefixSpanConfig& config);
+
+/// Strict all-or-nothing wrapper: any breach becomes Cancelled /
+/// ResourceExhausted.
 Result<std::vector<SequentialPattern>> MineSequences(const SequenceDatabase& db,
                                                      const PrefixSpanConfig& config);
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "data/dataset.hpp"
 #include "ml/feature_matrix.hpp"
@@ -35,6 +36,11 @@ class Classifier {
     /// Trains on X (one row per instance) with labels in [0, num_classes).
     virtual Status Train(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
                          std::size_t num_classes) = 0;
+
+    /// Installs execution limits for subsequent Train() calls. Budget-aware
+    /// learners (SVM grid search, Pegasos) honour the deadline / cancel token
+    /// cooperatively; the default ignores it.
+    virtual void SetExecutionBudget(const ExecutionBudget& /*budget*/) {}
 
     /// Predicts the label of one feature vector (dimension == training cols).
     virtual ClassLabel Predict(std::span<const double> x) const = 0;

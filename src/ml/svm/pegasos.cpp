@@ -10,6 +10,75 @@
 
 namespace dfp {
 
+namespace {
+
+// Pegasos SGD core shared by the one-vs-rest classifier and the binary
+// fallback solver. `target_of(i)` returns the ±1 label of row i; `rng` is
+// shared by callers training several machines so the sampling stream stays
+// reproducible. The budget is checked once per epoch: fine-grained enough
+// for deadlines (epochs are O(n·d)) without touching the inner loop.
+template <typename TargetFn>
+BinaryLinearModel PegasosSgd(const FeatureMatrix& x, TargetFn target_of,
+                             const PegasosConfig& config, Rng& rng) {
+    const std::size_t n = x.rows();
+    const std::size_t cols = x.cols();
+    BinaryLinearModel model;
+    model.w.assign(cols, 0.0);
+    double* w = model.w.data();
+    double b = 0.0;      // bias treated as a constant-1 feature
+    double scale = 1.0;  // lazy w-shrinking factor
+    BudgetGuard guard(config.budget, std::numeric_limits<std::size_t>::max(),
+                      /*clock_stride=*/1);
+    // Start t at 2 so the first step size is 1/(2λ), not 1/λ (which would
+    // zero `scale` and make the first example dominate).
+    std::size_t t = 2;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        if (guard.Check(0) != BudgetBreach::kNone) {
+            model.breach = guard.breach();
+            break;
+        }
+        for (std::size_t step = 0; step < n; ++step, ++t) {
+            const std::size_t i =
+                static_cast<std::size_t>(rng.UniformInt(std::uint64_t{n}));
+            const double target = target_of(i);
+            const double eta = 1.0 / (config.lambda * static_cast<double>(t));
+            const auto row = x.Row(i);
+            double f = b;
+            for (std::size_t d = 0; d < cols; ++d) f += w[d] * row[d];
+            f *= scale;
+            // Shrink: w ← (1 − ηλ)w, folded into the lazy scale.
+            scale *= (1.0 - eta * config.lambda);
+            if (scale < 1e-9) {
+                for (std::size_t d = 0; d < cols; ++d) w[d] *= scale;
+                b *= scale;
+                scale = 1.0;
+            }
+            if (target * f < 1.0) {
+                const double g = eta * target / scale;
+                for (std::size_t d = 0; d < cols; ++d) w[d] += g * row[d];
+                b += g;
+            }
+        }
+    }
+    for (std::size_t d = 0; d < cols; ++d) w[d] *= scale;
+    model.bias = b * scale;
+    return model;
+}
+
+}  // namespace
+
+BinaryLinearModel TrainPegasosBinary(const FeatureMatrix& x,
+                                     const std::vector<int>& y,
+                                     const PegasosConfig& config) {
+    Rng rng(config.seed);
+    BinaryLinearModel model = PegasosSgd(
+        x, [&y](std::size_t i) { return static_cast<double>(y[i]); }, config, rng);
+    if (model.breach != BudgetBreach::kNone) {
+        RecordBreach("ml.pegasos", model.breach, 0.0);
+    }
+    return model;
+}
+
 Status PegasosClassifier::Train(const FeatureMatrix& x,
                                 const std::vector<ClassLabel>& y,
                                 std::size_t num_classes) {
@@ -23,40 +92,21 @@ Status PegasosClassifier::Train(const FeatureMatrix& x,
     bias_.assign(num_classes, 0.0);
     Rng rng(config_.seed);
 
-    const std::size_t n = x.rows();
     for (std::size_t c = 0; c < num_classes; ++c) {
-        double* w = &weights_[c * cols_];
-        double b = 0.0;      // bias treated as a constant-1 feature
-        double scale = 1.0;  // lazy w-shrinking factor
-        // Start t at 2 so the first step size is 1/(2λ), not 1/λ (which would
-        // zero `scale` and make the first example dominate).
-        std::size_t t = 2;
-        for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-            for (std::size_t step = 0; step < n; ++step, ++t) {
-                const std::size_t i =
-                    static_cast<std::size_t>(rng.UniformInt(std::uint64_t{n}));
-                const double target = (y[i] == c) ? 1.0 : -1.0;
-                const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
-                const auto row = x.Row(i);
-                double f = b;
-                for (std::size_t d = 0; d < cols_; ++d) f += w[d] * row[d];
-                f *= scale;
-                // Shrink: w ← (1 − ηλ)w, folded into the lazy scale.
-                scale *= (1.0 - eta * config_.lambda);
-                if (scale < 1e-9) {
-                    for (std::size_t d = 0; d < cols_; ++d) w[d] *= scale;
-                    b *= scale;
-                    scale = 1.0;
-                }
-                if (target * f < 1.0) {
-                    const double g = eta * target / scale;
-                    for (std::size_t d = 0; d < cols_; ++d) w[d] += g * row[d];
-                    b += g;
-                }
-            }
+        const BinaryLinearModel machine = PegasosSgd(
+            x, [&y, c](std::size_t i) { return (y[i] == c) ? 1.0 : -1.0; },
+            config_, rng);
+        if (machine.breach == BudgetBreach::kCancelled) {
+            RecordBreach("ml.pegasos", machine.breach, static_cast<double>(c));
+            return Status::Cancelled("pegasos training cancelled");
         }
-        for (std::size_t d = 0; d < cols_; ++d) w[d] *= scale;
-        bias_[c] = b * scale;
+        if (machine.breach != BudgetBreach::kNone) {
+            // Deadline: keep the truncated (still valid) iterate and push on —
+            // later classes get their own epoch-0 exit immediately.
+            RecordBreach("ml.pegasos", machine.breach, static_cast<double>(c));
+        }
+        std::copy(machine.w.begin(), machine.w.end(), &weights_[c * cols_]);
+        bias_[c] = machine.bias;
     }
     return Status::Ok();
 }

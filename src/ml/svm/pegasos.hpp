@@ -18,7 +18,25 @@ struct PegasosConfig {
     double lambda = 1e-4;    ///< L2 regularization (≈ 1/(C·n))
     std::size_t epochs = 30;  ///< passes over the data
     std::uint64_t seed = 19;
+    /// Deadline / cancellation limits, checked once per epoch. A deadline
+    /// stops training early with the current (still valid) iterate; a fired
+    /// CancelToken makes Train return Cancelled.
+    ExecutionBudget budget;
 };
+
+/// A binary linear decision function f(x) = w·x + bias (classify by sign).
+struct BinaryLinearModel {
+    std::vector<double> w;
+    double bias = 0.0;
+    /// Breach that stopped SGD early (kNone = ran all epochs).
+    BudgetBreach breach = BudgetBreach::kNone;
+};
+
+/// Trains a binary (±1 labels) linear SVM with Pegasos SGD — the fallback
+/// solver used when SMO fails to converge on a pairwise subproblem.
+BinaryLinearModel TrainPegasosBinary(const FeatureMatrix& x,
+                                     const std::vector<int>& y,
+                                     const PegasosConfig& config);
 
 /// One-vs-rest linear SVM trained with Pegasos SGD.
 class PegasosClassifier : public Classifier {
@@ -32,6 +50,9 @@ class PegasosClassifier : public Classifier {
     ClassLabel Predict(std::span<const double> x) const override;
     Status SaveModel(std::ostream& out) const override;
     Status LoadModel(std::istream& in) override;
+    void SetExecutionBudget(const ExecutionBudget& budget) override {
+        config_.budget = budget;
+    }
 
     /// Decision value of the one-vs-rest machine for class c.
     double Decision(std::span<const double> x, ClassLabel c) const;

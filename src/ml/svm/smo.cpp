@@ -44,17 +44,24 @@ class SmoSolver {
     Result<SmoModel> Solve() {
         // Platt's outer loop: alternate full sweeps and non-bound sweeps until
         // a full sweep makes no progress.
+        BudgetGuard guard(config_.budget);
         bool examine_all = true;
+        bool budget_hit = false;
         std::size_t changed = 0;
         std::size_t passes = 0;
         while ((changed > 0 || examine_all) && passes < config_.max_passes &&
                steps_ < config_.max_steps) {
             changed = 0;
             for (std::size_t i = 0; i < n_; ++i) {
+                if (guard.Check(0) != BudgetBreach::kNone) {
+                    budget_hit = true;
+                    break;
+                }
                 if (!examine_all && !IsNonBound(i)) continue;
                 changed += ExamineExample(i);
                 if (steps_ >= config_.max_steps) break;
             }
+            if (budget_hit) break;
             if (examine_all) {
                 examine_all = false;
             } else if (changed == 0) {
@@ -63,7 +70,16 @@ class SmoSolver {
             ++passes;
         }
         FlushMetrics(passes);
-        return BuildModel();
+        // Convergence means a full sweep found no KKT violator — not an exit
+        // forced by the pair-update or execution budget.
+        const bool exhausted = budget_hit || passes >= config_.max_passes ||
+                               steps_ >= config_.max_steps;
+        auto model = BuildModel();
+        if (model.ok()) {
+            model.value().converged = !exhausted && changed == 0 && !examine_all;
+            model.value().breach = guard.breach();
+        }
+        return model;
     }
 
   private:

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "ml/feature_matrix.hpp"
 #include "ml/svm/kernel.hpp"
@@ -27,6 +28,14 @@ struct SmoConfig {
     /// Precompute the full Gram matrix when n ≤ this (memory: n² doubles).
     std::size_t gram_limit = 3000;
     std::uint64_t seed = 7;  ///< tie-breaking RNG
+    /// Wall-clock / cancellation limits for the solve (checked between
+    /// examine calls). A breach stops the solver with the current iterate.
+    ExecutionBudget budget;
+    /// SvmClassifier-level policy (ignored by TrainSmo itself): when SMO
+    /// exhausts max_steps/max_passes without converging, retrain the pair
+    /// with the Pegasos primal solver instead of keeping the dubious dual
+    /// iterate.
+    bool fallback_to_pegasos = true;
 };
 
 /// Trained binary SVM. Labels are {−1, +1}.
@@ -41,6 +50,14 @@ struct SmoModel {
     /// Training α per training row (kept for KKT certification in tests).
     std::vector<double> alpha;
     std::size_t iterations = 0;  ///< pair updates performed
+    /// False when the solver stopped before a full KKT-clean sweep: pair-
+    /// update budget (max_steps/max_passes) exhausted or execution budget
+    /// breached. The model is still usable — it is the current SMO iterate —
+    /// but callers may prefer a fallback solver.
+    bool converged = true;
+    /// The execution-budget breach that stopped the solve (kNone when the
+    /// stop was due to max_steps/max_passes or natural convergence).
+    BudgetBreach breach = BudgetBreach::kNone;
 
     /// Decision value f(x); classify by sign.
     double Decision(std::span<const double> x) const;

@@ -7,6 +7,7 @@
 
 #include "common/string_util.hpp"
 #include "ml/eval/cross_validation.hpp"
+#include "ml/svm/pegasos.hpp"
 
 namespace dfp {
 
@@ -21,6 +22,9 @@ Status SvmClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel
     }
     machines_.clear();
     num_classes_ = num_classes;
+    // One deadline shared by every pairwise solve: each pair gets whatever
+    // wall-clock remains, instead of a fresh full window.
+    DeadlineTimer timer(config_.budget.time_budget_ms);
     for (ClassLabel a = 0; a < num_classes; ++a) {
         for (ClassLabel b = a + 1; b < num_classes; ++b) {
             std::vector<std::size_t> rows;
@@ -48,12 +52,48 @@ Status SvmClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel
                 continue;
             }
             const FeatureMatrix sub = x.SelectRows(rows);
-            auto trained = TrainSmo(sub, labels, config_);
+            SmoConfig pair_config = config_;
+            pair_config.budget.time_budget_ms = timer.remaining_ms();
+            auto trained = TrainSmo(sub, labels, pair_config);
             if (!trained.ok()) return trained.status();
+            SmoModel model = std::move(trained).value();
+            if (model.breach == BudgetBreach::kCancelled) {
+                RecordBreach("ml.svm", model.breach,
+                             static_cast<double>(machines_.size()));
+                return Status::Cancelled("SVM training cancelled");
+            }
+            if (model.breach != BudgetBreach::kNone) {
+                // Deadline/memory breach: keep the partial SMO iterate (it is
+                // a valid, if suboptimal, decision function).
+                RecordBreach("ml.svm", model.breach,
+                             static_cast<double>(machines_.size()));
+            } else if (!model.converged && config_.fallback_to_pegasos) {
+                // Pair-update budget (max_steps/max_passes) exhausted without
+                // KKT cleanliness: retrain the pair with the primal solver.
+                GuardLog::Get().Record("ml.svm", "smo_nonconverged",
+                                       static_cast<double>(model.iterations));
+                PegasosConfig fallback;
+                fallback.lambda =
+                    1.0 / (config_.c * static_cast<double>(sub.rows()));
+                fallback.budget = config_.budget;
+                fallback.budget.time_budget_ms = timer.remaining_ms();
+                const BinaryLinearModel linear =
+                    TrainPegasosBinary(sub, labels, fallback);
+                if (linear.breach == BudgetBreach::kCancelled) {
+                    return Status::Cancelled("SVM training cancelled");
+                }
+                model = SmoModel{};
+                model.kernel.type = KernelType::kLinear;
+                model.w = linear.w;
+                model.bias = linear.bias;
+                model.converged = linear.breach == BudgetBreach::kNone;
+                GuardLog::Get().Record("ml.svm", "pegasos_fallback",
+                                       static_cast<double>(sub.rows()));
+            }
             PairModel pm;
             pm.positive = a;
             pm.negative = b;
-            pm.model = std::move(trained).value();
+            pm.model = std::move(model);
             machines_.push_back(std::move(pm));
         }
     }
@@ -109,11 +149,22 @@ SmoConfig GridSearchSvm(const FeatureMatrix& x, const std::vector<ClassLabel>& y
     }
     SmoConfig best = candidates.front();
     double best_acc = -1.0;
-    for (const SmoConfig& cfg : candidates) {
+    // Every check covers a whole k-fold CV run, so read the clock each time.
+    BudgetGuard guard(grid.budget, std::numeric_limits<std::size_t>::max(),
+                      /*clock_stride=*/1);
+    std::size_t evaluated = 0;
+    for (SmoConfig& cfg : candidates) {
+        if (guard.Check(0) != BudgetBreach::kNone) {
+            RecordBreach("ml.svm.grid", guard.breach(),
+                         static_cast<double>(evaluated));
+            break;
+        }
+        cfg.budget = grid.budget;
         const CvResult cv = CrossValidate(
             x, y, num_classes,
             [&cfg]() { return std::make_unique<SvmClassifier>(cfg); }, grid.folds,
             grid.seed);
+        ++evaluated;
         if (cv.mean_accuracy > best_acc) {
             best_acc = cv.mean_accuracy;
             best = cfg;

@@ -23,6 +23,9 @@ class SvmClassifier : public Classifier {
     ClassLabel Predict(std::span<const double> x) const override;
     Status SaveModel(std::ostream& out) const override;
     Status LoadModel(std::istream& in) override;
+    void SetExecutionBudget(const ExecutionBudget& budget) override {
+        config_.budget = budget;
+    }
 
     const SmoConfig& config() const { return config_; }
 
@@ -44,9 +47,14 @@ struct SvmGrid {
     std::vector<double> gamma_values;  ///< only meaningful for RBF
     std::size_t folds = 3;
     std::uint64_t seed = 13;
+    /// Limits for the whole search: candidates stop being evaluated once the
+    /// deadline passes or the token fires; the best config so far is returned.
+    ExecutionBudget budget;
 };
 
-/// Picks the config with the best k-fold CV accuracy on (x, y).
+/// Picks the config with the best k-fold CV accuracy on (x, y). Under a
+/// breached grid budget, returns the best of the candidates evaluated so far
+/// (falling back to the first candidate when none completed).
 SmoConfig GridSearchSvm(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
                         std::size_t num_classes, const SmoConfig& base,
                         const SvmGrid& grid);

@@ -13,6 +13,7 @@ RunReport CollectRunReport(std::string name) {
     RunReport report;
     report.name = std::move(name);
     report.metrics = Registry::Get().Snapshot();
+    report.guard = GuardLog::Get().Drain();
     report.spans = Tracer::Get().TakeRoots();
     return report;
 }
@@ -92,7 +93,19 @@ void WriteReportJson(std::ostream& out, const RunReport& report) {
         out << ':';
         WriteHistogramJson(out, data);
     }
-    out << "}},\"spans\":[";
+    out << "}},\"guard\":[";
+    for (std::size_t i = 0; i < report.guard.size(); ++i) {
+        if (i > 0) out << ',';
+        const GuardEvent& event = report.guard[i];
+        out << "{\"stage\":";
+        WriteJsonString(out, event.stage);
+        out << ",\"kind\":";
+        WriteJsonString(out, event.kind);
+        out << ",\"value\":";
+        WriteJsonNumber(out, event.value);
+        out << '}';
+    }
+    out << "],\"spans\":[";
     for (std::size_t i = 0; i < report.spans.size(); ++i) {
         if (i > 0) out << ',';
         WriteSpanJson(out, *report.spans[i]);
@@ -139,6 +152,13 @@ void WriteSpanTable(std::ostream& out, const SpanNode& node, int depth) {
 
 void WriteReportTable(std::ostream& out, const RunReport& report) {
     out << "run report: " << report.name << '\n';
+    if (!report.guard.empty()) {
+        out << "-- guard --\n";
+        for (const GuardEvent& event : report.guard) {
+            out << "  " << event.stage << "  " << event.kind << "  "
+                << std::defaultfloat << event.value << '\n';
+        }
+    }
     if (!report.spans.empty()) {
         out << "-- spans --\n";
         for (const auto& root : report.spans) WriteSpanTable(out, *root, 1);

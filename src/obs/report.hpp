@@ -13,6 +13,8 @@
 //                          "buckets": [ {"le": 0.01, "count": 2}, ...,
 //                                       {"le": null, "count": 0} ] } }
 //     },
+//     "guard": [ { "stage": "fpm.closed", "kind": "deadline",
+//                  "value": 1234 }, ... ],
 //     "spans": [ { "name": "train", "seconds": 0.5,
 //                  "annotations": { "candidates": 42 },
 //                  "children": [ ... ] } ]
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -34,12 +37,16 @@ namespace dfp::obs {
 struct RunReport {
     std::string name;
     MetricsSnapshot metrics;
+    /// Degradation events (budget breaches, min_sup escalations, solver
+    /// fallbacks) drained from the GuardLog; empty on a clean run.
+    std::vector<GuardEvent> guard;
     /// Completed root spans (empty when tracing was disabled).
     std::vector<std::unique_ptr<SpanNode>> spans;
 };
 
 /// Snapshots the global registry and *takes* this thread's completed span
-/// roots (so consecutive runs don't accumulate each other's trees).
+/// roots and the process-wide guard log (so consecutive runs don't accumulate
+/// each other's trees/events).
 RunReport CollectRunReport(std::string name);
 
 /// Serializes one span subtree as a JSON object.

@@ -1,0 +1,182 @@
+#include "common/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(CancelTokenTest, FiresOnNthPoll) {
+    CancelToken token;
+    token.CancelAfterChecks(3);
+    EXPECT_FALSE(token.Poll());
+    EXPECT_FALSE(token.Poll());
+    EXPECT_TRUE(token.Poll());
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.Poll());  // stays fired
+}
+
+TEST(CancelTokenTest, ResetDisarms) {
+    CancelToken token;
+    token.CancelAfterChecks(1);
+    EXPECT_TRUE(token.Poll());
+    token.Reset();
+    EXPECT_FALSE(token.cancelled());
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(token.Poll());
+}
+
+TEST(CancelTokenTest, ManualCancelObservedByPoll) {
+    CancelToken token;
+    EXPECT_FALSE(token.Poll());
+    token.Cancel();
+    EXPECT_TRUE(token.Poll());
+}
+
+TEST(DeadlineTimerTest, NegativeBudgetMeansUnlimited) {
+    DeadlineTimer timer(-1.0);
+    EXPECT_TRUE(timer.unlimited());
+    EXPECT_FALSE(timer.expired());
+    EXPECT_LT(timer.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTimerTest, ZeroBudgetExpiresImmediately) {
+    DeadlineTimer timer(0.0);
+    EXPECT_FALSE(timer.unlimited());
+    EXPECT_TRUE(timer.expired());
+    EXPECT_EQ(timer.remaining_ms(), 0.0);
+}
+
+TEST(BudgetGuardTest, PatternCapIsSticky) {
+    ExecutionBudget budget;
+    BudgetGuard guard(budget, 3);
+    EXPECT_EQ(guard.Check(2), BudgetBreach::kNone);
+    EXPECT_TRUE(guard.ok());
+    EXPECT_EQ(guard.Check(3), BudgetBreach::kPatternCap);
+    // Sticky: later calls report the first breach even with smaller counts.
+    EXPECT_EQ(guard.Check(0), BudgetBreach::kPatternCap);
+    EXPECT_FALSE(guard.ok());
+}
+
+TEST(BudgetGuardTest, BudgetMaxPatternsTightensAlgorithmCap) {
+    ExecutionBudget budget;
+    budget.max_patterns = 2;
+    BudgetGuard guard(budget, 10);
+    EXPECT_EQ(guard.Check(2), BudgetBreach::kPatternCap);
+}
+
+TEST(BudgetGuardTest, MemoryCap) {
+    ExecutionBudget budget;
+    budget.max_memory_bytes = 100;
+    BudgetGuard guard(budget);
+    EXPECT_EQ(guard.Check(0, 100), BudgetBreach::kNone);  // at cap is fine
+    EXPECT_EQ(guard.Check(0, 101), BudgetBreach::kMemoryCap);
+}
+
+TEST(BudgetGuardTest, CancelTokenBreach) {
+    CancelToken token;
+    token.CancelAfterChecks(2);
+    ExecutionBudget budget;
+    budget.cancel = &token;
+    BudgetGuard guard(budget);
+    EXPECT_EQ(guard.Check(0), BudgetBreach::kNone);
+    EXPECT_EQ(guard.Check(0), BudgetBreach::kCancelled);
+}
+
+TEST(BudgetGuardTest, DeadlineReadEveryCheckWithStrideOne) {
+    ExecutionBudget budget;
+    budget.time_budget_ms = 0.0;
+    BudgetGuard guard(budget, std::numeric_limits<std::size_t>::max(),
+                      /*clock_stride=*/1);
+    EXPECT_EQ(guard.Check(0), BudgetBreach::kDeadline);
+}
+
+TEST(BudgetGuardTest, DeadlineAmortizedOverDefaultStride) {
+    ExecutionBudget budget;
+    budget.time_budget_ms = 0.0;
+    BudgetGuard guard(budget);
+    // The clock is only read every kClockStride-th check.
+    for (std::uint64_t i = 0; i + 1 < BudgetGuard::kClockStride; ++i) {
+        EXPECT_EQ(guard.Check(0), BudgetBreach::kNone);
+    }
+    EXPECT_EQ(guard.Check(0), BudgetBreach::kDeadline);
+}
+
+TEST(BudgetGuardTest, UnlimitedBudgetNeverBreaches) {
+    ExecutionBudget budget;
+    EXPECT_TRUE(budget.Unlimited());
+    BudgetGuard guard(budget);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(guard.Check(static_cast<std::size_t>(i), 1u << 20),
+                  BudgetBreach::kNone);
+    }
+}
+
+TEST(MineOutcomeTest, CompleteVsTruncated) {
+    MineOutcome<int> outcome;
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_FALSE(outcome.truncated());
+    outcome.breach = BudgetBreach::kDeadline;
+    EXPECT_TRUE(outcome.truncated());
+}
+
+TEST(BudgetBreachNameTest, AllNamesDistinct) {
+    EXPECT_STREQ(BudgetBreachName(BudgetBreach::kNone), "none");
+    EXPECT_STREQ(BudgetBreachName(BudgetBreach::kDeadline), "deadline");
+    EXPECT_STREQ(BudgetBreachName(BudgetBreach::kPatternCap), "pattern_cap");
+    EXPECT_STREQ(BudgetBreachName(BudgetBreach::kMemoryCap), "memory_cap");
+    EXPECT_STREQ(BudgetBreachName(BudgetBreach::kCancelled), "cancelled");
+}
+
+TEST(GuardLogTest, RecordAppendsAndBumpsCounter) {
+    GuardLog::Get().Clear();
+    const auto before =
+        obs::Registry::Get().Snapshot().counters["dfp.guard.test_kind"];
+    GuardLog::Get().Record("test.stage", "test_kind", 42.0);
+    ASSERT_EQ(GuardLog::Get().size(), 1u);
+    const auto events = GuardLog::Get().Snapshot();
+    EXPECT_EQ(events[0].stage, "test.stage");
+    EXPECT_EQ(events[0].kind, "test_kind");
+    EXPECT_EQ(events[0].value, 42.0);
+    const auto after =
+        obs::Registry::Get().Snapshot().counters["dfp.guard.test_kind"];
+    EXPECT_EQ(after, before + 1);
+}
+
+TEST(GuardLogTest, DrainMovesEventsOut) {
+    GuardLog::Get().Clear();
+    GuardLog::Get().Record("a", "deadline");
+    GuardLog::Get().Record("b", "cancelled");
+    const auto drained = GuardLog::Get().Drain();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_EQ(GuardLog::Get().size(), 0u);
+}
+
+TEST(GuardLogTest, RecordBreachIgnoresNone) {
+    GuardLog::Get().Clear();
+    RecordBreach("stage", BudgetBreach::kNone);
+    EXPECT_EQ(GuardLog::Get().size(), 0u);
+    RecordBreach("stage", BudgetBreach::kDeadline, 7.0);
+    ASSERT_EQ(GuardLog::Get().size(), 1u);
+    EXPECT_EQ(GuardLog::Get().Snapshot()[0].kind, "deadline");
+}
+
+TEST(BudgetReportTest, DegradedConditions) {
+    BudgetReport report;
+    EXPECT_FALSE(report.degraded());
+    report.minsup_escalations = 1;
+    EXPECT_TRUE(report.degraded());
+    report = BudgetReport{};
+    report.mine_breach = BudgetBreach::kPatternCap;
+    EXPECT_TRUE(report.mine_truncated());
+    EXPECT_TRUE(report.degraded());
+    report = BudgetReport{};
+    report.select_breach = BudgetBreach::kDeadline;
+    EXPECT_TRUE(report.select_truncated());
+    EXPECT_TRUE(report.degraded());
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,199 @@
+// Pipeline-level graceful degradation: adaptive min_sup escalation under a
+// pattern cap, survival under an expired deadline, cancellation propagation,
+// and guard observability (dfp.guard.* counters + run-report events).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/minsup_strategy.hpp"
+#include "core/mmrfs.hpp"
+#include "core/pipeline.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "ml/svm/svm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace dfp {
+namespace {
+
+// Deterministic dense database whose min_sup = 1 enumeration is explosive.
+TransactionDatabase Explosive(std::size_t num_txns = 30,
+                              std::size_t num_items = 20) {
+    std::vector<std::vector<ItemId>> txns(num_txns);
+    std::vector<ClassLabel> labels(num_txns);
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (std::size_t t = 0; t < num_txns; ++t) {
+        for (ItemId i = 0; i < num_items; ++i) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            if ((state >> 33) & 1) txns[t].push_back(i);
+        }
+        if (txns[t].empty()) txns[t].push_back(static_cast<ItemId>(t % num_items));
+        labels[t] = static_cast<ClassLabel>(t % 2);
+    }
+    return TransactionDatabase::FromTransactions(std::move(txns),
+                                                 std::move(labels), num_items, 2);
+}
+
+std::vector<Pattern> SingletonCandidates(const TransactionDatabase& db) {
+    std::vector<Pattern> candidates;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+        Pattern p;
+        p.items = {i};
+        candidates.push_back(std::move(p));
+    }
+    AttachMetadata(db, &candidates);
+    return candidates;
+}
+
+bool HasEvent(const std::vector<GuardEvent>& events, const std::string& kind) {
+    return std::any_of(events.begin(), events.end(),
+                       [&](const GuardEvent& e) { return e.kind == kind; });
+}
+
+TEST(MinSupLadderTest, RungsStrictlyCoarser) {
+    const auto ladder =
+        MinSupEscalationLadder(1.0 / 30.0, {0.5, 0.5}, 30, 4);
+    ASSERT_FALSE(ladder.empty());
+    std::size_t prev = 1;  // ceil(θ_start · n)
+    for (const auto& rung : ladder) {
+        EXPECT_GT(rung.min_sup_abs, prev);
+        EXPECT_LE(rung.min_sup_abs, 30u);
+        prev = rung.min_sup_abs;
+    }
+}
+
+TEST(PipelineDegradationTest, FreshPipelineReportsNoDegradation) {
+    PatternClassifierPipeline pipeline(PipelineConfig{});
+    EXPECT_FALSE(pipeline.budget_report().degraded());
+}
+
+TEST(PipelineDegradationTest, PatternCapEscalatesMinSup) {
+    GuardLog::Get().Clear();
+    const auto db = Explosive();
+    PipelineConfig config;
+    config.miner.min_sup_abs = 1;  // explosive on purpose
+    config.budget.max_patterns = 64;
+    PatternClassifierPipeline pipeline(config);
+    const Status st =
+        pipeline.Train(db, std::make_unique<NaiveBayesClassifier>());
+    ASSERT_TRUE(st.ok()) << st;
+
+    const BudgetReport& report = pipeline.budget_report();
+    EXPECT_TRUE(report.degraded());
+    EXPECT_GE(report.mine_attempts, 2u);
+    EXPECT_GE(report.minsup_escalations, 1u);
+    EXPECT_GT(report.escalated_min_sup_rel, 0.0);
+    EXPECT_TRUE(HasEvent(report.events, "minsup_escalated"));
+
+    // Degradation is visible, not silent: the guard counter moved and the run
+    // report drains the same events.
+    const auto counters = obs::Registry::Get().Snapshot().counters;
+    const auto it = counters.find("dfp.guard.minsup_escalated");
+    ASSERT_NE(it, counters.end());
+    EXPECT_GE(it->second, 1u);
+    const obs::RunReport run = obs::CollectRunReport("degradation-test");
+    EXPECT_TRUE(HasEvent(run.guard, "minsup_escalated"));
+
+    // The degraded pipeline is still a working classifier.
+    EXPECT_GT(pipeline.Accuracy(db), 0.0);
+}
+
+TEST(PipelineDegradationTest, ExpiredDeadlineStillTrains) {
+    const auto db = Explosive(40, 20);
+    PipelineConfig config;
+    config.miner.min_sup_abs = 1;
+    config.budget.time_budget_ms = 0.0;  // already expired: worst case
+    PatternClassifierPipeline pipeline(config);
+    const Status st = pipeline.Train(db, std::make_unique<SvmClassifier>());
+    ASSERT_TRUE(st.ok()) << st;
+
+    const BudgetReport& report = pipeline.budget_report();
+    EXPECT_EQ(report.mine_breach, BudgetBreach::kDeadline);
+    EXPECT_EQ(report.mine_attempts, 1u);  // no clock left: no retry
+    EXPECT_TRUE(report.degraded());
+    // Predictions still work on whatever was trained.
+    (void)pipeline.Predict(db.transaction(0));
+}
+
+TEST(PipelineDegradationTest, TightDeadlineCompletes) {
+    const auto db = Explosive(40, 20);
+    PipelineConfig config;
+    config.miner.min_sup_abs = 1;
+    config.budget.time_budget_ms = 200.0;
+    PatternClassifierPipeline pipeline(config);
+    const Status st =
+        pipeline.Train(db, std::make_unique<NaiveBayesClassifier>());
+    ASSERT_TRUE(st.ok()) << st;
+    EXPECT_GE(pipeline.budget_report().mine_attempts, 1u);
+    EXPECT_GT(pipeline.Accuracy(db), 0.0);
+}
+
+TEST(PipelineDegradationTest, CancellationFailsTraining) {
+    const auto db = Explosive();
+    CancelToken token;
+    token.CancelAfterChecks(1);
+    PipelineConfig config;
+    config.miner.min_sup_abs = 1;
+    config.budget.cancel = &token;
+    PatternClassifierPipeline pipeline(config);
+    const Status st =
+        pipeline.Train(db, std::make_unique<NaiveBayesClassifier>());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+    EXPECT_EQ(pipeline.budget_report().mine_breach, BudgetBreach::kCancelled);
+}
+
+TEST(PipelineDegradationTest, EscalationCanBeDisabled) {
+    const auto db = Explosive();
+    PipelineConfig config;
+    config.miner.min_sup_abs = 1;
+    config.budget.max_patterns = 64;
+    config.degrade.escalate_min_sup = false;
+    PatternClassifierPipeline pipeline(config);
+    const Status st =
+        pipeline.Train(db, std::make_unique<NaiveBayesClassifier>());
+    ASSERT_TRUE(st.ok()) << st;
+    const BudgetReport& report = pipeline.budget_report();
+    EXPECT_EQ(report.mine_attempts, 1u);
+    EXPECT_EQ(report.minsup_escalations, 0u);
+    EXPECT_EQ(report.mine_breach, BudgetBreach::kPatternCap);
+}
+
+TEST(MmrfsBudgetTest, CancellationDuringScoring) {
+    const auto db = Explosive();
+    const auto candidates = SingletonCandidates(db);
+    CancelToken token;
+    token.CancelAfterChecks(1);
+    MmrfsConfig config;
+    config.budget.cancel = &token;
+    const auto result = RunMmrfs(db, candidates, config);
+    EXPECT_EQ(result.breach, BudgetBreach::kCancelled);
+    EXPECT_TRUE(result.selected.empty());
+}
+
+TEST(MmrfsBudgetTest, ExpiredDeadlineStops) {
+    const auto db = Explosive();
+    const auto candidates = SingletonCandidates(db);
+    MmrfsConfig config;
+    config.budget.time_budget_ms = 0.0;
+    const auto result = RunMmrfs(db, candidates, config);
+    EXPECT_EQ(result.breach, BudgetBreach::kDeadline);
+}
+
+TEST(MmrfsBudgetTest, CancellationMidSelectionKeepsPrefix) {
+    const auto db = Explosive();
+    const auto candidates = SingletonCandidates(db);
+    CancelToken token;
+    // Survive the |F| scoring checks, then fire during greedy selection.
+    token.CancelAfterChecks(static_cast<std::int64_t>(candidates.size()) + 2);
+    MmrfsConfig config;
+    config.coverage_delta = 8;  // force many rounds
+    config.budget.cancel = &token;
+    const auto result = RunMmrfs(db, candidates, config);
+    EXPECT_EQ(result.breach, BudgetBreach::kCancelled);
+    // The greedily selected prefix before the breach is preserved.
+    EXPECT_LE(result.selected.size(), candidates.size());
+}
+
+}  // namespace
+}  // namespace dfp

@@ -110,15 +110,16 @@ TEST(EndToEndTest, MinSupStrategyFeedsPipeline) {
     EXPECT_GT(outcome.accuracy, 0.5);
 }
 
-TEST(EndToEndTest, MiningBudgetSurfacesAsError) {
+TEST(EndToEndTest, MiningBudgetDegradesGracefully) {
     const auto db = PrepareTransactions(SmallSpec(6));
     ExperimentConfig config = FastConfig();
     config.min_sup_rel = 0.01;
     config.mining_budget = 10;
     const auto outcome =
         RunVariantCv(db, ModelVariant::kPatFs, LearnerKind::kC45, config);
-    EXPECT_FALSE(outcome.ok);
-    EXPECT_NE(outcome.error.find("ResourceExhausted"), std::string::npos);
+    // A tiny mining budget truncates the candidate pool (recorded in the
+    // guard log) but no longer fails the experiment outright.
+    EXPECT_TRUE(outcome.ok) << outcome.error;
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -114,13 +114,20 @@ TEST(PipelineTest, ErrorsPropagate) {
     PatternClassifierPipeline pipeline2(DefaultConfig());
     EXPECT_FALSE(pipeline2.Train(empty, std::make_unique<C45Classifier>()).ok());
 
+    // A breached mining budget no longer hard-fails Train: the pipeline
+    // degrades (escalating min_sup / truncating) and reports it.
     PipelineConfig tiny_budget = DefaultConfig();
     tiny_budget.miner.max_patterns = 1;
     tiny_budget.miner.min_sup_rel = 0.01;
     PatternClassifierPipeline pipeline3(tiny_budget);
     const Status st = pipeline3.Train(db, std::make_unique<C45Classifier>());
-    EXPECT_FALSE(st.ok());
-    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    EXPECT_TRUE(st.ok()) << st;
+    EXPECT_TRUE(pipeline3.budget_report().degraded());
+
+    // The strict MineCandidates entry point keeps the all-or-nothing error.
+    const auto strict = pipeline3.MineCandidates(db);
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(PipelineTest, CandidatesAreDeduplicatedAcrossClasses) {

@@ -1,0 +1,154 @@
+// SMO non-convergence detection and the Pegasos fallback path: exhausted
+// pair-update budgets must be detected (not silently shipped as "trained"),
+// the classifier must fall back to the primal solver, and the guard log must
+// record both events.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/svm/smo.hpp"
+#include "ml/svm/svm.hpp"
+#include "obs/metrics.hpp"
+
+namespace dfp {
+namespace {
+
+// 2-D XOR-ish data: not linearly separable, hard for an RBF SMO given only a
+// handful of pair updates.
+void MakeXor(std::size_t n, std::uint64_t seed, FeatureMatrix* x,
+             std::vector<int>* y_pm, std::vector<ClassLabel>* y_cl) {
+    Rng rng(seed);
+    *x = FeatureMatrix(n, 2);
+    y_pm->clear();
+    y_cl->clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.Uniform() < 0.5 ? 1.0 : -1.0;
+        const double b = rng.Uniform() < 0.5 ? 1.0 : -1.0;
+        x->At(i, 0) = a + rng.Gaussian(0.0, 0.3);
+        x->At(i, 1) = b + rng.Gaussian(0.0, 0.3);
+        const bool pos = a * b > 0.0;
+        y_pm->push_back(pos ? 1 : -1);
+        y_cl->push_back(pos ? 1 : 0);
+    }
+}
+
+SmoConfig HardRbfTinySteps() {
+    SmoConfig config;
+    config.kernel.type = KernelType::kRbf;
+    config.kernel.gamma = 0.5;
+    config.max_steps = 3;  // nowhere near enough for XOR
+    return config;
+}
+
+TEST(SmoGuardTest, ExhaustedStepBudgetDetectedAsNonConvergence) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeXor(40, 1, &x, &y, &yc);
+    const auto model = TrainSmo(x, y, HardRbfTinySteps());
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_FALSE(model->converged);
+    EXPECT_EQ(model->breach, BudgetBreach::kNone);  // budget ≠ step exhaustion
+    EXPECT_LE(model->iterations, 3u);
+}
+
+TEST(SmoGuardTest, ClassifierFallsBackToPegasos) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeXor(40, 2, &x, &y, &yc);
+    GuardLog::Get().Clear();
+    SvmClassifier svm(HardRbfTinySteps());
+    const Status st = svm.Train(x, yc, 2);
+    ASSERT_TRUE(st.ok()) << st;
+
+    const auto events = GuardLog::Get().Snapshot();
+    bool saw_nonconverged = false;
+    bool saw_fallback = false;
+    for (const GuardEvent& e : events) {
+        if (e.kind == "smo_nonconverged") saw_nonconverged = true;
+        if (e.kind == "pegasos_fallback") saw_fallback = true;
+    }
+    EXPECT_TRUE(saw_nonconverged);
+    EXPECT_TRUE(saw_fallback);
+
+    const auto counters = obs::Registry::Get().Snapshot().counters;
+    const auto it = counters.find("dfp.guard.smo_nonconverged");
+    ASSERT_NE(it, counters.end());
+    EXPECT_GE(it->second, 1u);
+}
+
+TEST(SmoGuardTest, FallbackCanBeDisabled) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeXor(40, 3, &x, &y, &yc);
+    GuardLog::Get().Clear();
+    SmoConfig config = HardRbfTinySteps();
+    config.fallback_to_pegasos = false;
+    SvmClassifier svm(config);
+    const Status st = svm.Train(x, yc, 2);
+    ASSERT_TRUE(st.ok()) << st;
+    for (const GuardEvent& e : GuardLog::Get().Snapshot()) {
+        EXPECT_NE(e.kind, "pegasos_fallback");
+    }
+}
+
+TEST(SmoGuardTest, ConvergedSolveDoesNotFallBack) {
+    // Easy separable blobs with a generous step budget: no guard events.
+    Rng rng(4);
+    FeatureMatrix x(40, 2);
+    std::vector<ClassLabel> yc;
+    for (std::size_t i = 0; i < 40; ++i) {
+        const bool pos = i < 20;
+        x.At(i, 0) = rng.Gaussian(pos ? 3.0 : 0.0, 0.3);
+        x.At(i, 1) = rng.Gaussian(pos ? 3.0 : 0.0, 0.3);
+        yc.push_back(pos ? 1 : 0);
+    }
+    GuardLog::Get().Clear();
+    SvmClassifier svm;
+    ASSERT_TRUE(svm.Train(x, yc, 2).ok());
+    EXPECT_EQ(GuardLog::Get().size(), 0u);
+}
+
+TEST(SmoGuardTest, CancellationPropagatesFromSolver) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeXor(40, 5, &x, &y, &yc);
+    CancelToken token;
+    token.CancelAfterChecks(1);
+    SmoConfig config;
+    config.budget.cancel = &token;
+    const auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_EQ(model->breach, BudgetBreach::kCancelled);
+
+    token.Reset();
+    token.CancelAfterChecks(1);
+    SvmClassifier svm(config);
+    const Status st = svm.Train(x, yc, 2);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(SmoGuardTest, ExpiredDeadlineKeepsPartialIterate) {
+    FeatureMatrix x;
+    std::vector<int> y;
+    std::vector<ClassLabel> yc;
+    MakeXor(100, 6, &x, &y, &yc);  // first sweep alone exceeds the stride
+    SmoConfig config;
+    config.kernel.type = KernelType::kRbf;
+    config.budget.time_budget_ms = 0.0;
+    const auto model = TrainSmo(x, y, config);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_EQ(model->breach, BudgetBreach::kDeadline);
+    EXPECT_FALSE(model->converged);
+
+    // The classifier keeps the truncated iterate instead of failing.
+    SvmClassifier svm(config);
+    const Status st = svm.Train(x, yc, 2);
+    EXPECT_TRUE(st.ok()) << st;
+}
+
+}  // namespace
+}  // namespace dfp
