@@ -1,0 +1,111 @@
+// Parallel mining throughput: each miner on a dense synthetic corpus at
+// 1 / 2 / N worker threads (N from --threads=, default 4).
+//
+// The parallel layer's contract is "same patterns, less wall clock": the
+// equivalence suite (ctest -L dfp_parallel) certifies the first half, this
+// bench records the second. Results land in BENCH_parallel.json as
+//   dfp.bench.parallel.<miner>.t<k>.seconds / .speedup
+// plus the usual dfp.parallel.* pool counters, so the perf trajectory of the
+// fan-out is machine-tracked alongside the paper tables. On a single-core
+// host the speedups degenerate to ~1.0x (scheduling overhead only) — the
+// numbers that matter are taken on multicore CI hardware.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/string_util.hpp"
+#include "exp/table_printer.hpp"
+#include "fpm/closed_miner.hpp"
+#include "fpm/eclat.hpp"
+#include "fpm/fpgrowth.hpp"
+#include "obs/metrics.hpp"
+
+using namespace dfp;
+
+namespace {
+
+// Dense random transactions: enough structure that mining fans out over many
+// first-level subproblems, dense enough that each subproblem has real work.
+TransactionDatabase DenseCorpus(std::size_t rows, std::size_t items,
+                                double density, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<ItemId>> txns(rows);
+    std::vector<ClassLabel> labels(rows);
+    for (std::size_t t = 0; t < rows; ++t) {
+        for (ItemId i = 0; i < items; ++i) {
+            if (rng.Bernoulli(density)) txns[t].push_back(i);
+        }
+        if (txns[t].empty()) txns[t].push_back(static_cast<ItemId>(t % items));
+        labels[t] = static_cast<ClassLabel>(rng.UniformInt(std::uint64_t{2}));
+    }
+    return TransactionDatabase::FromTransactions(std::move(txns),
+                                                 std::move(labels), items, 2);
+}
+
+struct MinerRow {
+    std::string name;
+    std::unique_ptr<Miner> miner;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t max_threads = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "threads", 4));
+    bench::BeginBenchObservability(max_threads);
+
+    std::printf("Parallel mining throughput (1 / 2 / %zu threads)\n\n",
+                max_threads);
+    const auto db = DenseCorpus(/*rows=*/4000, /*items=*/30, /*density=*/0.40,
+                                /*seed=*/11);
+    MinerConfig config;
+    config.min_sup_rel = 0.02;
+
+    std::vector<MinerRow> miners;
+    miners.push_back({"fpgrowth", std::make_unique<FpGrowthMiner>()});
+    miners.push_back({"eclat", std::make_unique<EclatMiner>()});
+    miners.push_back({"closed", std::make_unique<ClosedMiner>()});
+
+    std::vector<std::size_t> thread_counts = {1, 2};
+    if (max_threads > 2) thread_counts.push_back(max_threads);
+
+    TablePrinter table({"miner", "threads", "patterns", "seconds",
+                        "patterns/s", "speedup"});
+    auto& registry = obs::Registry::Get();
+    for (const auto& row : miners) {
+        double serial_seconds = 0.0;
+        for (const std::size_t threads : thread_counts) {
+            config.num_threads = threads;
+            // Warm-up pass (page cache, allocator), then the timed pass.
+            (void)row.miner->Mine(db, config);
+            Stopwatch watch;
+            const auto mined = row.miner->Mine(db, config);
+            const double seconds = watch.ElapsedSeconds();
+            if (!mined.ok()) {
+                std::fprintf(stderr, "%s failed: %s\n", row.name.c_str(),
+                             mined.status().ToString().c_str());
+                return 1;
+            }
+            if (threads == 1) serial_seconds = seconds;
+            const double speedup = seconds > 0.0 ? serial_seconds / seconds : 1.0;
+            const double rate =
+                seconds > 0.0 ? static_cast<double>(mined->size()) / seconds : 0.0;
+            table.AddRow({row.name, StrFormat("%zu", threads),
+                          StrFormat("%zu", mined->size()),
+                          StrFormat("%.3f", seconds), StrFormat("%.0f", rate),
+                          StrFormat("%.2fx", speedup)});
+            const std::string prefix =
+                "dfp.bench.parallel." + row.name + ".t" + std::to_string(threads);
+            registry.GetGauge(prefix + ".seconds").Set(seconds);
+            registry.GetGauge(prefix + ".speedup").Set(speedup);
+        }
+    }
+    table.Print();
+
+    bench::WriteBenchReport("parallel");
+    return 0;
+}

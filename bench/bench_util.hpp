@@ -15,10 +15,14 @@ namespace dfp::bench {
 
 /// Turns on span collection and clears any metrics left over from process
 /// start, so the BENCH_*.json written at exit covers exactly this run.
-inline void BeginBenchObservability() {
+/// `threads` is recorded as the dfp.bench.threads gauge so every BENCH_*.json
+/// states the worker-thread count its numbers were measured with.
+inline void BeginBenchObservability(std::size_t threads = 1) {
     dfp::obs::Registry::Get().ResetValues();
     dfp::obs::Tracer::Get().Clear();
     dfp::obs::EnableTracing(true);
+    dfp::obs::Registry::Get().GetGauge("dfp.bench.threads").Set(
+        static_cast<double>(threads));
 }
 
 /// Serializes the run's metrics + span trees to BENCH_<name>.json in the

@@ -10,6 +10,9 @@
 //               ./build/examples/quickstart --report out.json
 // With an execution budget (graceful degradation instead of runaway mining):
 //               ./build/examples/quickstart --time-budget-ms 200 --max-patterns 5000
+// Parallel mining/selection/training (results identical at any thread count;
+// default 0 = one worker per hardware thread):
+//               ./build/examples/quickstart --threads 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,9 +31,11 @@ int main(int argc, char** argv) {
     //   --report <path>          dump a JSON run report (metrics/guard/spans)
     //   --time-budget-ms <ms>    wall-clock budget for the whole Train
     //   --max-patterns <n>       cap on mined pattern candidates
+    //   --threads <n>            worker threads (0 = hardware_concurrency)
     std::string report_path;
     double time_budget_ms = -1.0;
     std::size_t max_patterns = 0;
+    std::size_t threads = 0;
     auto flag_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "error: %s requires a value\n", flag);
@@ -53,6 +58,12 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(argv[i], "--max-patterns=", 15) == 0) {
             max_patterns = static_cast<std::size_t>(
                 std::strtoull(argv[i] + 15, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            threads = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--threads"), nullptr, 10));
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads = static_cast<std::size_t>(
+                std::strtoull(argv[i] + 10, nullptr, 10));
         }
     }
     if (!report_path.empty()) obs::EnableTracing(true);
@@ -85,6 +96,9 @@ int main(int argc, char** argv) {
     // truncated stages) instead of running away; see pipeline.budget_report().
     config.budget.time_budget_ms = time_budget_ms;
     if (max_patterns > 0) config.budget.max_patterns = max_patterns;
+    // 0 = hardware_concurrency; the resolved count lands in the run report
+    // as the dfp.parallel.pipeline_threads gauge.
+    config.num_threads = threads;
 
     // 3. Train a linear SVM on single items + selected patterns.
     PatternClassifierPipeline pipeline(config);

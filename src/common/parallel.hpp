@@ -1,0 +1,172 @@
+// Fixed-size work-stealing thread pool for the mining → selection → learning
+// hot paths.
+//
+// Design constraints (DESIGN.md §11):
+//  * Determinism. The pool schedules *when* tasks run, never *what they
+//    compute*: every parallel call site fans out over an index space decided
+//    up front, each task writes only its own slot, and results are merged in
+//    task-index order. With `num_threads == 1` callers bypass the pool
+//    entirely and run today's serial code, instruction for instruction.
+//  * Budget cooperation. Workers never block inside a task: each parallel
+//    region gives every task its own BudgetGuard built from one shared
+//    ExecutionBudget (same CancelToken, same wall-clock deadline, shared
+//    atomic emitted/memory tallies), so a breach observed by one task is
+//    observed by all others within a clock stride — the queue drains and
+//    partial results flow back through the normal MineOutcome path.
+//  * Observability. The pool publishes `dfp.parallel.*` metrics on
+//    destruction: tasks executed, steals, workers, and worker utilization
+//    (busy time / wall time summed over workers).
+//
+// Concurrency model: one mutex-guarded deque per worker plus round-robin
+// external submission. Workers pop LIFO from their own deque (cache-friendly
+// for the mining DFS fan-out) and steal FIFO from siblings. This is
+// deliberately lock-based rather than a lock-free Chase–Lev deque: tasks here
+// are coarse (a whole conditional subtree, an SMO pair solve, a CV fold), so
+// queue overhead is noise, and the mutexes make the pool trivially clean
+// under ThreadSanitizer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/budget.hpp"
+
+namespace dfp {
+
+/// Resolves a requested thread count: 0 = one worker per hardware thread
+/// (at least 1), anything else is taken literally.
+std::size_t ResolveNumThreads(std::size_t requested);
+
+class TaskGroup;
+
+/// Fixed-size work-stealing pool. Construction spawns the workers; the
+/// destructor drains nothing — it waits only for tasks already *running* and
+/// asserts the queues are empty (every submit happens through a TaskGroup,
+/// and TaskGroup::Wait returns only when its tasks finished).
+class ThreadPool {
+  public:
+    /// Spawns `num_workers` workers (minimum 1).
+    explicit ThreadPool(std::size_t num_workers);
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+    /// Joins all workers and flushes `dfp.parallel.*` metrics.
+    ~ThreadPool();
+
+    std::size_t num_workers() const { return workers_.size(); }
+
+    /// Lifetime totals (exposed for tests; also published as metrics).
+    std::uint64_t tasks_executed() const {
+        return tasks_executed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t steals() const {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class TaskGroup;
+
+    using Task = std::function<void()>;
+
+    struct WorkerQueue {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    /// Enqueues one task (round-robin across worker queues) and wakes a
+    /// worker. Called by TaskGroup.
+    void Submit(Task task);
+
+    /// Runs one queued task on the calling thread if any is available.
+    /// `self` is the preferred queue index (the worker's own; external
+    /// helpers pass a rotating index). Returns false when every queue was
+    /// empty at the time of the scan.
+    bool RunOneTask(std::size_t self);
+
+    void WorkerLoop(std::size_t index);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<std::uint64_t> queued_{0};  // tasks submitted, not yet started
+
+    // Lifetime tallies, flushed to the obs registry by the destructor.
+    std::atomic<std::uint64_t> tasks_executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> busy_ns_{0};
+    std::chrono::steady_clock::time_point created_ = std::chrono::steady_clock::now();
+};
+
+/// A batch of tasks whose completion can be awaited. Wait() *helps*: while
+/// tasks of any group are pending in the pool it executes them on the calling
+/// thread, so nested parallel regions (grid search → CV folds → OvO pairs)
+/// cannot deadlock the fixed-size pool.
+class TaskGroup {
+  public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    /// Waits for stragglers (Wait() is idempotent and called here defensively).
+    ~TaskGroup() { Wait(); }
+
+    /// Enqueues `fn`. Exceptions must not escape `fn` (tasks run on pool
+    /// threads; the mining/learning call sites report failures through their
+    /// Status/breach slots instead).
+    void Submit(std::function<void()> fn);
+
+    /// Blocks until every task submitted to this group has finished, running
+    /// queued tasks on the calling thread while it waits.
+    void Wait();
+
+  private:
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex done_mu_;
+    std::condition_variable done_cv_;
+};
+
+/// Splits [0, n) into contiguous chunks (≈ 4 per worker, never smaller than
+/// `min_grain`) and runs `body(begin, end)` for each, blocking until all
+/// chunks finished. With a null pool, one worker, or a single chunk the body
+/// runs inline on the calling thread — the serial path, exactly.
+///
+/// `body` must only write to disjoint, index-addressed state: chunk
+/// boundaries are deterministic, execution order is not.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t min_grain = 1);
+
+/// Shared tallies that let per-task BudgetGuards enforce *global* caps across
+/// a parallel region: tasks add their emissions here and pass the running
+/// totals to BudgetGuard::Check(), so a pattern/memory cap fires pool-wide
+/// (approximately — concurrent emissions may overshoot by at most one pattern
+/// per worker) and a deadline/cancel breach is observed by every task.
+struct SharedMineProgress {
+    std::atomic<std::size_t> emitted{0};
+    std::atomic<std::size_t> est_bytes{0};
+
+    std::size_t AddEmitted(std::size_t n = 1) {
+        return emitted.fetch_add(n, std::memory_order_relaxed) + n;
+    }
+    std::size_t AddBytes(std::size_t n) {
+        return est_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+    }
+};
+
+/// Builds the per-task budget for a parallel region: same caps and token as
+/// `budget`, with the wall-clock deadline re-anchored to the time remaining
+/// on `timer` (so late-starting tasks share the region's single deadline
+/// instead of getting a fresh window).
+ExecutionBudget TaskBudget(const ExecutionBudget& budget,
+                           const DeadlineTimer& timer);
+
+}  // namespace dfp

@@ -1,8 +1,11 @@
 #include "core/mmrfs.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <memory>
 
+#include "common/parallel.hpp"
 #include "core/redundancy.hpp"
 #include "obs/metrics.hpp"
 
@@ -49,13 +52,57 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
     // Every check covers an O(|F|) scan, so read the clock on each one.
     BudgetGuard guard(config.budget, config.max_features, /*clock_stride=*/1);
 
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        assert(candidates[i].cover.size() == n && "metadata not attached");
-        result.relevance[i] = PatternRelevance(config.relevance, db, candidates[i]);
-        if (guard.Check(0) != BudgetBreach::kNone &&
-            guard.breach() != BudgetBreach::kPatternCap) {
-            // Deadline/cancel during scoring: nothing selected yet, bail.
-            result.breach = guard.breach();
+    // Candidate-scan parallelism: relevance scoring and the per-round
+    // redundancy refresh write disjoint per-candidate slots, so the fan-out
+    // is deterministic regardless of thread count. The pool lives for the
+    // whole selection run (one greedy round per ParallelFor).
+    const std::size_t threads =
+        std::min(ResolveNumThreads(config.num_threads), candidates.size());
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+    if (pool == nullptr) {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            assert(candidates[i].cover.size() == n && "metadata not attached");
+            result.relevance[i] =
+                PatternRelevance(config.relevance, db, candidates[i]);
+            if (guard.Check(0) != BudgetBreach::kNone &&
+                guard.breach() != BudgetBreach::kPatternCap) {
+                // Deadline/cancel during scoring: nothing selected yet, bail.
+                result.breach = guard.breach();
+                RecordBreach("core.mmrfs", result.breach, 0.0);
+                return result;
+            }
+        }
+    } else {
+        // Parallel scoring: each chunk polls its own guard on the shared
+        // budget so deadline/cancel still interrupts the scan; scores are
+        // identical to the serial path (PatternRelevance is pure).
+        std::atomic<int> scoring_breach{static_cast<int>(BudgetBreach::kNone)};
+        DeadlineTimer timer(config.budget.time_budget_ms);
+        ParallelFor(pool.get(), candidates.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                        BudgetGuard chunk_guard(TaskBudget(config.budget, timer),
+                                                std::numeric_limits<
+                                                    std::size_t>::max(),
+                                                /*clock_stride=*/1);
+                        for (std::size_t i = begin; i < end; ++i) {
+                            assert(candidates[i].cover.size() == n &&
+                                   "metadata not attached");
+                            result.relevance[i] = PatternRelevance(
+                                config.relevance, db, candidates[i]);
+                            if (chunk_guard.Check(0) != BudgetBreach::kNone) {
+                                scoring_breach.store(
+                                    static_cast<int>(chunk_guard.breach()),
+                                    std::memory_order_relaxed);
+                                return;
+                            }
+                        }
+                    });
+        const auto breach =
+            static_cast<BudgetBreach>(scoring_breach.load(std::memory_order_relaxed));
+        if (breach != BudgetBreach::kNone) {
+            result.breach = breach;
             RecordBreach("core.mmrfs", result.breach, 0.0);
             return result;
         }
@@ -119,14 +166,20 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
             if (result.coverage[t] == config.coverage_delta - 1) --under_covered;
             if (result.coverage[t] < config.coverage_delta) ++result.coverage[t];
         });
-        // Refresh each remaining candidate's max redundancy against Fs.
-        for (std::size_t i = 0; i < candidates.size(); ++i) {
-            if (done[i]) continue;
-            const double r =
-                Redundancy(candidates[i], candidates[best], result.relevance[i],
-                           result.relevance[best]);
-            max_red[i] = std::max(max_red[i], r);
-        }
+        // Refresh each remaining candidate's max redundancy against Fs. Each
+        // index writes only its own slot, so the parallel refresh computes
+        // exactly the serial values.
+        ParallelFor(pool.get(), candidates.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                            if (done[i]) continue;
+                            const double r = Redundancy(
+                                candidates[i], candidates[best],
+                                result.relevance[i], result.relevance[best]);
+                            max_red[i] = std::max(max_red[i], r);
+                        }
+                    },
+                    /*min_grain=*/64);
     }
     if (result.breach != BudgetBreach::kNone) {
         RecordBreach("core.mmrfs", result.breach,

@@ -29,6 +29,11 @@ struct MmrfsConfig {
     std::size_t coverage_delta = 3;
     /// Hard cap on |Fs| (the paper's algorithm has none; useful in sweeps).
     std::size_t max_features = std::numeric_limits<std::size_t>::max();
+    /// Worker threads for the per-candidate scoring inside each greedy round
+    /// (relevance scan + redundancy refresh; the greedy argmax and coverage
+    /// update stay serial). The selected sequence is identical for every
+    /// thread count. 1 = serial; 0 = hardware_concurrency.
+    std::size_t num_threads = 1;
     /// Execution limits; a breach stops the greedy loop early, keeping the
     /// features selected so far (each selection is individually valid).
     ExecutionBudget budget;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "core/minsup_strategy.hpp"
 #include "fpm/apriori.hpp"
@@ -150,6 +151,12 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     }
     obs::Span train_span("train");
     budget_report_ = BudgetReport{};
+    // One thread knob for the whole run, mirrored into every stage and the
+    // run report (quickstart --threads lands here).
+    const std::size_t resolved_threads = ResolveNumThreads(config_.num_threads);
+    obs::Registry::Get()
+        .GetGauge("dfp.parallel.pipeline_threads")
+        .Set(static_cast<double>(resolved_threads));
     const std::size_t guard_mark = GuardLog::Get().size();
     // Collects the guard events recorded since Train started (the log is
     // process-wide; run reports drain it separately).
@@ -169,6 +176,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     {
         obs::Span mine_span("mine");
         MinerConfig mc = config_.miner;
+        mc.num_threads = resolved_threads;
         // Fold the pipeline-wide caps/token into the miner's own budget; the
         // tighter constraint wins.
         if (mc.budget.cancel == nullptr) mc.budget.cancel = config_.budget.cancel;
@@ -250,6 +258,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         obs::Span select_span("mmrfs");
         if (config_.feature_selection) {
             MmrfsConfig sc = config_.mmrfs;
+            sc.num_threads = resolved_threads;
             if (sc.budget.cancel == nullptr) {
                 sc.budget.cancel = config_.budget.cancel;
             }
@@ -293,6 +302,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         ExecutionBudget learn_budget = config_.budget;
         learn_budget.time_budget_ms = timer.remaining_ms();
         learner->SetExecutionBudget(learn_budget);
+        learner->SetNumThreads(resolved_threads);
         const Status learned = learner->Train(x, train.labels(), num_classes_);
         if (!learned.ok()) {
             finalize_report();

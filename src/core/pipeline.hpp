@@ -32,6 +32,12 @@ struct PipelineConfig {
     MmrfsConfig mmrfs;
     /// Include the single items I in the feature space (the paper always does).
     bool include_single_items = true;
+    /// Worker threads for every stage (mining fan-out, MMRFS scoring, OvO
+    /// SVM): Train copies this into the miner/MMRFS configs and calls
+    /// learner->SetNumThreads(). Trained models and selections are identical
+    /// for every thread count (DESIGN.md §11). 1 = serial (the default);
+    /// 0 = hardware_concurrency.
+    std::size_t num_threads = 1;
     /// Overall Train budget: one wall-clock deadline shared by mining,
     /// selection and learning; the cancel token and pattern/memory caps are
     /// merged into every stage's own budget. Default = unlimited.

@@ -1,8 +1,11 @@
 #include "fpm/closed_miner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <unordered_set>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fpgrowth.hpp"
 #include "obs/metrics.hpp"
@@ -19,13 +22,37 @@ struct ClosedContext {
     std::size_t est_bytes = 0;    // coarse output-memory estimate for the guard
     std::vector<char> in_closed;  // membership of the current closed set
     std::vector<Pattern>* out;
+    // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
+    // the global pattern/memory caps. Null on the serial path.
+    SharedMineProgress* shared = nullptr;
     // Instrumentation tallies, flushed to the registry once per Mine().
     std::size_t nodes_expanded = 0;   // prefix extensions whose support we took
     std::size_t closure_checks = 0;   // closure/subsumption scans
 };
 
-void FlushClosedMetrics(const ClosedContext& ctx, std::size_t emitted,
-                        bool budget_abort) {
+std::size_t GuardEmitted(const ClosedContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->emitted.load(std::memory_order_relaxed)
+               : ctx.out->size();
+}
+std::size_t GuardBytes(const ClosedContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->est_bytes.load(std::memory_order_relaxed)
+               : ctx.est_bytes;
+}
+
+void TallyEmission(ClosedContext& ctx, const Pattern& p) {
+    const std::size_t bytes =
+        sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+    ctx.est_bytes += bytes;
+    if (ctx.shared != nullptr) {
+        ctx.shared->AddEmitted();
+        ctx.shared->AddBytes(bytes);
+    }
+}
+
+void FlushClosedMetrics(std::size_t nodes_expanded, std::size_t closure_checks,
+                        std::size_t emitted, bool budget_abort) {
     static auto& nodes =
         obs::Registry::Get().GetCounter("dfp.fpm.closed.nodes_expanded");
     static auto& closures =
@@ -34,8 +61,8 @@ void FlushClosedMetrics(const ClosedContext& ctx, std::size_t emitted,
         obs::Registry::Get().GetCounter("dfp.fpm.closed.patterns_emitted");
     static auto& aborts =
         obs::Registry::Get().GetCounter("dfp.fpm.closed.budget_aborts");
-    nodes.Inc(ctx.nodes_expanded);
-    closures.Inc(ctx.closure_checks);
+    nodes.Inc(nodes_expanded);
+    closures.Inc(closure_checks);
     patterns.Inc(emitted);
     if (budget_abort) aborts.Inc();
 }
@@ -52,7 +79,7 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         extended &= ctx.db->ItemCover(i);
         const std::size_t support = extended.Count();
         ++ctx.nodes_expanded;
-        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
+        if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
             BudgetBreach::kNone) {
             return false;
         }
@@ -82,7 +109,7 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         Pattern p;
         p.items = closure;
         p.support = support;
-        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+        TallyEmission(ctx, p);
         ctx.out->push_back(std::move(p));
 
         // Note: recurse on the local `closure`, not out->back() — the output
@@ -95,6 +122,51 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         if (!ok) return false;
     }
     return true;
+}
+
+// One top-level LCM subproblem: the prefix-preserving extension of the root
+// closure by item `i` and its whole DFS subtree. Requires ctx.in_closed ==
+// membership of `root_closed` on entry; leaves it restored on exit. Returns
+// false when the execution budget fires.
+bool ClosedTopLevel(ClosedContext& ctx, const Itemset& root_closed, ItemId i) {
+    const TransactionDatabase& db = *ctx.db;
+    BitVector tidset = db.ItemCover(i);
+    const std::size_t support = tidset.Count();
+    ++ctx.nodes_expanded;
+    if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
+        BudgetBreach::kNone) {
+        return false;
+    }
+    if (support < ctx.min_sup) return true;
+    ++ctx.closure_checks;
+    Itemset closure;
+    bool prefix_ok = true;
+    for (ItemId j : ctx.frequent) {
+        if (ctx.in_closed[j]) {
+            closure.push_back(j);
+            continue;
+        }
+        if (tidset.IsSubsetOf(db.ItemCover(j))) {
+            if (j < i) {
+                prefix_ok = false;
+                break;
+            }
+            closure.push_back(j);
+        }
+    }
+    if (!prefix_ok) return true;
+    std::sort(closure.begin(), closure.end());
+    Pattern p;
+    p.items = closure;
+    p.support = support;
+    TallyEmission(ctx, p);
+    ctx.out->push_back(std::move(p));
+
+    for (ItemId j : closure) ctx.in_closed[j] = 1;
+    const bool ok = ClosedDfs(ctx, closure, tidset, i);
+    std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
+    for (ItemId j : root_closed) ctx.in_closed[j] = 1;
+    return ok;
 }
 
 }  // namespace
@@ -136,51 +208,95 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
 
     // Sentinel core: items are unsigned, so reuse the DFS with a "core" below
     // every item by running extensions for all frequent items not in the root
-    // closure directly.
-    bool ok = true;
-    for (std::size_t k = 0; k < ctx.frequent.size() && ok; ++k) {
-        const ItemId i = ctx.frequent[k];
-        if (ctx.in_closed[i]) continue;
-        BitVector tidset = db.ItemCover(i);
-        const std::size_t support = tidset.Count();
-        ++ctx.nodes_expanded;
-        if (guard.Check(out.size(), ctx.est_bytes) != BudgetBreach::kNone) {
-            ok = false;
-            break;
-        }
-        if (support < min_sup) continue;
-        ++ctx.closure_checks;
-        Itemset closure;
-        bool prefix_ok = true;
-        for (ItemId j : ctx.frequent) {
-            if (ctx.in_closed[j]) {
-                closure.push_back(j);
-                continue;
-            }
-            if (tidset.IsSubsetOf(db.ItemCover(j))) {
-                if (j < i) {
-                    prefix_ok = false;
-                    break;
-                }
-                closure.push_back(j);
-            }
-        }
-        if (!prefix_ok) continue;
-        std::sort(closure.begin(), closure.end());
-        Pattern p;
-        p.items = closure;
-        p.support = support;
-        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
-        out.push_back(std::move(p));
-
-        for (ItemId j : closure) ctx.in_closed[j] = 1;
-        ok = ClosedDfs(ctx, closure, tidset, i);
-        std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
-        for (ItemId j : root_closed) ctx.in_closed[j] = 1;
+    // closure directly. Each top-level item spans an independent LCM
+    // subproblem — the parallel fan-out unit.
+    std::vector<ItemId> cores;
+    for (ItemId i : ctx.frequent) {
+        if (!ctx.in_closed[i]) cores.push_back(i);
     }
-    if (!ok) {
-        outcome.breach = guard.breach();
-        FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/true);
+    const std::size_t threads =
+        std::min(ResolveNumThreads(config.num_threads), cores.size());
+    std::size_t nodes = 0;
+    std::size_t closures = 0;
+
+    if (threads <= 1) {
+        // Serial path: today's code, bit for bit.
+        bool ok = true;
+        for (std::size_t k = 0; k < cores.size() && ok; ++k) {
+            ok = ClosedTopLevel(ctx, root_closed, cores[k]);
+        }
+        if (!ok) outcome.breach = guard.breach();
+        nodes = ctx.nodes_expanded;
+        closures = ctx.closure_checks;
+    } else {
+        // Fan out: task k owns core item cores[k]'s subproblem with its own
+        // closed-set store (in_closed scratch + output slot). LCM's
+        // prefix-preservation makes the per-task CFI stores disjoint, so the
+        // merge concatenates in core order (the serial emission sequence);
+        // the subsumption pass below certifies the no-duplicates invariant.
+        const std::size_t tasks_n = cores.size();
+        std::vector<std::vector<Pattern>> slots(tasks_n);
+        std::vector<ClosedContext> contexts(tasks_n);
+        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
+        SharedMineProgress progress;
+        progress.AddEmitted(out.size());  // the root-closure pattern, if any
+        DeadlineTimer timer(config.budget.time_budget_ms);
+
+        ThreadPool pool(threads);
+        TaskGroup group(pool);
+        for (std::size_t k = 0; k < tasks_n; ++k) {
+            group.Submit([&, k] {
+                BudgetGuard task_guard(TaskBudget(config.budget, timer),
+                                       config.max_patterns);
+                ClosedContext& tctx = contexts[k];
+                tctx.db = &db;
+                tctx.frequent = ctx.frequent;
+                tctx.min_sup = min_sup;
+                tctx.guard = &task_guard;
+                tctx.in_closed = ctx.in_closed;  // == root closure membership
+                tctx.out = &slots[k];
+                tctx.shared = &progress;
+                if (!ClosedTopLevel(tctx, root_closed, cores[k])) {
+                    breaches[k] = task_guard.breach();
+                }
+            });
+        }
+        group.Wait();
+
+        std::size_t total = out.size();
+        for (const ClosedContext& tctx : contexts) {
+            nodes += tctx.nodes_expanded;
+            closures += tctx.closure_checks;
+        }
+        for (const auto& slot : slots) total += slot.size();
+        out.reserve(total);
+        // Merge + subsumption pass: drop any itemset already merged. With
+        // complete subproblems this drops nothing (closed sets are unique per
+        // core item); it guards the invariant under mid-task truncation.
+        std::unordered_set<std::string> seen;
+        seen.reserve(total);
+        auto key = [](const Itemset& items) {
+            return std::string(reinterpret_cast<const char*>(items.data()),
+                               items.size() * sizeof(ItemId));
+        };
+        for (const Pattern& p : out) seen.insert(key(p.items));
+        for (std::size_t k = 0; k < tasks_n; ++k) {
+            for (Pattern& p : slots[k]) {
+                if (seen.insert(key(p.items)).second) {
+                    out.push_back(std::move(p));
+                }
+            }
+        }
+        for (BudgetBreach b : breaches) {
+            if (b != BudgetBreach::kNone) {
+                outcome.breach = b;
+                break;
+            }
+        }
+    }
+
+    if (outcome.truncated()) {
+        FlushClosedMetrics(nodes, closures, out.size(), /*budget_abort=*/true);
         RecordBreach("fpm.closed", outcome.breach,
                      static_cast<double>(out.size()));
         DFP_LOG_WARN(StrFormat(
@@ -190,7 +306,7 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
         return outcome;
     }
     FilterPatterns(config, &out);
-    FlushClosedMetrics(ctx, out.size(), /*budget_abort=*/false);
+    FlushClosedMetrics(nodes, closures, out.size(), /*budget_abort=*/false);
     return outcome;
 }
 

@@ -1,5 +1,9 @@
 #include "fpm/eclat.hpp"
 
+#include <algorithm>
+#include <atomic>
+
+#include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
 
@@ -14,11 +18,25 @@ struct EclatContext {
     BudgetGuard* guard;
     std::vector<Pattern>* out;
     std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
+    // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
+    // the global pattern/memory caps. Null on the serial path.
+    SharedMineProgress* shared = nullptr;
     // Instrumentation tally, flushed to the registry once per Mine().
     std::size_t intersections = 0;  // tidset ANDs computed (= nodes expanded)
 };
 
-void FlushEclatMetrics(const EclatContext& ctx, std::size_t emitted,
+std::size_t GuardEmitted(const EclatContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->emitted.load(std::memory_order_relaxed)
+               : ctx.out->size();
+}
+std::size_t GuardBytes(const EclatContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->est_bytes.load(std::memory_order_relaxed)
+               : ctx.est_bytes;
+}
+
+void FlushEclatMetrics(std::size_t intersections, std::size_t emitted,
                        bool budget_abort) {
     static auto& nodes =
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.nodes_expanded");
@@ -26,9 +44,54 @@ void FlushEclatMetrics(const EclatContext& ctx, std::size_t emitted,
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.patterns_emitted");
     static auto& aborts =
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.budget_aborts");
-    nodes.Inc(ctx.intersections);
+    nodes.Inc(intersections);
     patterns.Inc(emitted);
     if (budget_abort) aborts.Inc();
+}
+
+// One first-level iteration of EclatDfs: extend `prefix` with candidates[k]
+// and recurse into that equivalence class. Factored out so the parallel
+// fan-out can run exactly one prefix class per task. Returns false when the
+// execution budget fires.
+bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
+              const std::vector<ItemId>& candidates);
+
+bool EclatExtend(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
+                 const std::vector<ItemId>& candidates, std::size_t k) {
+    const ItemId i = candidates[k];
+    BitVector extended = cover;
+    extended &= ctx.db->ItemCover(i);
+    const std::size_t support = extended.Count();
+    ++ctx.intersections;
+    if (support < ctx.min_sup) return true;
+    if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
+        BudgetBreach::kNone) {
+        return false;
+    }
+
+    prefix.push_back(i);
+    Pattern p;
+    p.items = prefix;
+    p.support = support;
+    const std::size_t bytes = sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+    ctx.est_bytes += bytes;
+    if (ctx.shared != nullptr) {
+        ctx.shared->AddEmitted();
+        ctx.shared->AddBytes(bytes);
+    }
+    ctx.out->push_back(std::move(p));
+
+    if (prefix.size() < ctx.max_len) {
+        const std::vector<ItemId> rest(candidates.begin() +
+                                           static_cast<std::ptrdiff_t>(k) + 1,
+                                       candidates.end());
+        if (!rest.empty() && !EclatDfs(ctx, prefix, extended, rest)) {
+            prefix.pop_back();
+            return false;
+        }
+    }
+    prefix.pop_back();
+    return true;
 }
 
 // Extends `prefix` (whose cover is `cover`) with every item > last item.
@@ -36,34 +99,7 @@ void FlushEclatMetrics(const EclatContext& ctx, std::size_t emitted,
 bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
               const std::vector<ItemId>& candidates) {
     for (std::size_t k = 0; k < candidates.size(); ++k) {
-        const ItemId i = candidates[k];
-        BitVector extended = cover;
-        extended &= ctx.db->ItemCover(i);
-        const std::size_t support = extended.Count();
-        ++ctx.intersections;
-        if (support < ctx.min_sup) continue;
-        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
-            BudgetBreach::kNone) {
-            return false;
-        }
-
-        prefix.push_back(i);
-        Pattern p;
-        p.items = prefix;
-        p.support = support;
-        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
-        ctx.out->push_back(std::move(p));
-
-        if (prefix.size() < ctx.max_len) {
-            const std::vector<ItemId> rest(candidates.begin() +
-                                               static_cast<std::ptrdiff_t>(k) + 1,
-                                           candidates.end());
-            if (!rest.empty() && !EclatDfs(ctx, prefix, extended, rest)) {
-                prefix.pop_back();
-                return false;
-            }
-        }
-        prefix.pop_back();
+        if (!EclatExtend(ctx, prefix, cover, candidates, k)) return false;
     }
     return true;
 }
@@ -73,10 +109,8 @@ bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
 Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
     const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
-    BudgetGuard guard(config.budget, config.max_patterns);
     MineOutcome<Pattern> outcome;
     std::vector<Pattern>& out = outcome.patterns;
-    EclatContext ctx{&db, min_sup, config.max_pattern_len, &guard, &out};
 
     std::vector<ItemId> frequent;
     for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -84,17 +118,77 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
     }
     BitVector all(db.num_transactions());
     all.Fill();
-    Itemset prefix;
-    if (!EclatDfs(ctx, prefix, all, frequent)) {
-        outcome.breach = guard.breach();
-        FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/true);
+
+    const std::size_t threads =
+        std::min(ResolveNumThreads(config.num_threads), frequent.size());
+    std::size_t intersections = 0;
+
+    if (threads <= 1) {
+        // Serial path: today's code, bit for bit.
+        BudgetGuard guard(config.budget, config.max_patterns);
+        EclatContext ctx{&db, min_sup, config.max_pattern_len, &guard, &out};
+        Itemset prefix;
+        if (!EclatDfs(ctx, prefix, all, frequent)) {
+            outcome.breach = guard.breach();
+        }
+        intersections = ctx.intersections;
+    } else {
+        // Fan out over first-level equivalence-class prefixes: task k mines
+        // the {frequent[k]}-prefixed class into a private slot; slots
+        // concatenate in item order — the serial emission sequence exactly.
+        const std::size_t tasks_n = frequent.size();
+        std::vector<std::vector<Pattern>> slots(tasks_n);
+        std::vector<EclatContext> contexts(
+            tasks_n, EclatContext{&db, min_sup, config.max_pattern_len, nullptr,
+                                  nullptr});
+        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
+        SharedMineProgress progress;
+        DeadlineTimer timer(config.budget.time_budget_ms);
+
+        ThreadPool pool(threads);
+        TaskGroup group(pool);
+        for (std::size_t k = 0; k < tasks_n; ++k) {
+            group.Submit([&, k] {
+                BudgetGuard guard(TaskBudget(config.budget, timer),
+                                  config.max_patterns);
+                EclatContext& ctx = contexts[k];
+                ctx.guard = &guard;
+                ctx.out = &slots[k];
+                ctx.shared = &progress;
+                Itemset prefix;
+                if (!EclatExtend(ctx, prefix, all, frequent, k)) {
+                    breaches[k] = guard.breach();
+                }
+            });
+        }
+        group.Wait();
+
+        std::size_t total = 0;
+        for (const EclatContext& ctx : contexts) {
+            intersections += ctx.intersections;
+        }
+        for (const auto& slot : slots) total += slot.size();
+        out.reserve(total);
+        for (std::size_t k = 0; k < tasks_n; ++k) {
+            for (Pattern& p : slots[k]) out.push_back(std::move(p));
+        }
+        for (BudgetBreach b : breaches) {
+            if (b != BudgetBreach::kNone) {
+                outcome.breach = b;
+                break;
+            }
+        }
+    }
+
+    if (outcome.truncated()) {
+        FlushEclatMetrics(intersections, out.size(), true);
         RecordBreach("fpm.eclat", outcome.breach,
                      static_cast<double>(out.size()));
         FilterPatterns(config, &out);
         return outcome;
     }
     FilterPatterns(config, &out);
-    FlushEclatMetrics(ctx, out.size(), /*budget_abort=*/false);
+    FlushEclatMetrics(intersections, out.size(), false);
     return outcome;
 }
 

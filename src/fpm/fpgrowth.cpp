@@ -1,7 +1,9 @@
 #include "fpm/fpgrowth.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fptree.hpp"
 #include "obs/metrics.hpp"
@@ -16,13 +18,29 @@ struct GrowthContext {
     BudgetGuard* guard;
     std::vector<Pattern>* out;
     std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
+    // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
+    // the global pattern/memory caps. Null on the serial path.
+    SharedMineProgress* shared = nullptr;
     // Instrumentation tallies, flushed to the registry once per Mine().
     std::size_t nodes_expanded = 0;    // header entries visited across all trees
     std::size_t cond_trees_built = 0;  // conditional FP-trees constructed
 };
 
-void FlushGrowthMetrics(const GrowthContext& ctx, std::size_t emitted,
-                        bool budget_abort) {
+// The emitted-count / byte-estimate pair the guard should see: the pool-wide
+// totals when fanning out, this context's own otherwise.
+std::size_t GuardEmitted(const GrowthContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->emitted.load(std::memory_order_relaxed)
+               : ctx.out->size();
+}
+std::size_t GuardBytes(const GrowthContext& ctx) {
+    return ctx.shared != nullptr
+               ? ctx.shared->est_bytes.load(std::memory_order_relaxed)
+               : ctx.est_bytes;
+}
+
+void FlushGrowthMetrics(std::size_t nodes_expanded, std::size_t cond_trees_built,
+                        std::size_t emitted, bool budget_abort) {
     static auto& nodes =
         obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.nodes_expanded");
     static auto& trees =
@@ -31,11 +49,17 @@ void FlushGrowthMetrics(const GrowthContext& ctx, std::size_t emitted,
         obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.patterns_emitted");
     static auto& aborts =
         obs::Registry::Get().GetCounter("dfp.fpm.fpgrowth.budget_aborts");
-    nodes.Inc(ctx.nodes_expanded);
-    trees.Inc(ctx.cond_trees_built);
+    nodes.Inc(nodes_expanded);
+    trees.Inc(cond_trees_built);
     patterns.Inc(emitted);
     if (budget_abort) aborts.Inc();
 }
+
+// Emits `suffix ∪ {header[idx].item}` and recurses into its conditional tree.
+// Factored out of Grow() so the parallel fan-out can run exactly one
+// first-level iteration per task. Returns false when the budget fires.
+bool GrowOne(const FpTree& tree, std::size_t idx, std::vector<ItemId>& suffix,
+             GrowthContext& ctx);
 
 // Recursively mines `tree`, emitting suffix ∪ {item} patterns. Returns false
 // when the execution budget fires.
@@ -44,31 +68,41 @@ bool Grow(const FpTree& tree, std::vector<ItemId>& suffix, GrowthContext& ctx) {
     // Least-frequent items first, as in the original algorithm.
     const auto& header = tree.header();
     for (std::size_t idx = header.size(); idx-- > 0;) {
-        const auto& entry = header[idx];
-        ++ctx.nodes_expanded;
-        if (ctx.guard->Check(ctx.out->size(), ctx.est_bytes) !=
-            BudgetBreach::kNone) {
+        if (!GrowOne(tree, idx, suffix, ctx)) return false;
+    }
+    return true;
+}
+
+bool GrowOne(const FpTree& tree, std::size_t idx, std::vector<ItemId>& suffix,
+             GrowthContext& ctx) {
+    const auto& entry = tree.header()[idx];
+    ++ctx.nodes_expanded;
+    if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
+        BudgetBreach::kNone) {
+        return false;
+    }
+    suffix.push_back(entry.item);
+    Pattern p;
+    p.items = suffix;
+    std::sort(p.items.begin(), p.items.end());
+    p.support = entry.count;
+    const std::size_t bytes = sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+    ctx.est_bytes += bytes;
+    if (ctx.shared != nullptr) {
+        ctx.shared->AddEmitted();
+        ctx.shared->AddBytes(bytes);
+    }
+    ctx.out->push_back(std::move(p));
+
+    if (suffix.size() < ctx.max_len) {
+        const FpTree cond = FpTree::Build(tree.ConditionalBase(idx), ctx.min_sup);
+        ++ctx.cond_trees_built;
+        if (!Grow(cond, suffix, ctx)) {
+            suffix.pop_back();
             return false;
         }
-        suffix.push_back(entry.item);
-        Pattern p;
-        p.items = suffix;
-        std::sort(p.items.begin(), p.items.end());
-        p.support = entry.count;
-        ctx.est_bytes += sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
-        ctx.out->push_back(std::move(p));
-
-        if (suffix.size() < ctx.max_len) {
-            const FpTree cond =
-                FpTree::Build(tree.ConditionalBase(idx), ctx.min_sup);
-            ++ctx.cond_trees_built;
-            if (!Grow(cond, suffix, ctx)) {
-                suffix.pop_back();
-                return false;
-            }
-        }
-        suffix.pop_back();
     }
+    suffix.pop_back();
     return true;
 }
 
@@ -83,20 +117,83 @@ Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
     for (const auto& t : db.transactions()) txns.push_back({t, 1});
     const FpTree tree = FpTree::Build(txns, min_sup);
 
-    BudgetGuard guard(config.budget, config.max_patterns);
+    const std::size_t threads =
+        std::min(ResolveNumThreads(config.num_threads), tree.header().size());
     MineOutcome<Pattern> outcome;
-    std::vector<ItemId> suffix;
-    GrowthContext ctx{min_sup, config.max_pattern_len, &guard, &outcome.patterns};
-    if (!Grow(tree, suffix, ctx)) {
-        outcome.breach = guard.breach();
-        FlushGrowthMetrics(ctx, outcome.patterns.size(), /*budget_abort=*/true);
+    std::size_t nodes = 0;
+    std::size_t trees_built = 0;
+
+    if (threads <= 1) {
+        // Serial path: today's code, bit for bit.
+        BudgetGuard guard(config.budget, config.max_patterns);
+        std::vector<ItemId> suffix;
+        GrowthContext ctx{min_sup, config.max_pattern_len, &guard,
+                          &outcome.patterns};
+        const bool ok = Grow(tree, suffix, ctx);
+        if (!ok) outcome.breach = guard.breach();
+        nodes = ctx.nodes_expanded;
+        trees_built = ctx.cond_trees_built;
+    } else {
+        // Fan out over first-level conditional trees: task t owns header entry
+        // header[H-1-t] (the serial reverse-header order), mines its whole
+        // conditional subtree into a private slot, and the slots concatenate
+        // in task order — reproducing the serial emission sequence exactly.
+        const auto& header = tree.header();
+        const std::size_t tasks_n = header.size();
+        std::vector<std::vector<Pattern>> slots(tasks_n);
+        std::vector<GrowthContext> contexts(tasks_n);
+        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
+        SharedMineProgress progress;
+        DeadlineTimer timer(config.budget.time_budget_ms);
+
+        ThreadPool pool(threads);
+        TaskGroup group(pool);
+        for (std::size_t t = 0; t < tasks_n; ++t) {
+            group.Submit([&, t] {
+                const std::size_t idx = tasks_n - 1 - t;
+                BudgetGuard guard(TaskBudget(config.budget, timer),
+                                  config.max_patterns);
+                GrowthContext& ctx = contexts[t];
+                ctx.min_sup = min_sup;
+                ctx.max_len = config.max_pattern_len;
+                ctx.guard = &guard;
+                ctx.out = &slots[t];
+                ctx.shared = &progress;
+                std::vector<ItemId> suffix;
+                if (!GrowOne(tree, idx, suffix, ctx)) {
+                    breaches[t] = guard.breach();
+                }
+            });
+        }
+        group.Wait();
+
+        std::size_t total = 0;
+        for (const GrowthContext& ctx : contexts) {
+            nodes += ctx.nodes_expanded;
+            trees_built += ctx.cond_trees_built;
+        }
+        for (const auto& slot : slots) total += slot.size();
+        outcome.patterns.reserve(total);
+        for (std::size_t t = 0; t < tasks_n; ++t) {
+            for (Pattern& p : slots[t]) outcome.patterns.push_back(std::move(p));
+        }
+        for (BudgetBreach b : breaches) {
+            if (b != BudgetBreach::kNone) {
+                outcome.breach = b;
+                break;
+            }
+        }
+    }
+
+    if (outcome.truncated()) {
+        FlushGrowthMetrics(nodes, trees_built, outcome.patterns.size(), true);
         RecordBreach("fpm.fpgrowth", outcome.breach,
                      static_cast<double>(outcome.patterns.size()));
         FilterPatterns(config, &outcome.patterns);
         return outcome;
     }
     FilterPatterns(config, &outcome.patterns);
-    FlushGrowthMetrics(ctx, outcome.patterns.size(), /*budget_abort=*/false);
+    FlushGrowthMetrics(nodes, trees_built, outcome.patterns.size(), false);
     return outcome;
 }
 

@@ -45,6 +45,12 @@ struct MinerConfig {
     /// Emit single-item patterns too (the framework's feature space is I ∪ F,
     /// so singletons are usually redundant as patterns; default keeps them).
     bool include_singletons = true;
+    /// Worker threads for the mining fan-out (FP-growth / Eclat / closed fan
+    /// out over first-level conditional subproblems; Apriori stays level-wise
+    /// serial). 1 = today's serial code exactly; 0 = hardware_concurrency.
+    /// The complete pattern set is identical for every thread count — only
+    /// budget-truncated prefixes may differ (see DESIGN.md §11).
+    std::size_t num_threads = 1;
     /// Execution limits (deadline, memory, cancellation). Default = unlimited.
     ExecutionBudget budget;
 };

@@ -42,6 +42,12 @@ class Classifier {
     /// cooperatively; the default ignores it.
     virtual void SetExecutionBudget(const ExecutionBudget& /*budget*/) {}
 
+    /// Requests `num_threads` workers for subsequent Train() calls (0 =
+    /// hardware_concurrency). Learners with internal parallelism (the OvO
+    /// SVM) honour it; the default ignores it. Parallel learners must keep
+    /// trained models identical across thread counts.
+    virtual void SetNumThreads(std::size_t /*num_threads*/) {}
+
     /// Predicts the label of one feature vector (dimension == training cols).
     virtual ClassLabel Predict(std::span<const double> x) const = 0;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace dfp {
 
 std::vector<std::vector<std::size_t>> StratifiedFolds(
@@ -27,12 +29,17 @@ std::vector<std::vector<std::size_t>> StratifiedFolds(
 
 CvResult CrossValidate(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
                        std::size_t num_classes, const ClassifierFactory& factory,
-                       std::size_t folds, std::uint64_t seed) {
+                       std::size_t folds, std::uint64_t seed,
+                       std::size_t num_threads) {
     Rng rng(seed);
     const auto fold_rows = StratifiedFolds(y, folds, rng);
     CvResult result;
-    double total = 0.0;
-    for (std::size_t f = 0; f < folds; ++f) {
+    result.fold_accuracies.assign(folds, 0.0);
+
+    // Each fold trains and scores independently against the precomputed
+    // split, writing only its own accuracy slot — so the fold loop runs
+    // unchanged whether chunked across workers or inline (the serial path).
+    auto run_fold = [&](std::size_t f) {
         std::vector<std::size_t> train_rows;
         for (std::size_t g = 0; g < folds; ++g) {
             if (g == f) continue;
@@ -40,10 +47,7 @@ CvResult CrossValidate(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
                               fold_rows[g].end());
         }
         const auto& test_rows = fold_rows[f];
-        if (test_rows.empty() || train_rows.empty()) {
-            result.fold_accuracies.push_back(0.0);
-            continue;
-        }
+        if (test_rows.empty() || train_rows.empty()) return;
         FeatureMatrix train_x = x.SelectRows(train_rows);
         std::vector<ClassLabel> train_y;
         train_y.reserve(train_rows.size());
@@ -51,18 +55,27 @@ CvResult CrossValidate(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
 
         auto model = factory();
         const Status st = model->Train(train_x, train_y, num_classes);
-        double acc = 0.0;
-        if (st.ok()) {
-            std::size_t correct = 0;
-            for (std::size_t r : test_rows) {
-                if (model->Predict(x.Row(r)) == y[r]) ++correct;
-            }
-            acc = static_cast<double>(correct) /
-                  static_cast<double>(test_rows.size());
+        if (!st.ok()) return;
+        std::size_t correct = 0;
+        for (std::size_t r : test_rows) {
+            if (model->Predict(x.Row(r)) == y[r]) ++correct;
         }
-        result.fold_accuracies.push_back(acc);
-        total += acc;
+        result.fold_accuracies[f] = static_cast<double>(correct) /
+                                    static_cast<double>(test_rows.size());
+    };
+
+    const std::size_t threads = std::min(ResolveNumThreads(num_threads), folds);
+    if (threads <= 1) {
+        for (std::size_t f = 0; f < folds; ++f) run_fold(f);
+    } else {
+        ThreadPool pool(threads);
+        ParallelFor(&pool, folds, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t f = begin; f < end; ++f) run_fold(f);
+        });
     }
+
+    double total = 0.0;
+    for (double acc : result.fold_accuracies) total += acc;
     result.mean_accuracy =
         result.fold_accuracies.empty()
             ? 0.0

@@ -21,8 +21,12 @@ struct CvResult {
 };
 
 /// Trains a fresh model per fold on the complement and scores it on the fold.
+/// `num_threads` > 1 trains the folds concurrently (0 = hardware_concurrency);
+/// the fold split is fixed by `seed` before the fan-out and each fold's model
+/// is independent, so accuracies are identical for every thread count.
 CvResult CrossValidate(const FeatureMatrix& x, const std::vector<ClassLabel>& y,
                        std::size_t num_classes, const ClassifierFactory& factory,
-                       std::size_t folds, std::uint64_t seed);
+                       std::size_t folds, std::uint64_t seed,
+                       std::size_t num_threads = 1);
 
 }  // namespace dfp

@@ -28,6 +28,11 @@ struct SmoConfig {
     /// Precompute the full Gram matrix when n ≤ this (memory: n² doubles).
     std::size_t gram_limit = 3000;
     std::uint64_t seed = 7;  ///< tie-breaking RNG
+    /// SvmClassifier-level: worker threads for the one-vs-one pairwise
+    /// solves (each binary subproblem is independent and deterministic, so
+    /// predictions are identical for every thread count). TrainSmo itself is
+    /// single-threaded. 1 = serial; 0 = hardware_concurrency.
+    std::size_t num_threads = 1;
     /// Wall-clock / cancellation limits for the solve (checked between
     /// examine calls). A breach stops the solver with the current iterate.
     ExecutionBudget budget;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/parallel.hpp"
 #include "common/serialize.hpp"
 
 #include "common/string_util.hpp"
@@ -22,80 +23,123 @@ Status SvmClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel
     }
     machines_.clear();
     num_classes_ = num_classes;
+
+    std::vector<std::pair<ClassLabel, ClassLabel>> pairs;
+    for (ClassLabel a = 0; a < num_classes; ++a) {
+        for (ClassLabel b = a + 1; b < num_classes; ++b) pairs.emplace_back(a, b);
+    }
+
     // One deadline shared by every pairwise solve: each pair gets whatever
     // wall-clock remains, instead of a fresh full window.
     DeadlineTimer timer(config_.budget.time_budget_ms);
-    for (ClassLabel a = 0; a < num_classes; ++a) {
-        for (ClassLabel b = a + 1; b < num_classes; ++b) {
-            std::vector<std::size_t> rows;
-            std::vector<int> labels;
-            for (std::size_t r = 0; r < x.rows(); ++r) {
-                if (y[r] == a) {
-                    rows.push_back(r);
-                    labels.push_back(+1);
-                } else if (y[r] == b) {
-                    rows.push_back(r);
-                    labels.push_back(-1);
-                }
+
+    // One slot per class pair; slots are merged into machines_ in pair order
+    // afterwards, so the trained model is identical for every thread count
+    // (each binary solve is independent and deterministic given its inputs).
+    struct PairSlot {
+        bool present = false;
+        PairModel pm;
+        Status status = Status::Ok();
+    };
+    std::vector<PairSlot> slots(pairs.size());
+
+    auto solve_pair = [&](std::size_t idx) {
+        const auto [a, b] = pairs[idx];
+        PairSlot& slot = slots[idx];
+        std::vector<std::size_t> rows;
+        std::vector<int> labels;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            if (y[r] == a) {
+                rows.push_back(r);
+                labels.push_back(+1);
+            } else if (y[r] == b) {
+                rows.push_back(r);
+                labels.push_back(-1);
             }
-            if (rows.empty()) continue;
-            // A pair with only one class present degenerates; vote by majority.
-            const bool has_pos = std::count(labels.begin(), labels.end(), 1) > 0;
-            const bool has_neg =
-                std::count(labels.begin(), labels.end(), -1) > 0;
-            if (!has_pos || !has_neg) {
-                PairModel pm;
-                pm.positive = a;
-                pm.negative = b;
-                pm.model.bias = has_pos ? 1.0 : -1.0;  // constant decision
-                machines_.push_back(std::move(pm));
-                continue;
-            }
-            const FeatureMatrix sub = x.SelectRows(rows);
-            SmoConfig pair_config = config_;
-            pair_config.budget.time_budget_ms = timer.remaining_ms();
-            auto trained = TrainSmo(sub, labels, pair_config);
-            if (!trained.ok()) return trained.status();
-            SmoModel model = std::move(trained).value();
-            if (model.breach == BudgetBreach::kCancelled) {
-                RecordBreach("ml.svm", model.breach,
-                             static_cast<double>(machines_.size()));
-                return Status::Cancelled("SVM training cancelled");
-            }
-            if (model.breach != BudgetBreach::kNone) {
-                // Deadline/memory breach: keep the partial SMO iterate (it is
-                // a valid, if suboptimal, decision function).
-                RecordBreach("ml.svm", model.breach,
-                             static_cast<double>(machines_.size()));
-            } else if (!model.converged && config_.fallback_to_pegasos) {
-                // Pair-update budget (max_steps/max_passes) exhausted without
-                // KKT cleanliness: retrain the pair with the primal solver.
-                GuardLog::Get().Record("ml.svm", "smo_nonconverged",
-                                       static_cast<double>(model.iterations));
-                PegasosConfig fallback;
-                fallback.lambda =
-                    1.0 / (config_.c * static_cast<double>(sub.rows()));
-                fallback.budget = config_.budget;
-                fallback.budget.time_budget_ms = timer.remaining_ms();
-                const BinaryLinearModel linear =
-                    TrainPegasosBinary(sub, labels, fallback);
-                if (linear.breach == BudgetBreach::kCancelled) {
-                    return Status::Cancelled("SVM training cancelled");
-                }
-                model = SmoModel{};
-                model.kernel.type = KernelType::kLinear;
-                model.w = linear.w;
-                model.bias = linear.bias;
-                model.converged = linear.breach == BudgetBreach::kNone;
-                GuardLog::Get().Record("ml.svm", "pegasos_fallback",
-                                       static_cast<double>(sub.rows()));
-            }
-            PairModel pm;
-            pm.positive = a;
-            pm.negative = b;
-            pm.model = std::move(model);
-            machines_.push_back(std::move(pm));
         }
+        if (rows.empty()) return;
+        // A pair with only one class present degenerates; vote by majority.
+        const bool has_pos = std::count(labels.begin(), labels.end(), 1) > 0;
+        const bool has_neg = std::count(labels.begin(), labels.end(), -1) > 0;
+        if (!has_pos || !has_neg) {
+            slot.present = true;
+            slot.pm.positive = a;
+            slot.pm.negative = b;
+            slot.pm.model.bias = has_pos ? 1.0 : -1.0;  // constant decision
+            return;
+        }
+        const FeatureMatrix sub = x.SelectRows(rows);
+        SmoConfig pair_config = config_;
+        pair_config.budget.time_budget_ms = timer.remaining_ms();
+        auto trained = TrainSmo(sub, labels, pair_config);
+        if (!trained.ok()) {
+            slot.status = trained.status();
+            return;
+        }
+        SmoModel model = std::move(trained).value();
+        if (model.breach == BudgetBreach::kCancelled) {
+            RecordBreach("ml.svm", model.breach, static_cast<double>(idx));
+            slot.status = Status::Cancelled("SVM training cancelled");
+            return;
+        }
+        if (model.breach != BudgetBreach::kNone) {
+            // Deadline/memory breach: keep the partial SMO iterate (it is
+            // a valid, if suboptimal, decision function).
+            RecordBreach("ml.svm", model.breach, static_cast<double>(idx));
+        } else if (!model.converged && config_.fallback_to_pegasos) {
+            // Pair-update budget (max_steps/max_passes) exhausted without
+            // KKT cleanliness: retrain the pair with the primal solver.
+            GuardLog::Get().Record("ml.svm", "smo_nonconverged",
+                                   static_cast<double>(model.iterations));
+            PegasosConfig fallback;
+            fallback.lambda =
+                1.0 / (config_.c * static_cast<double>(sub.rows()));
+            fallback.budget = config_.budget;
+            fallback.budget.time_budget_ms = timer.remaining_ms();
+            const BinaryLinearModel linear =
+                TrainPegasosBinary(sub, labels, fallback);
+            if (linear.breach == BudgetBreach::kCancelled) {
+                slot.status = Status::Cancelled("SVM training cancelled");
+                return;
+            }
+            model = SmoModel{};
+            model.kernel.type = KernelType::kLinear;
+            model.w = linear.w;
+            model.bias = linear.bias;
+            model.converged = linear.breach == BudgetBreach::kNone;
+            GuardLog::Get().Record("ml.svm", "pegasos_fallback",
+                                   static_cast<double>(sub.rows()));
+        }
+        slot.present = true;
+        slot.pm.positive = a;
+        slot.pm.negative = b;
+        slot.pm.model = std::move(model);
+    };
+
+    const std::size_t threads =
+        std::min(ResolveNumThreads(config_.num_threads), pairs.size());
+    if (threads <= 1) {
+        // Serial path: stop at the first failing pair, like today.
+        for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+            solve_pair(idx);
+            if (!slots[idx].status.ok()) return slots[idx].status;
+        }
+    } else {
+        ThreadPool pool(threads);
+        TaskGroup group(pool);
+        for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+            group.Submit([&, idx] { solve_pair(idx); });
+        }
+        group.Wait();
+        // Deterministic error surfacing: the first failing pair in pair
+        // order, matching the serial early-exit.
+        for (const PairSlot& slot : slots) {
+            if (!slot.status.ok()) return slot.status;
+        }
+    }
+
+    for (PairSlot& slot : slots) {
+        if (slot.present) machines_.push_back(std::move(slot.pm));
     }
     if (machines_.empty()) {
         return Status::FailedPrecondition("no class pair had training data");
@@ -149,25 +193,78 @@ SmoConfig GridSearchSvm(const FeatureMatrix& x, const std::vector<ClassLabel>& y
     }
     SmoConfig best = candidates.front();
     double best_acc = -1.0;
-    // Every check covers a whole k-fold CV run, so read the clock each time.
-    BudgetGuard guard(grid.budget, std::numeric_limits<std::size_t>::max(),
-                      /*clock_stride=*/1);
-    std::size_t evaluated = 0;
-    for (SmoConfig& cfg : candidates) {
-        if (guard.Check(0) != BudgetBreach::kNone) {
-            RecordBreach("ml.svm.grid", guard.breach(),
-                         static_cast<double>(evaluated));
-            break;
+    const std::size_t threads =
+        std::min(ResolveNumThreads(grid.num_threads), candidates.size());
+
+    if (threads <= 1) {
+        // Every check covers a whole k-fold CV run, so read the clock each
+        // time.
+        BudgetGuard guard(grid.budget, std::numeric_limits<std::size_t>::max(),
+                          /*clock_stride=*/1);
+        std::size_t evaluated = 0;
+        for (SmoConfig& cfg : candidates) {
+            if (guard.Check(0) != BudgetBreach::kNone) {
+                RecordBreach("ml.svm.grid", guard.breach(),
+                             static_cast<double>(evaluated));
+                break;
+            }
+            cfg.budget = grid.budget;
+            const CvResult cv = CrossValidate(
+                x, y, num_classes,
+                [&cfg]() { return std::make_unique<SvmClassifier>(cfg); },
+                grid.folds, grid.seed);
+            ++evaluated;
+            if (cv.mean_accuracy > best_acc) {
+                best_acc = cv.mean_accuracy;
+                best = cfg;
+            }
         }
-        cfg.budget = grid.budget;
-        const CvResult cv = CrossValidate(
-            x, y, num_classes,
-            [&cfg]() { return std::make_unique<SvmClassifier>(cfg); }, grid.folds,
-            grid.seed);
-        ++evaluated;
-        if (cv.mean_accuracy > best_acc) {
-            best_acc = cv.mean_accuracy;
-            best = cfg;
+        return best;
+    }
+
+    // Parallel grid: every candidate's CV runs as an independent task (each
+    // checks the shared budget before starting; tasks that never ran stay at
+    // the -1 sentinel and cannot win). The winner is the first candidate, in
+    // grid order, with the maximal accuracy — the serial scan's choice.
+    std::vector<double> accuracies(candidates.size(), -1.0);
+    std::atomic<std::size_t> evaluated{0};
+    std::atomic<int> grid_breach{static_cast<int>(BudgetBreach::kNone)};
+    DeadlineTimer timer(grid.budget.time_budget_ms);
+    {
+        ThreadPool pool(threads);
+        TaskGroup group(pool);
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            candidates[i].budget = grid.budget;
+            group.Submit([&, i] {
+                BudgetGuard guard(TaskBudget(grid.budget, timer),
+                                  std::numeric_limits<std::size_t>::max(),
+                                  /*clock_stride=*/1);
+                if (guard.Check(0) != BudgetBreach::kNone) {
+                    grid_breach.store(static_cast<int>(guard.breach()),
+                                      std::memory_order_relaxed);
+                    return;
+                }
+                const SmoConfig& cfg = candidates[i];
+                const CvResult cv = CrossValidate(
+                    x, y, num_classes,
+                    [&cfg]() { return std::make_unique<SvmClassifier>(cfg); },
+                    grid.folds, grid.seed);
+                accuracies[i] = cv.mean_accuracy;
+                evaluated.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        group.Wait();
+    }
+    const auto breach =
+        static_cast<BudgetBreach>(grid_breach.load(std::memory_order_relaxed));
+    if (breach != BudgetBreach::kNone) {
+        RecordBreach("ml.svm.grid", breach,
+                     static_cast<double>(evaluated.load(std::memory_order_relaxed)));
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (accuracies[i] > best_acc) {
+            best_acc = accuracies[i];
+            best = candidates[i];
         }
     }
     return best;

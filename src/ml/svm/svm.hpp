@@ -26,6 +26,9 @@ class SvmClassifier : public Classifier {
     void SetExecutionBudget(const ExecutionBudget& budget) override {
         config_.budget = budget;
     }
+    void SetNumThreads(std::size_t num_threads) override {
+        config_.num_threads = num_threads;
+    }
 
     const SmoConfig& config() const { return config_; }
 
@@ -47,6 +50,12 @@ struct SvmGrid {
     std::vector<double> gamma_values;  ///< only meaningful for RBF
     std::size_t folds = 3;
     std::uint64_t seed = 13;
+    /// Worker threads for evaluating grid candidates concurrently (each
+    /// candidate's k-fold CV is independent; the winner is picked by a
+    /// deterministic scan, so the choice is thread-count invariant). Nested
+    /// parallelism is the caller's budget to spend: candidates inherit
+    /// base.num_threads for their OvO solves. 1 = serial; 0 = hardware.
+    std::size_t num_threads = 1;
     /// Limits for the whole search: candidates stop being evaluated once the
     /// deadline passes or the token fires; the best config so far is returned.
     ExecutionBudget budget;
