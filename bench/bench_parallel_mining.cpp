@@ -102,6 +102,8 @@ int main(int argc, char** argv) {
                 "dfp.bench.parallel." + row.name + ".t" + std::to_string(threads);
             registry.GetGauge(prefix + ".seconds").Set(seconds);
             registry.GetGauge(prefix + ".speedup").Set(speedup);
+            registry.GetGauge(prefix + ".patterns")
+                .Set(static_cast<double>(mined->size()));
         }
     }
     table.Print();

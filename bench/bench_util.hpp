@@ -1,10 +1,13 @@
 // Shared helpers for the paper-table bench harnesses.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/string_util.hpp"
 #include "exp/experiment.hpp"
 #include "exp/table_printer.hpp"
@@ -12,6 +15,14 @@
 #include "obs/trace.hpp"
 
 namespace dfp::bench {
+
+/// Process peak resident set size in bytes (0 when unavailable). Linux
+/// reports ru_maxrss in KiB.
+inline std::size_t PeakRssBytes() {
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
 
 /// Turns on span collection and clears any metrics left over from process
 /// start, so the BENCH_*.json written at exit covers exactly this run.
@@ -29,6 +40,11 @@ inline void BeginBenchObservability(std::size_t threads = 1) {
 /// working directory; these files are the machine-tracked perf trajectory
 /// (git-ignored — the numbers live in EXPERIMENTS.md / CI artifacts).
 inline void WriteBenchReport(const std::string& name) {
+    // Every bench report carries the memory footprint alongside the timing
+    // spans: process peak RSS plus the mining arenas' reservation gauges.
+    dfp::obs::Registry::Get().GetGauge("dfp.bench.peak_rss_bytes").Set(
+        static_cast<double>(PeakRssBytes()));
+    PublishArenaMetrics();
     const dfp::obs::RunReport report = dfp::obs::CollectRunReport(name);
     const std::string path = "BENCH_" + name + ".json";
     const Status st = dfp::obs::WriteReportJsonFile(report, path);

@@ -1,0 +1,155 @@
+#include "common/arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace dfp {
+
+namespace {
+
+std::atomic<std::size_t> g_total_reserved{0};
+std::atomic<std::size_t> g_peak_reserved{0};
+std::atomic<std::uint64_t> g_chunks_allocated{0};
+
+void AddReserved(std::size_t bytes) {
+    const std::size_t total =
+        g_total_reserved.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = g_peak_reserved.load(std::memory_order_relaxed);
+    while (total > peak && !g_peak_reserved.compare_exchange_weak(
+                               peak, total, std::memory_order_relaxed)) {
+    }
+}
+
+void SubReserved(std::size_t bytes) {
+    g_total_reserved.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes < 256 ? 256 : chunk_bytes) {}
+
+Arena::Arena(Arena&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      current_(other.current_),
+      used_(other.used_),
+      chunk_bytes_(other.chunk_bytes_),
+      reserved_(other.reserved_) {
+    other.chunks_.clear();
+    other.current_ = 0;
+    other.used_ = 0;
+    other.reserved_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+    if (this != &other) {
+        Release();
+        chunks_ = std::move(other.chunks_);
+        current_ = other.current_;
+        used_ = other.used_;
+        chunk_bytes_ = other.chunk_bytes_;
+        reserved_ = other.reserved_;
+        other.chunks_.clear();
+        other.current_ = 0;
+        other.used_ = 0;
+        other.reserved_ = 0;
+    }
+    return *this;
+}
+
+Arena::~Arena() { Release(); }
+
+void Arena::Release() {
+    for (Chunk& c : chunks_) std::free(c.data);
+    SubReserved(reserved_);
+    chunks_.clear();
+    current_ = 0;
+    used_ = 0;
+    reserved_ = 0;
+}
+
+void Arena::AddChunk(std::size_t min_bytes) {
+    // Geometric growth keeps the chunk count logarithmic; the next chunk is
+    // at least double the last reserved one and large enough for min_bytes.
+    std::size_t size = chunk_bytes_;
+    if (!chunks_.empty()) size = chunks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    Chunk chunk;
+    chunk.data = static_cast<unsigned char*>(std::malloc(size));
+    if (chunk.data == nullptr) throw std::bad_alloc();
+    chunk.size = size;
+    chunks_.push_back(chunk);
+    reserved_ += size;
+    AddReserved(size);
+    g_chunks_allocated.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+    assert(align != 0 && (align & (align - 1)) == 0 && align <= kMaxAlign);
+    if (bytes == 0) bytes = 1;
+    while (true) {
+        if (current_ < chunks_.size()) {
+            Chunk& chunk = chunks_[current_];
+            const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+            if (aligned + bytes <= chunk.size) {
+                used_ = aligned + bytes;
+                return chunk.data + aligned;
+            }
+            // Current chunk exhausted: move to the next reserved chunk if it
+            // fits, otherwise reserve a bigger one.
+            if (current_ + 1 < chunks_.size() &&
+                bytes <= chunks_[current_ + 1].size) {
+                ++current_;
+                used_ = 0;
+                continue;
+            }
+        }
+        // Reserve a fresh chunk at the end and bump into it. Intervening
+        // too-small chunks are skipped (they are reused after a Reset).
+        AddChunk(bytes + align);
+        current_ = chunks_.size() - 1;
+        used_ = 0;
+    }
+}
+
+void Arena::Rewind(Mark mark) {
+    assert(mark.chunk <= current_);
+    current_ = mark.chunk < chunks_.size() ? mark.chunk : 0;
+    used_ = mark.used;
+}
+
+std::size_t Arena::bytes_used() const {
+    std::size_t total = used_;
+    for (std::size_t c = 0; c < current_ && c < chunks_.size(); ++c) {
+        total += chunks_[c].size;  // earlier chunks count as fully used
+    }
+    return total;
+}
+
+std::size_t Arena::TotalReservedBytes() {
+    return g_total_reserved.load(std::memory_order_relaxed);
+}
+
+std::size_t Arena::PeakReservedBytes() {
+    return g_peak_reserved.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Arena::TotalChunksAllocated() {
+    return g_chunks_allocated.load(std::memory_order_relaxed);
+}
+
+void PublishArenaMetrics() {
+    auto& registry = obs::Registry::Get();
+    registry.GetGauge("dfp.arena.bytes_reserved")
+        .Set(static_cast<double>(Arena::TotalReservedBytes()));
+    registry.GetGauge("dfp.arena.peak_bytes_reserved")
+        .Set(static_cast<double>(Arena::PeakReservedBytes()));
+    registry.GetGauge("dfp.arena.chunks_allocated")
+        .Set(static_cast<double>(Arena::TotalChunksAllocated()));
+}
+
+}  // namespace dfp

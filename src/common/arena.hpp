@@ -1,0 +1,177 @@
+// Bump-pointer arena allocation for the mining hot paths.
+//
+// The FP-growth recursion builds and discards one conditional tree per header
+// entry per level; with node-per-heap-allocation layouts the allocator lock
+// becomes the bottleneck the moment the miners fan out over threads
+// (BENCH_parallel.json before this change: 1.08x at 4 threads). An Arena
+// turns that churn into pointer bumps over a few large chunks that are
+// *reset* (rewound) instead of freed, so a per-task scratch arena gives each
+// worker allocator-free mining with perfect cache locality.
+//
+//  * Arena      — chunked bump allocator. Allocate() is a bump; Reset()
+//                 rewinds to the first chunk and keeps the memory; Mark()/
+//                 Rewind() give stack-like reclamation for recursive builds.
+//  * FlatVec<T> — a minimal growable span over arena memory for trivially
+//                 copyable T. Growth allocates a fresh block from the arena
+//                 (the old block is dead until the next Reset — bounded waste
+//                 by the usual doubling argument); callers that know their
+//                 sizes use reserve() and never waste a byte.
+//
+// Process-wide reservation totals are tracked in atomics and published as
+// `dfp.arena.*` gauges/counters by PublishArenaMetrics() (bench reports call
+// it so every BENCH_*.json records the arena footprint).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace dfp {
+
+/// Chunked bump-pointer allocator. Not thread-safe: one Arena per task.
+class Arena {
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+    static constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&& other) noexcept;
+    Arena& operator=(Arena&& other) noexcept;
+    ~Arena();
+
+    /// Bump-allocates `bytes` aligned to `align` (a power of two ≤ kMaxAlign).
+    /// Never returns null: overflowing the current chunk grabs a new one
+    /// (at least twice the previous chunk's size, so chunk count stays
+    /// logarithmic in total usage).
+    void* Allocate(std::size_t bytes, std::size_t align = kMaxAlign);
+
+    /// Typed array allocation (uninitialized; T must be trivially
+    /// default-constructible or the caller must construct in place).
+    template <typename T>
+    T* AllocateArray(std::size_t n) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "Arena arrays hold trivially copyable types only");
+        return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /// Position marker for stack-like reclamation across a recursion level.
+    struct Mark {
+        std::size_t chunk = 0;
+        std::size_t used = 0;
+    };
+
+    Mark Position() const { return Mark{current_, used_}; }
+
+    /// Rewinds the bump pointer to `mark`. Chunks past the mark stay reserved
+    /// (they are reused by later allocations); contents become garbage.
+    void Rewind(Mark mark);
+
+    /// Rewinds to the start, keeping every reserved chunk for reuse.
+    void Reset() { Rewind(Mark{0, 0}); }
+
+    /// Frees every chunk (memory returned to the OS allocator).
+    void Release();
+
+    /// Bytes handed out since the last Reset/Rewind past them.
+    std::size_t bytes_used() const;
+    /// Bytes reserved from the OS across all chunks.
+    std::size_t bytes_reserved() const { return reserved_; }
+
+    /// Process-wide total of bytes_reserved() over all live arenas.
+    static std::size_t TotalReservedBytes();
+    /// Process-wide high-water mark of TotalReservedBytes().
+    static std::size_t PeakReservedBytes();
+    /// Lifetime count of chunk allocations across all arenas.
+    static std::uint64_t TotalChunksAllocated();
+
+  private:
+    struct Chunk {
+        unsigned char* data = nullptr;
+        std::size_t size = 0;
+    };
+
+    void AddChunk(std::size_t min_bytes);
+
+    std::vector<Chunk> chunks_;
+    std::size_t current_ = 0;  // index of the chunk being bumped
+    std::size_t used_ = 0;     // bytes used in chunks_[current_]
+    std::size_t chunk_bytes_;  // size of the next chunk to reserve
+    std::size_t reserved_ = 0;
+};
+
+/// Publishes the arena totals as `dfp.arena.bytes_reserved` /
+/// `dfp.arena.peak_bytes_reserved` gauges and the `dfp.arena.chunks_allocated`
+/// counter value as a gauge (the registry's counters are monotonic per
+/// process; a gauge snapshot keeps bench runs comparable after ResetValues).
+void PublishArenaMetrics();
+
+/// Minimal vector-like span over arena memory. Trivially copyable elements
+/// only; no destructors are ever run. Copying the FlatVec copies the *view*
+/// (data pointer + size), which is what the index-based FP-tree wants.
+template <typename T>
+class FlatVec {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    FlatVec() = default;
+
+    void Attach(Arena* arena) { arena_ = arena; }
+
+    /// Ensures capacity for `n` elements (single arena allocation; contents
+    /// preserved on growth).
+    void reserve(std::size_t n) {
+        if (n <= capacity_) return;
+        T* fresh = arena_->AllocateArray<T>(n);
+        if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+        data_ = fresh;
+        capacity_ = n;
+    }
+
+    void resize(std::size_t n, T fill = T{}) {
+        reserve(n);
+        for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+        size_ = n;
+    }
+
+    void push_back(T v) {
+        if (size_ == capacity_) {
+            reserve(capacity_ == 0 ? std::size_t{8} : capacity_ * 2);
+        }
+        data_[size_++] = v;
+    }
+
+    void clear() { size_ = 0; }
+
+    T& operator[](std::size_t i) {
+        assert(i < size_);
+        return data_[i];
+    }
+    const T& operator[](std::size_t i) const {
+        assert(i < size_);
+        return data_[i];
+    }
+    T& back() { return data_[size_ - 1]; }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T* begin() { return data_; }
+    T* end() { return data_ + size_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + size_; }
+
+  private:
+    Arena* arena_ = nullptr;
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+}  // namespace dfp

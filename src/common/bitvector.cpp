@@ -81,6 +81,34 @@ std::size_t BitVector::AndCount(const BitVector& other) const {
     return n;
 }
 
+std::size_t BitVector::AndNotCount(const BitVector& other) const {
+    assert(size_ == other.size_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        n += static_cast<std::size_t>(
+            __builtin_popcountll(words_[i] & ~other.words_[i]));
+    }
+    return n;
+}
+
+void BitVector::AssignAnd(const BitVector& a, const BitVector& b) {
+    assert(a.size_ == b.size_);
+    size_ = a.size_;
+    words_.resize(a.words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] = a.words_[i] & b.words_[i];
+    }
+}
+
+void BitVector::AssignAndNot(const BitVector& a, const BitVector& b) {
+    assert(a.size_ == b.size_);
+    size_ = a.size_;
+    words_.resize(a.words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] = a.words_[i] & ~b.words_[i];
+    }
+}
+
 std::size_t BitVector::OrCount(const BitVector& other) const {
     assert(size_ == other.size_);
     std::size_t n = 0;

@@ -52,8 +52,17 @@ class BitVector {
 
     /// |this ∧ other| without materializing the intersection.
     std::size_t AndCount(const BitVector& other) const;
+    /// |this ∧ ¬other| without materializing the difference (the diffset
+    /// cardinality kernel of the hybrid Eclat).
+    std::size_t AndNotCount(const BitVector& other) const;
     /// |this ∨ other| without materializing the union.
     std::size_t OrCount(const BitVector& other) const;
+
+    /// this = a ∧ b, reusing this vector's existing word storage (the
+    /// per-depth scratch path of the miners: no allocation when sizes match).
+    void AssignAnd(const BitVector& a, const BitVector& b);
+    /// this = a ∧ ¬b, reusing existing storage.
+    void AssignAndNot(const BitVector& a, const BitVector& b);
     /// True iff every set bit of this is also set in other.
     bool IsSubsetOf(const BitVector& other) const;
     /// True iff the two vectors share no set bit.

@@ -21,6 +21,10 @@ struct ClosedContext {
     BudgetGuard* guard = nullptr;
     std::size_t est_bytes = 0;    // coarse output-memory estimate for the guard
     std::vector<char> in_closed;  // membership of the current closed set
+    // Per-depth cover slots, written in place with AssignAnd: the DFS holds a
+    // reference to its depth's slot across the recursion, so this is sized to
+    // the maximum depth up front and never reallocated mid-mine.
+    std::vector<BitVector> cover_scratch;
     std::vector<Pattern>* out;
     // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
     // the global pattern/memory caps. Null on the serial path.
@@ -71,19 +75,22 @@ void FlushClosedMetrics(std::size_t nodes_expanded, std::size_t closure_checks,
 // closed itemset (sorted), `tidset` its cover, `core` the extension item that
 // produced it. Returns false when the execution budget fires.
 bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidset,
-               ItemId core) {
+               ItemId core, std::size_t depth) {
     for (ItemId i : ctx.frequent) {
         if (i <= core) continue;  // prefix-preserving: extend past the core only
         if (ctx.in_closed[i]) continue;
-        BitVector extended = tidset;
-        extended &= ctx.db->ItemCover(i);
-        const std::size_t support = extended.Count();
+        // Fused count first: extensions that die on min_sup never materialize
+        // a cover (the common case), and survivors write into this depth's
+        // reusable slot instead of allocating a fresh vector.
+        const std::size_t support = tidset.AndCount(ctx.db->ItemCover(i));
         ++ctx.nodes_expanded;
         if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
             BudgetBreach::kNone) {
             return false;
         }
         if (support < ctx.min_sup) continue;
+        BitVector& extended = ctx.cover_scratch[depth];
+        extended.AssignAnd(tidset, ctx.db->ItemCover(i));
 
         // Closure: every frequent item whose cover contains the new tidset.
         // Prefix-preservation: no item < i may newly enter the closure.
@@ -115,7 +122,7 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
         // Note: recurse on the local `closure`, not out->back() — the output
         // vector may reallocate during recursion.
         for (ItemId j : closure) ctx.in_closed[j] = 1;
-        const bool ok = ClosedDfs(ctx, closure, extended, i);
+        const bool ok = ClosedDfs(ctx, closure, extended, i, depth + 1);
         // Restore membership to the parent closed set.
         std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
         for (ItemId j : closed) ctx.in_closed[j] = 1;
@@ -130,7 +137,8 @@ bool ClosedDfs(ClosedContext& ctx, const Itemset& closed, const BitVector& tidse
 // false when the execution budget fires.
 bool ClosedTopLevel(ClosedContext& ctx, const Itemset& root_closed, ItemId i) {
     const TransactionDatabase& db = *ctx.db;
-    BitVector tidset = db.ItemCover(i);
+    // The top-level tidset is the item's own cover — borrow it, don't copy.
+    const BitVector& tidset = db.ItemCover(i);
     const std::size_t support = tidset.Count();
     ++ctx.nodes_expanded;
     if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
@@ -163,7 +171,7 @@ bool ClosedTopLevel(ClosedContext& ctx, const Itemset& root_closed, ItemId i) {
     ctx.out->push_back(std::move(p));
 
     for (ItemId j : closure) ctx.in_closed[j] = 1;
-    const bool ok = ClosedDfs(ctx, closure, tidset, i);
+    const bool ok = ClosedDfs(ctx, closure, tidset, i, /*depth=*/0);
     std::fill(ctx.in_closed.begin(), ctx.in_closed.end(), 0);
     for (ItemId j : root_closed) ctx.in_closed[j] = 1;
     return ok;
@@ -188,6 +196,9 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
     for (ItemId i = 0; i < db.num_items(); ++i) {
         if (db.ItemSupport(i) >= min_sup) ctx.frequent.push_back(i);
     }
+    // Depth can never exceed the number of frequent items (each level adds at
+    // least one item to the closed set).
+    ctx.cover_scratch.assign(ctx.frequent.size(), BitVector());
 
     // Closure of the empty set: items present in every transaction.
     Itemset root_closed;
@@ -197,8 +208,6 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
             ctx.in_closed[i] = 1;
         }
     }
-    BitVector all(n);
-    all.Fill();
     if (!root_closed.empty() && n >= min_sup) {
         Pattern p;
         p.items = root_closed;
@@ -254,6 +263,7 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
                 tctx.min_sup = min_sup;
                 tctx.guard = &task_guard;
                 tctx.in_closed = ctx.in_closed;  // == root closure membership
+                tctx.cover_scratch.assign(tctx.frequent.size(), BitVector());
                 tctx.out = &slots[k];
                 tctx.shared = &progress;
                 if (!ClosedTopLevel(tctx, root_closed, cores[k])) {

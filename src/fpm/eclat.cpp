@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "common/string_util.hpp"
@@ -11,18 +12,44 @@ namespace dfp {
 
 namespace {
 
+// One extension of the current class prefix: its item, exact support, and
+// its cover in either representation. Classes are uniform-form: every member
+// of a class holds a tidset, or every member holds a diffset relative to the
+// class prefix (dEclat, Zaki & Gouda 2003). Supports are exact integers under
+// both forms, so pattern output is identical whichever form is chosen.
+struct Member {
+    ItemId item = 0;
+    std::size_t support = 0;
+    const BitVector* set = nullptr;
+};
+
+// Per-depth reusable storage: candidate staging, the materialized member
+// list, and a bitvector pool that is written in place (AssignAnd/AssignAndNot
+// into existing words — no allocation after first touch of a depth).
+struct EclatLevel {
+    std::vector<std::pair<std::size_t, std::size_t>> staged;  // (member idx, support)
+    std::vector<Member> members;
+    std::vector<BitVector> pool;
+};
+
+// Per-task scratch; sized once so recursion never reallocates `levels`.
+struct EclatScratch {
+    std::vector<EclatLevel> levels;
+};
+
 struct EclatContext {
-    const TransactionDatabase* db;
     std::size_t min_sup;
     std::size_t max_len;
     BudgetGuard* guard;
     std::vector<Pattern>* out;
+    EclatScratch* scratch;
     std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
     // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
     // the global pattern/memory caps. Null on the serial path.
     SharedMineProgress* shared = nullptr;
     // Instrumentation tally, flushed to the registry once per Mine().
-    std::size_t intersections = 0;  // tidset ANDs computed (= nodes expanded)
+    std::size_t intersections = 0;  // fused set-count kernels evaluated
+    std::size_t diffset_classes = 0;  // classes mined in diffset form
 };
 
 std::size_t GuardEmitted(const EclatContext& ctx) {
@@ -36,43 +63,55 @@ std::size_t GuardBytes(const EclatContext& ctx) {
                : ctx.est_bytes;
 }
 
-void FlushEclatMetrics(std::size_t intersections, std::size_t emitted,
-                       bool budget_abort) {
+void FlushEclatMetrics(std::size_t intersections, std::size_t diffset_classes,
+                       std::size_t emitted, bool budget_abort) {
     static auto& nodes =
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.nodes_expanded");
+    static auto& diff =
+        obs::Registry::Get().GetCounter("dfp.fpm.eclat.diffset_classes");
     static auto& patterns =
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.patterns_emitted");
     static auto& aborts =
         obs::Registry::Get().GetCounter("dfp.fpm.eclat.budget_aborts");
     nodes.Inc(intersections);
+    diff.Inc(diffset_classes);
     patterns.Inc(emitted);
     if (budget_abort) aborts.Inc();
 }
 
-// One first-level iteration of EclatDfs: extend `prefix` with candidates[k]
-// and recurse into that equivalence class. Factored out so the parallel
-// fan-out can run exactly one prefix class per task. Returns false when the
+// Emits `prefix ∪ {members[k].item}` and mines its equivalence class (the
+// one first-level unit of the parallel fan-out). Returns false when the
 // execution budget fires.
-bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
-              const std::vector<ItemId>& candidates);
+bool MineOne(EclatContext& ctx, Itemset& prefix, const Member* members,
+             std::size_t m, std::size_t k, bool diffset_form,
+             std::size_t depth);
 
-bool EclatExtend(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
-                 const std::vector<ItemId>& candidates, std::size_t k) {
-    const ItemId i = candidates[k];
-    BitVector extended = cover;
-    extended &= ctx.db->ItemCover(i);
-    const std::size_t support = extended.Count();
-    ++ctx.intersections;
-    if (support < ctx.min_sup) return true;
+// Emits every member of a class and recurses. Members are in ascending item
+// order, which reproduces the candidate order (and therefore the emission
+// sequence) of the plain tidset DFS exactly.
+bool MineClass(EclatContext& ctx, Itemset& prefix, const Member* members,
+               std::size_t m, bool diffset_form, std::size_t depth) {
+    for (std::size_t k = 0; k < m; ++k) {
+        if (!MineOne(ctx, prefix, members, m, k, diffset_form, depth)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool MineOne(EclatContext& ctx, Itemset& prefix, const Member* members,
+             std::size_t m, std::size_t k, bool diffset_form,
+             std::size_t depth) {
+    const Member& x = members[k];
     if (ctx.guard->Check(GuardEmitted(ctx), GuardBytes(ctx)) !=
         BudgetBreach::kNone) {
         return false;
     }
 
-    prefix.push_back(i);
+    prefix.push_back(x.item);
     Pattern p;
     p.items = prefix;
-    p.support = support;
+    p.support = x.support;
     const std::size_t bytes = sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
     ctx.est_bytes += bytes;
     if (ctx.shared != nullptr) {
@@ -81,26 +120,61 @@ bool EclatExtend(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
     }
     ctx.out->push_back(std::move(p));
 
-    if (prefix.size() < ctx.max_len) {
-        const std::vector<ItemId> rest(candidates.begin() +
-                                           static_cast<std::ptrdiff_t>(k) + 1,
-                                       candidates.end());
-        if (!rest.empty() && !EclatDfs(ctx, prefix, extended, rest)) {
-            prefix.pop_back();
-            return false;
+    if (prefix.size() < ctx.max_len && k + 1 < m) {
+        // Stage the surviving siblings with fused count kernels — no set is
+        // materialized for an extension that dies on min_sup. Anti-monotone
+        // class pruning: siblings that failed min_sup at this class never
+        // re-enter deeper classes (the plain DFS re-tested them each level).
+        EclatLevel& lvl = ctx.scratch->levels[depth];
+        lvl.staged.clear();
+        std::size_t tidset_mass = 0;
+        std::size_t diffset_mass = 0;
+        for (std::size_t j = k + 1; j < m; ++j) {
+            const Member& y = members[j];
+            // Tidset pair:  sup = |t(PX) ∧ t(PY)|.
+            // Diffset pair: sup = sup(PX) − |d(PY) ∧ ¬d(PX)|  (dEclat).
+            const std::size_t support =
+                diffset_form ? x.support - y.set->AndNotCount(*x.set)
+                             : x.set->AndCount(*y.set);
+            ++ctx.intersections;
+            if (support < ctx.min_sup) continue;
+            lvl.staged.emplace_back(j, support);
+            tidset_mass += support;
+            diffset_mass += x.support - support;
+        }
+        if (!lvl.staged.empty()) {
+            // Once a class is in diffset form its children stay diffsets
+            // (reconstructing tidsets would need the whole ancestor chain);
+            // a tidset class switches when the diffsets are smaller in
+            // aggregate — on dense data that is almost immediately.
+            const bool child_diffsets =
+                diffset_form || diffset_mass < tidset_mass;
+            if (child_diffsets) ++ctx.diffset_classes;
+            if (lvl.pool.size() < lvl.staged.size()) {
+                lvl.pool.resize(lvl.staged.size());
+            }
+            lvl.members.clear();
+            for (std::size_t s = 0; s < lvl.staged.size(); ++s) {
+                const auto [j, support] = lvl.staged[s];
+                const Member& y = members[j];
+                BitVector& slot = lvl.pool[s];
+                if (diffset_form) {
+                    slot.AssignAndNot(*y.set, *x.set);  // d(PXY) = d(PY) ∧ ¬d(PX)
+                } else if (child_diffsets) {
+                    slot.AssignAndNot(*x.set, *y.set);  // d((PX)Y) = t(PX) ∧ ¬t(PY)
+                } else {
+                    slot.AssignAnd(*x.set, *y.set);  // t(PXY)
+                }
+                lvl.members.push_back(Member{y.item, support, &slot});
+            }
+            if (!MineClass(ctx, prefix, lvl.members.data(), lvl.members.size(),
+                           child_diffsets, depth + 1)) {
+                prefix.pop_back();
+                return false;
+            }
         }
     }
     prefix.pop_back();
-    return true;
-}
-
-// Extends `prefix` (whose cover is `cover`) with every item > last item.
-// Returns false when the execution budget fires.
-bool EclatDfs(EclatContext& ctx, Itemset& prefix, const BitVector& cover,
-              const std::vector<ItemId>& candidates) {
-    for (std::size_t k = 0; k < candidates.size(); ++k) {
-        if (!EclatExtend(ctx, prefix, cover, candidates, k)) return false;
-    }
     return true;
 }
 
@@ -112,35 +186,46 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
     MineOutcome<Pattern> outcome;
     std::vector<Pattern>& out = outcome.patterns;
 
-    std::vector<ItemId> frequent;
+    // Root class: the frequent singletons, with their covers *borrowed* from
+    // the database's vertical index — first-level tasks share these read-only
+    // views instead of copying tidset vectors per prefix.
+    std::vector<Member> root;
     for (ItemId i = 0; i < db.num_items(); ++i) {
-        if (db.ItemSupport(i) >= min_sup) frequent.push_back(i);
+        const std::size_t support = db.ItemSupport(i);
+        if (support >= min_sup) {
+            root.push_back(Member{i, support, &db.ItemCover(i)});
+        }
     }
-    BitVector all(db.num_transactions());
-    all.Fill();
 
     const std::size_t threads =
-        std::min(ResolveNumThreads(config.num_threads), frequent.size());
+        std::min(ResolveNumThreads(config.num_threads), root.size());
     std::size_t intersections = 0;
+    std::size_t diffset_classes = 0;
 
     if (threads <= 1) {
-        // Serial path: today's code, bit for bit.
+        // Serial path: the parallel fan-out runs exactly this, split by k.
         BudgetGuard guard(config.budget, config.max_patterns);
-        EclatContext ctx{&db, min_sup, config.max_pattern_len, &guard, &out};
+        EclatScratch scratch;
+        scratch.levels.resize(root.size());
+        EclatContext ctx{min_sup, config.max_pattern_len, &guard, &out,
+                         &scratch};
         Itemset prefix;
-        if (!EclatDfs(ctx, prefix, all, frequent)) {
+        if (!MineClass(ctx, prefix, root.data(), root.size(),
+                       /*diffset_form=*/false, /*depth=*/0)) {
             outcome.breach = guard.breach();
         }
         intersections = ctx.intersections;
+        diffset_classes = ctx.diffset_classes;
     } else {
         // Fan out over first-level equivalence-class prefixes: task k mines
-        // the {frequent[k]}-prefixed class into a private slot; slots
-        // concatenate in item order — the serial emission sequence exactly.
-        const std::size_t tasks_n = frequent.size();
+        // the {root[k]}-prefixed class into a private slot; slots concatenate
+        // in item order — the serial emission sequence exactly.
+        const std::size_t tasks_n = root.size();
         std::vector<std::vector<Pattern>> slots(tasks_n);
         std::vector<EclatContext> contexts(
-            tasks_n, EclatContext{&db, min_sup, config.max_pattern_len, nullptr,
-                                  nullptr});
+            tasks_n,
+            EclatContext{min_sup, config.max_pattern_len, nullptr, nullptr,
+                         nullptr});
         std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
         SharedMineProgress progress;
         DeadlineTimer timer(config.budget.time_budget_ms);
@@ -151,12 +236,16 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
             group.Submit([&, k] {
                 BudgetGuard guard(TaskBudget(config.budget, timer),
                                   config.max_patterns);
+                EclatScratch scratch;
+                scratch.levels.resize(tasks_n);
                 EclatContext& ctx = contexts[k];
                 ctx.guard = &guard;
                 ctx.out = &slots[k];
+                ctx.scratch = &scratch;
                 ctx.shared = &progress;
                 Itemset prefix;
-                if (!EclatExtend(ctx, prefix, all, frequent, k)) {
+                if (!MineOne(ctx, prefix, root.data(), root.size(), k,
+                             /*diffset_form=*/false, /*depth=*/0)) {
                     breaches[k] = guard.breach();
                 }
             });
@@ -166,6 +255,7 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
         std::size_t total = 0;
         for (const EclatContext& ctx : contexts) {
             intersections += ctx.intersections;
+            diffset_classes += ctx.diffset_classes;
         }
         for (const auto& slot : slots) total += slot.size();
         out.reserve(total);
@@ -181,14 +271,14 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
     }
 
     if (outcome.truncated()) {
-        FlushEclatMetrics(intersections, out.size(), true);
+        FlushEclatMetrics(intersections, diffset_classes, out.size(), true);
         RecordBreach("fpm.eclat", outcome.breach,
                      static_cast<double>(out.size()));
         FilterPatterns(config, &out);
         return outcome;
     }
     FilterPatterns(config, &out);
-    FlushEclatMetrics(intersections, out.size(), false);
+    FlushEclatMetrics(intersections, diffset_classes, out.size(), false);
     return outcome;
 }
 

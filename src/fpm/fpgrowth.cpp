@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fptree.hpp"
@@ -12,11 +13,27 @@ namespace dfp {
 
 namespace {
 
+// Per-task mining workspace: the conditional-tree arena (rewound, never
+// freed, after each subtree), per-depth path buffers and the tree-build
+// scratch. One per worker task so the parallel fan-out never touches the
+// global allocator inside the recursion.
+struct GrowthScratch {
+    Arena arena;
+    std::vector<FpTree::PathBuffer> bases;  // indexed by recursion depth
+    FpTree::BuildScratch build;
+
+    FpTree::PathBuffer& BaseAt(std::size_t depth) {
+        if (depth >= bases.size()) bases.resize(depth + 1);
+        return bases[depth];
+    }
+};
+
 struct GrowthContext {
     std::size_t min_sup;
     std::size_t max_len;
     BudgetGuard* guard;
     std::vector<Pattern>* out;
+    GrowthScratch* scratch;
     std::size_t est_bytes = 0;  // coarse output-memory estimate for the guard
     // Set on parallel fan-out: pool-wide tallies so per-task guards enforce
     // the global pattern/memory caps. Null on the serial path.
@@ -53,6 +70,7 @@ void FlushGrowthMetrics(std::size_t nodes_expanded, std::size_t cond_trees_built
     trees.Inc(cond_trees_built);
     patterns.Inc(emitted);
     if (budget_abort) aborts.Inc();
+    PublishArenaMetrics();
 }
 
 // Emits `suffix ∪ {header[idx].item}` and recurses into its conditional tree.
@@ -95,9 +113,18 @@ bool GrowOne(const FpTree& tree, std::size_t idx, std::vector<ItemId>& suffix,
     ctx.out->push_back(std::move(p));
 
     if (suffix.size() < ctx.max_len) {
-        const FpTree cond = FpTree::Build(tree.ConditionalBase(idx), ctx.min_sup);
+        // Conditional tree into the scratch arena, rewound after the subtree:
+        // the whole recursion runs allocation-free against reused chunks.
+        GrowthScratch& scratch = *ctx.scratch;
+        FpTree::PathBuffer& base = scratch.BaseAt(suffix.size() - 1);
+        tree.AppendConditionalBase(idx, &base);
+        const Arena::Mark mark = scratch.arena.Position();
+        const FpTree cond = FpTree::Build(base, ctx.min_sup, scratch.arena,
+                                          tree.universe(), scratch.build);
         ++ctx.cond_trees_built;
-        if (!Grow(cond, suffix, ctx)) {
+        const bool ok = Grow(cond, suffix, ctx);
+        scratch.arena.Rewind(mark);
+        if (!ok) {
             suffix.pop_back();
             return false;
         }
@@ -112,10 +139,10 @@ Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
     const TransactionDatabase& db, const MinerConfig& config) const {
     const std::size_t min_sup = ResolveMinSup(config, db.num_transactions());
 
-    std::vector<FpTree::WeightedTransaction> txns;
-    txns.reserve(db.num_transactions());
-    for (const auto& t : db.transactions()) txns.push_back({t, 1});
-    const FpTree tree = FpTree::Build(txns, min_sup);
+    Arena tree_arena;
+    FpTree::BuildScratch build_scratch;
+    const FpTree tree =
+        FpTree::BuildFromDb(db, min_sup, tree_arena, build_scratch);
 
     const std::size_t threads =
         std::min(ResolveNumThreads(config.num_threads), tree.header().size());
@@ -127,8 +154,10 @@ Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
         // Serial path: today's code, bit for bit.
         BudgetGuard guard(config.budget, config.max_patterns);
         std::vector<ItemId> suffix;
+        GrowthScratch scratch;
+        scratch.build = std::move(build_scratch);
         GrowthContext ctx{min_sup, config.max_pattern_len, &guard,
-                          &outcome.patterns};
+                          &outcome.patterns, &scratch};
         const bool ok = Grow(tree, suffix, ctx);
         if (!ok) outcome.breach = guard.breach();
         nodes = ctx.nodes_expanded;
@@ -153,11 +182,13 @@ Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
                 const std::size_t idx = tasks_n - 1 - t;
                 BudgetGuard guard(TaskBudget(config.budget, timer),
                                   config.max_patterns);
+                GrowthScratch scratch;
                 GrowthContext& ctx = contexts[t];
                 ctx.min_sup = min_sup;
                 ctx.max_len = config.max_pattern_len;
                 ctx.guard = &guard;
                 ctx.out = &slots[t];
+                ctx.scratch = &scratch;
                 ctx.shared = &progress;
                 std::vector<ItemId> suffix;
                 if (!GrowOne(tree, idx, suffix, ctx)) {

@@ -1,33 +1,99 @@
 #include "fpm/fptree.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 
 namespace dfp {
 
-FpTree::Node* FpTree::NewNode(ItemId item, Node* parent) {
-    nodes_.push_back(Node{});
-    Node* n = &nodes_.back();
-    n->item = item;
-    n->parent = parent;
-    return n;
+namespace {
+constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
+}  // namespace
+
+FpTree FpTree::MakeEmpty(Arena& arena) {
+    FpTree tree;
+    tree.item_.Attach(&arena);
+    tree.count_.Attach(&arena);
+    tree.parent_.Attach(&arena);
+    tree.next_link_.Attach(&arena);
+    tree.first_child_.Attach(&arena);
+    tree.next_sibling_.Attach(&arena);
+    tree.header_.Attach(&arena);
+    return tree;
 }
 
-FpTree FpTree::Build(const std::vector<WeightedTransaction>& transactions,
-                     std::size_t min_sup) {
-    FpTree tree;
+void FpTree::ReserveNodes(std::size_t n) {
+    item_.reserve(n);
+    count_.reserve(n);
+    parent_.reserve(n);
+    next_link_.reserve(n);
+    first_child_.reserve(n);
+    next_sibling_.reserve(n);
+}
 
-    // Pass 1: global item supports.
-    std::unordered_map<ItemId, std::size_t> support;
-    for (const auto& t : transactions) {
-        for (ItemId i : t.items) support[i] += t.count;
+std::uint32_t FpTree::NewNode(ItemId item, std::uint32_t parent) {
+    const std::uint32_t id = static_cast<std::uint32_t>(item_.size());
+    item_.push_back(item);
+    count_.push_back(0);
+    parent_.push_back(parent);
+    next_link_.push_back(kNil);
+    first_child_.push_back(kNil);
+    next_sibling_.push_back(kNil);
+    return id;
+}
+
+void FpTree::Insert(const std::pair<std::uint32_t, ItemId>* ordered,
+                    std::size_t len, std::size_t count) {
+    std::uint32_t cur = 0;  // root
+    for (std::size_t k = 0; k < len; ++k) {
+        const ItemId item = ordered[k].second;
+        // Scan the sibling chain for an existing child carrying `item`,
+        // remembering the tail so a miss appends in insertion order.
+        std::uint32_t child = first_child_[cur];
+        std::uint32_t tail = kNil;
+        while (child != kNil && item_[child] != item) {
+            tail = child;
+            child = next_sibling_[child];
+        }
+        if (child == kNil) {
+            child = NewNode(item, cur);
+            if (tail == kNil) {
+                first_child_[cur] = child;
+            } else {
+                next_sibling_[tail] = child;
+            }
+            HeaderEntry& entry = header_[ordered[k].first];
+            next_link_[child] = entry.head;
+            entry.head = child;
+        }
+        count_[child] += count;
+        cur = child;
+    }
+}
+
+FpTree FpTree::Build(const PathBuffer& base, std::size_t min_sup, Arena& arena,
+                     std::size_t universe, BuildScratch& scratch) {
+    FpTree tree = MakeEmpty(arena);
+    tree.universe_ = universe;
+
+    // Pass 1: item supports (weighted by path multiplicity).
+    scratch.support.assign(universe, 0);
+    const std::size_t paths = base.num_paths();
+    for (std::size_t p = 0; p < paths; ++p) {
+        const std::size_t count = base.path_count[p];
+        for (std::uint32_t k = base.path_begin[p]; k < base.path_begin[p + 1];
+             ++k) {
+            scratch.support[base.items[k]] += count;
+        }
     }
 
     // Frequent items, ordered by descending support (ties → ascending item id
     // for determinism).
     std::vector<std::pair<ItemId, std::size_t>> frequent;
-    for (const auto& [item, count] : support) {
-        if (count >= min_sup) frequent.emplace_back(item, count);
+    for (std::size_t i = 0; i < universe; ++i) {
+        if (scratch.support[i] >= min_sup) {
+            frequent.emplace_back(static_cast<ItemId>(i), scratch.support[i]);
+        }
     }
     std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
         if (a.second != b.second) return a.second > b.second;
@@ -36,87 +102,157 @@ FpTree FpTree::Build(const std::vector<WeightedTransaction>& transactions,
     if (frequent.empty()) return tree;
 
     tree.header_.reserve(frequent.size());
-    // Rank of each frequent item in the f-list; used to order transactions.
-    std::unordered_map<ItemId, std::size_t> rank;
+    scratch.rank.assign(universe, kNoRank);
     for (std::size_t r = 0; r < frequent.size(); ++r) {
-        tree.header_.push_back({frequent[r].first, frequent[r].second, nullptr});
-        rank[frequent[r].first] = r;
+        HeaderEntry entry;
+        entry.item = frequent[r].first;
+        entry.count = frequent[r].second;
+        tree.header_.push_back(entry);
+        scratch.rank[frequent[r].first] = static_cast<std::uint32_t>(r);
     }
 
-    tree.root_ = tree.NewNode(/*item=*/0, /*parent=*/nullptr);
+    // Exact node bound: one node per retained (path, item) occurrence + root.
+    std::size_t retained = 0;
+    for (const ItemId i : base.items) {
+        if (scratch.rank[i] != kNoRank) ++retained;
+    }
+    tree.ReserveNodes(retained + 1);
+    tree.NewNode(/*item=*/0, /*parent=*/kNil);  // root
 
-    // Pass 2: insert transactions with infrequent items dropped and the rest
-    // sorted by f-list rank.
-    std::vector<std::size_t> header_index;  // rank of item (parallel to path)
-    std::vector<std::pair<std::size_t, ItemId>> ordered;
-    for (const auto& t : transactions) {
-        ordered.clear();
-        for (ItemId i : t.items) {
-            const auto it = rank.find(i);
-            if (it != rank.end()) ordered.emplace_back(it->second, i);
+    // Pass 2: insert paths with infrequent items dropped and the rest sorted
+    // by f-list rank.
+    for (std::size_t p = 0; p < paths; ++p) {
+        scratch.ordered.clear();
+        for (std::uint32_t k = base.path_begin[p]; k < base.path_begin[p + 1];
+             ++k) {
+            const ItemId i = base.items[k];
+            const std::uint32_t r = scratch.rank[i];
+            if (r != kNoRank) scratch.ordered.emplace_back(r, i);
         }
-        if (ordered.empty()) continue;
-        std::sort(ordered.begin(), ordered.end());
-        std::vector<ItemId> path;
-        header_index.clear();
-        path.reserve(ordered.size());
-        for (const auto& [r, i] : ordered) {
-            path.push_back(i);
-            header_index.push_back(r);
-        }
-        tree.Insert(path, t.count, header_index);
+        if (scratch.ordered.empty()) continue;
+        std::sort(scratch.ordered.begin(), scratch.ordered.end());
+        tree.Insert(scratch.ordered.data(), scratch.ordered.size(),
+                    base.path_count[p]);
     }
     return tree;
 }
 
-void FpTree::Insert(const std::vector<ItemId>& ordered_items, std::size_t count,
-                    const std::vector<std::size_t>& header_index) {
-    Node* cur = root_;
-    for (std::size_t k = 0; k < ordered_items.size(); ++k) {
-        const ItemId item = ordered_items[k];
-        Node* child = nullptr;
-        for (Node* c : cur->children) {
-            if (c->item == item) {
-                child = c;
-                break;
+FpTree FpTree::BuildFromDb(const TransactionDatabase& db, std::size_t min_sup,
+                           Arena& arena, BuildScratch& scratch) {
+    FpTree tree = MakeEmpty(arena);
+    const std::size_t universe = db.num_items();
+    tree.universe_ = universe;
+
+    // Supports come from the vertical index — no counting pass.
+    std::vector<std::pair<ItemId, std::size_t>> frequent;
+    std::size_t retained = 0;  // Σ kept supports = retained occurrences
+    for (ItemId i = 0; i < universe; ++i) {
+        const std::size_t support = db.ItemSupport(i);
+        if (support >= min_sup) {
+            frequent.emplace_back(i, support);
+            retained += support;
+        }
+    }
+    std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    if (frequent.empty()) return tree;
+
+    tree.header_.reserve(frequent.size());
+    scratch.rank.assign(universe, kNoRank);
+    for (std::size_t r = 0; r < frequent.size(); ++r) {
+        HeaderEntry entry;
+        entry.item = frequent[r].first;
+        entry.count = frequent[r].second;
+        tree.header_.push_back(entry);
+        scratch.rank[frequent[r].first] = static_cast<std::uint32_t>(r);
+    }
+
+    tree.ReserveNodes(retained + 1);
+    tree.NewNode(/*item=*/0, /*parent=*/kNil);  // root
+
+    for (const auto& txn : db.transactions()) {
+        scratch.ordered.clear();
+        for (const ItemId i : txn) {
+            const std::uint32_t r = scratch.rank[i];
+            if (r != kNoRank) scratch.ordered.emplace_back(r, i);
+        }
+        if (scratch.ordered.empty()) continue;
+        std::sort(scratch.ordered.begin(), scratch.ordered.end());
+        tree.Insert(scratch.ordered.data(), scratch.ordered.size(), /*count=*/1);
+    }
+    return tree;
+}
+
+FpTree FpTree::Build(const std::vector<WeightedTransaction>& transactions,
+                     std::size_t min_sup) {
+    auto arena = std::make_unique<Arena>();
+    PathBuffer base;
+    std::size_t universe = 0;
+    std::size_t total_items = 0;
+    for (const auto& t : transactions) total_items += t.items.size();
+    base.items.reserve(total_items);
+    base.path_begin.reserve(transactions.size() + 1);
+    base.path_count.reserve(transactions.size());
+    for (const auto& t : transactions) {
+        base.path_begin.push_back(static_cast<std::uint32_t>(base.items.size()));
+        base.path_count.push_back(t.count);
+        for (const ItemId i : t.items) {
+            base.items.push_back(i);
+            if (static_cast<std::size_t>(i) + 1 > universe) {
+                universe = static_cast<std::size_t>(i) + 1;
             }
         }
-        if (child == nullptr) {
-            child = NewNode(item, cur);
-            cur->children.push_back(child);
-            HeaderEntry& entry = header_[header_index[k]];
-            child->next_link = entry.head;
-            entry.head = child;
-        }
-        child->count += count;
-        cur = child;
     }
+    base.path_begin.push_back(static_cast<std::uint32_t>(base.items.size()));
+
+    BuildScratch scratch;
+    FpTree tree = Build(base, min_sup, *arena, universe, scratch);
+    tree.owned_arena_ = std::move(arena);
+    return tree;
+}
+
+void FpTree::AppendConditionalBase(std::size_t idx, PathBuffer* out) const {
+    out->clear();
+    for (std::uint32_t n = header_[idx].head; n != kNil; n = next_link_[n]) {
+        const std::size_t start = out->items.size();
+        for (std::uint32_t p = parent_[n]; p != kNil && parent_[p] != kNil;
+             p = parent_[p]) {
+            out->items.push_back(item_[p]);
+        }
+        if (out->items.size() == start) continue;  // node sits under the root
+        std::reverse(out->items.begin() + static_cast<std::ptrdiff_t>(start),
+                     out->items.end());
+        out->path_begin.push_back(static_cast<std::uint32_t>(start));
+        out->path_count.push_back(count_[n]);
+    }
+    out->path_begin.push_back(static_cast<std::uint32_t>(out->items.size()));
 }
 
 std::vector<FpTree::WeightedTransaction> FpTree::ConditionalBase(
     std::size_t idx) const {
+    PathBuffer buffer;
+    AppendConditionalBase(idx, &buffer);
     std::vector<WeightedTransaction> base;
-    for (const Node* n = header_[idx].head; n != nullptr; n = n->next_link) {
+    base.reserve(buffer.num_paths());
+    for (std::size_t p = 0; p < buffer.num_paths(); ++p) {
         WeightedTransaction wt;
-        wt.count = n->count;
-        for (const Node* p = n->parent; p != nullptr && p->parent != nullptr;
-             p = p->parent) {
-            wt.items.push_back(p->item);
-        }
-        if (!wt.items.empty()) {
-            std::reverse(wt.items.begin(), wt.items.end());
-            base.push_back(std::move(wt));
-        }
+        wt.count = buffer.path_count[p];
+        wt.items.assign(
+            buffer.items.begin() + buffer.path_begin[p],
+            buffer.items.begin() + buffer.path_begin[p + 1]);
+        base.push_back(std::move(wt));
     }
     return base;
 }
 
 bool FpTree::IsSinglePath() const {
-    if (root_ == nullptr) return true;
-    const Node* cur = root_;
-    while (!cur->children.empty()) {
-        if (cur->children.size() > 1) return false;
-        cur = cur->children.front();
+    if (item_.empty()) return true;
+    std::uint32_t cur = 0;
+    while (first_child_[cur] != kNil) {
+        if (next_sibling_[first_child_[cur]] != kNil) return false;
+        cur = first_child_[cur];
     }
     return true;
 }

@@ -4,46 +4,93 @@
 // frequency so that shared prefixes compress; per-item node links ("header
 // table") let the miner extract conditional pattern bases without scanning
 // the database again.
+//
+// Layout: index-based structure-of-arrays (item[], count[], parent[],
+// next_link[], first_child[], next_sibling[]) allocated from a caller-owned
+// Arena rather than a pointer-per-node heap graph. FP-growth builds and
+// discards one conditional tree per header entry per recursion level, so the
+// node storage is the mining hot path's allocation profile: with the arena a
+// conditional tree is a handful of bump allocations that are *rewound* (not
+// freed) when its subtree finishes, and the SoA arrays keep the parent-chain
+// walks of ConditionalBase on contiguous cache lines.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "data/transaction_db.hpp"
 #include "fpm/itemset.hpp"
 
 namespace dfp {
 
 /// FP-tree over weighted transactions (counts let conditional trees reuse the
-/// same builder).
+/// same builder). Node storage lives in an Arena; trees built through the
+/// arena-taking Build() overloads do not own their memory and must not
+/// outlive the arena (the mining recursion rewinds the arena after each
+/// conditional subtree).
 class FpTree {
   public:
-    /// An itemset with a multiplicity.
+    /// Index sentinel: "no node".
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    /// An itemset with a multiplicity (compatibility shape for tests and
+    /// simple callers; the miners use PathBuffer).
     struct WeightedTransaction {
         std::vector<ItemId> items;
         std::size_t count = 1;
     };
 
-    struct Node {
-        ItemId item = 0;
-        std::size_t count = 0;
-        Node* parent = nullptr;
-        Node* next_link = nullptr;  // next node carrying the same item
-        std::vector<Node*> children;
+    /// Flat conditional pattern base: paths concatenated into one items
+    /// array with offsets, plus a multiplicity per path. Reused across
+    /// ConditionalBase extractions so the per-call vector-of-vectors churn of
+    /// the old representation disappears (see AppendConditionalBase).
+    struct PathBuffer {
+        std::vector<ItemId> items;              ///< concatenated paths
+        std::vector<std::uint32_t> path_begin;  ///< offsets; size = paths + 1
+        std::vector<std::size_t> path_count;    ///< multiplicity per path
+
+        std::size_t num_paths() const { return path_count.size(); }
+        void clear() {
+            items.clear();
+            path_begin.clear();
+            path_count.clear();
+        }
+    };
+
+    /// Reusable build workspace (support / rank scratch sized to the item
+    /// universe, and the per-path reorder buffer). One per mining task.
+    struct BuildScratch {
+        std::vector<std::size_t> support;
+        std::vector<std::uint32_t> rank;
+        std::vector<std::pair<std::uint32_t, ItemId>> ordered;
     };
 
     struct HeaderEntry {
         ItemId item = 0;
-        std::size_t count = 0;  // total support of the item in this tree
-        Node* head = nullptr;   // first node of the item's node-link chain
+        std::size_t count = 0;       ///< total support of the item in this tree
+        std::uint32_t head = kNil;   ///< first node of the item's node-link chain
     };
 
     FpTree() = default;
     FpTree(FpTree&&) = default;
     FpTree& operator=(FpTree&&) = default;
 
-    /// Builds the tree keeping only items with support >= min_sup.
+    /// Builds the tree keeping only items with support >= min_sup. Node
+    /// arrays are allocated from `arena`; item ids must be < `universe`.
+    /// `scratch` is reused across calls (cleared internally).
+    static FpTree Build(const PathBuffer& base, std::size_t min_sup,
+                        Arena& arena, std::size_t universe,
+                        BuildScratch& scratch);
+
+    /// Top-level build straight from a database (item supports come from the
+    /// vertical index — no transaction copy, no counting pass).
+    static FpTree BuildFromDb(const TransactionDatabase& db, std::size_t min_sup,
+                              Arena& arena, BuildScratch& scratch);
+
+    /// Compatibility overload: self-contained build into an internal arena.
     static FpTree Build(const std::vector<WeightedTransaction>& transactions,
                         std::size_t min_sup);
 
@@ -52,25 +99,47 @@ class FpTree {
 
     /// Header entries, sorted by descending support (insertion order). Mining
     /// iterates them in reverse (least-frequent first).
-    const std::vector<HeaderEntry>& header() const { return header_; }
+    const FlatVec<HeaderEntry>& header() const { return header_; }
 
-    /// The prefix paths of every node carrying header()[idx].item, as weighted
-    /// transactions (the conditional pattern base).
+    /// Appends the prefix paths of every node carrying header()[idx].item
+    /// (the conditional pattern base) to `out` as flat paths in root→node
+    /// item order. `out` is cleared first; its buffers are reused across
+    /// calls — this is the allocation-free path used by FP-growth.
+    void AppendConditionalBase(std::size_t idx, PathBuffer* out) const;
+
+    /// Compatibility wrapper materializing the base as weighted transactions.
     std::vector<WeightedTransaction> ConditionalBase(std::size_t idx) const;
 
     /// True if the tree is a single chain (enables subset enumeration).
     bool IsSinglePath() const;
 
-    std::size_t num_nodes() const { return nodes_.size(); }
+    /// Node count including the root.
+    std::size_t num_nodes() const { return item_.size(); }
+
+    /// Exclusive upper bound on item ids in this tree (build scratch sizing
+    /// for conditional trees).
+    std::size_t universe() const { return universe_; }
 
   private:
-    Node* root_ = nullptr;
-    std::deque<Node> nodes_;  // arena; deque keeps pointers stable
-    std::vector<HeaderEntry> header_;
+    static FpTree MakeEmpty(Arena& arena);
+    void ReserveNodes(std::size_t n);
+    std::uint32_t NewNode(ItemId item, std::uint32_t parent);
+    void Insert(const std::pair<std::uint32_t, ItemId>* ordered,
+                std::size_t len, std::size_t count);
 
-    Node* NewNode(ItemId item, Node* parent);
-    void Insert(const std::vector<ItemId>& ordered_items, std::size_t count,
-                const std::vector<std::size_t>& header_index);
+    // Structure-of-arrays node storage (index 0 = root).
+    FlatVec<ItemId> item_;
+    FlatVec<std::size_t> count_;
+    FlatVec<std::uint32_t> parent_;
+    FlatVec<std::uint32_t> next_link_;
+    FlatVec<std::uint32_t> first_child_;
+    FlatVec<std::uint32_t> next_sibling_;
+    FlatVec<HeaderEntry> header_;
+    std::size_t universe_ = 0;
+
+    /// Set only by the compatibility Build(): keeps the storage alive for
+    /// trees that do not borrow a caller arena.
+    std::unique_ptr<Arena> owned_arena_;
 };
 
 }  // namespace dfp

@@ -10,6 +10,97 @@ namespace dfp {
 
 namespace {
 
+// Bounded LRU cache of full kernel rows for solves where the n×n Gram does
+// not fit (n > gram_limit). Rows live in one preallocated slab; the LRU list
+// is intrusive (prev/next slot arrays), so a hit is a map lookup plus a list
+// splice — no allocation anywhere after Init(). Capacity is at least two so
+// the working pair of a TakeStep is always co-resident; Get() additionally
+// takes the partner row as `pinned` and never evicts it.
+class KernelRowCache {
+  public:
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+    void Init(std::size_t n, std::size_t cache_bytes) {
+        n_ = n;
+        const std::size_t row_bytes = n * sizeof(double);
+        capacity_ = std::min(n, std::max<std::size_t>(2, cache_bytes / row_bytes));
+        slab_.assign(capacity_ * n, 0.0);
+        slot_of_.assign(n, kNone);
+        row_of_.assign(capacity_, kNone);
+        prev_.assign(capacity_, kNone);
+        next_.assign(capacity_, kNone);
+    }
+
+    /// Returns row i (values K(x_i, x_j) for all j), filling via `fill(i,
+    /// out)` on a miss. `pinned` is a row index that must survive eviction
+    /// (kNone when unconstrained).
+    template <typename FillFn>
+    const double* Get(std::size_t i, std::size_t pinned, FillFn&& fill) {
+        std::size_t s = slot_of_[i];
+        if (s != kNone) {
+            ++hits_;
+            MoveToFront(s);
+            return &slab_[s * n_];
+        }
+        ++misses_;
+        if (used_ < capacity_) {
+            s = used_++;
+        } else {
+            s = tail_;  // least recently used
+            if (row_of_[s] == pinned) s = prev_[s];  // capacity ≥ 2
+            Unlink(s);
+            slot_of_[row_of_[s]] = kNone;
+            ++evictions_;
+        }
+        row_of_[s] = i;
+        slot_of_[i] = s;
+        PushFront(s);
+        double* row = &slab_[s * n_];
+        fill(i, row);
+        return row;
+    }
+
+    bool enabled() const { return capacity_ > 0; }
+    std::size_t resident_rows() const { return used_; }
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t evictions() const { return evictions_; }
+
+  private:
+    void Unlink(std::size_t s) {
+        if (prev_[s] != kNone) next_[prev_[s]] = next_[s];
+        else head_ = next_[s];
+        if (next_[s] != kNone) prev_[next_[s]] = prev_[s];
+        else tail_ = prev_[s];
+    }
+    void PushFront(std::size_t s) {
+        prev_[s] = kNone;
+        next_[s] = head_;
+        if (head_ != kNone) prev_[head_] = s;
+        head_ = s;
+        if (tail_ == kNone) tail_ = s;
+    }
+    void MoveToFront(std::size_t s) {
+        if (s == head_) return;
+        Unlink(s);
+        PushFront(s);
+    }
+
+    std::size_t n_ = 0;
+    std::size_t capacity_ = 0;
+    std::size_t used_ = 0;
+    std::vector<double> slab_;
+    std::vector<std::size_t> slot_of_;  // row index → slot (kNone = absent)
+    std::vector<std::size_t> row_of_;   // slot → row index
+    std::vector<std::size_t> prev_;
+    std::vector<std::size_t> next_;
+    std::size_t head_ = kNone;
+    std::size_t tail_ = kNone;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
 // Training workspace: data views, alphas, error cache and (optional) Gram.
 class SmoSolver {
   public:
@@ -34,9 +125,12 @@ class SmoSolver {
             }
             kernel_evals_ += n_ * (n_ + 1) / 2;  // the Gram build itself
         }
+        use_cache_ = !use_gram_ && config_.cache_bytes > 0;
+        if (use_cache_) cache_.Init(n_, config_.cache_bytes);
         if (config_.kernel.type == KernelType::kLinear) {
             w_.assign(x_.cols(), 0.0);
         }
+        active_.assign(n_, 1);
         // f(x_i) = 0 initially, so E_i = −y_i.
         for (std::size_t i = 0; i < n_; ++i) error_[i] = -static_cast<double>(y_[i]);
     }
@@ -52,6 +146,9 @@ class SmoSolver {
         while ((changed > 0 || examine_all) && passes < config_.max_passes &&
                steps_ < config_.max_steps) {
             changed = 0;
+            // A full sweep must see exact errors: reactivate every shrunk
+            // point, reconstructing its error from the current iterate.
+            if (examine_all && config_.shrinking) Unshrink();
             for (std::size_t i = 0; i < n_; ++i) {
                 if (guard.Check(0) != BudgetBreach::kNone) {
                     budget_hit = true;
@@ -66,6 +163,11 @@ class SmoSolver {
                 examine_all = false;
             } else if (changed == 0) {
                 examine_all = true;
+            } else if (config_.shrinking) {
+                // Between non-full sweeps, drop bound points that satisfy
+                // KKT beyond tolerance from the O(n) refresh and the
+                // candidate scans.
+                Shrink();
             }
             ++passes;
         }
@@ -107,10 +209,58 @@ class SmoSolver {
         kern_c.Inc(kernel_evals_);
         hits_c.Inc(cache_hits_);
         registry.GetCounter("dfp.ml.smo.solves").Inc();
+        if (use_cache_) {
+            static auto& row_hits = registry.GetCounter("dfp.svm.cache.hits");
+            static auto& row_misses = registry.GetCounter("dfp.svm.cache.misses");
+            static auto& row_evict = registry.GetCounter("dfp.svm.cache.evictions");
+            row_hits.Inc(cache_.hits());
+            row_misses.Inc(cache_.misses());
+            row_evict.Inc(cache_.evictions());
+            registry.GetGauge("dfp.svm.cache.rows")
+                .Set(static_cast<double>(cache_.resident_rows()));
+        }
+        if (config_.shrinking) {
+            registry.GetCounter("dfp.ml.smo.shrunk_points").Inc(shrunk_total_);
+        }
     }
 
     bool IsNonBound(std::size_t i) const {
         return alpha_[i] > 0.0 && alpha_[i] < config_.c;
+    }
+
+    /// Kernel row i via the LRU cache (call only when use_cache_).
+    const double* CachedRow(std::size_t i, std::size_t pinned) {
+        return cache_.Get(i, pinned, [this](std::size_t r, double* out) {
+            for (std::size_t j = 0; j < n_; ++j) {
+                out[j] = KernelEval(config_.kernel, x_.Row(r), x_.Row(j));
+            }
+            kernel_evals_ += n_;
+        });
+    }
+
+    /// Deactivates strictly-KKT-satisfied bound points. Their error entries
+    /// go stale until Unshrink().
+    void Shrink() {
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (!active_[i]) continue;
+            const double r = error_[i] * static_cast<double>(y_[i]);
+            const bool at_lower = alpha_[i] <= 0.0;
+            const bool at_upper = alpha_[i] >= config_.c;
+            if ((at_lower && r > config_.tol) || (at_upper && r < -config_.tol)) {
+                active_[i] = 0;
+                ++shrunk_total_;
+            }
+        }
+    }
+
+    /// Reactivates all points, rebuilding the stale errors exactly:
+    /// error_[i] = f(x_i) − y_i under the current (α, b) iterate.
+    void Unshrink() {
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (active_[i]) continue;
+            error_[i] = Fx(i, nullptr) - static_cast<double>(y_[i]);
+            active_[i] = 1;
+        }
     }
 
     // f(x_i) − y_i; error_ holds it for all points (full cache).
@@ -145,9 +295,11 @@ class SmoSolver {
             const std::size_t i = (start + k) % n_;
             if (IsNonBound(i) && TakeStep(i, i2)) return 1;
         }
+        // Shrunk points are skipped: their cached errors are stale (no-op
+        // when shrinking is off — every point stays active).
         for (std::size_t k = 0; k < n_; ++k) {
             const std::size_t i = (start + k) % n_;
-            if (TakeStep(i, i2)) return 1;
+            if (active_[i] && TakeStep(i, i2)) return 1;
         }
         return 0;
     }
@@ -173,9 +325,17 @@ class SmoSolver {
         }
         if (lo >= hi) return false;
 
-        const double k11 = Kern(i1, i1);
-        const double k12 = Kern(i1, i2);
-        const double k22 = Kern(i2, i2);
+        // Row-cache path: fetch both working rows once; k11/k12/k22, the
+        // O(n) error refresh and the Fx re-anchors below all read from them.
+        const double* row1 = nullptr;
+        const double* row2 = nullptr;
+        if (use_cache_) {
+            row1 = CachedRow(i1, i2);
+            row2 = CachedRow(i2, i1);
+        }
+        const double k11 = row1 != nullptr ? row1[i1] : Kern(i1, i1);
+        const double k12 = row1 != nullptr ? row1[i2] : Kern(i1, i2);
+        const double k22 = row2 != nullptr ? row2[i2] : Kern(i2, i2);
         const double eta = k11 + k22 - 2.0 * k12;
 
         double a2_new;
@@ -224,11 +384,20 @@ class SmoSolver {
         alpha_[i1] = a1_new;
         alpha_[i2] = a2_new;
 
-        // Incremental error-cache refresh.
+        // Incremental error-cache refresh (shrunk points skipped — their
+        // errors are reconstructed exactly at the next full sweep).
         const double d1 = y1 * (a1_new - a1_old);
         const double d2 = y2 * (a2_new - a2_old);
-        for (std::size_t i = 0; i < n_; ++i) {
-            error_[i] += d1 * Kern(i1, i) + d2 * Kern(i2, i) - delta_b;
+        if (row1 != nullptr) {
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (!active_[i]) continue;
+                error_[i] += d1 * row1[i] + d2 * row2[i] - delta_b;
+            }
+        } else {
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (!active_[i]) continue;
+                error_[i] += d1 * Kern(i1, i) + d2 * Kern(i2, i) - delta_b;
+            }
         }
         // Update the primal weights BEFORE re-anchoring the two changed
         // errors: Fx() reads w_ on the linear path.
@@ -239,17 +408,23 @@ class SmoSolver {
                 w_[d] += d1 * r1[d] + d2 * r2[d];
             }
         }
-        error_[i1] = Fx(i1) - y1;  // recompute exactly for the changed points
-        error_[i2] = Fx(i2) - y2;
+        error_[i1] = Fx(i1, row1) - y1;  // recompute exactly for the changed points
+        error_[i2] = Fx(i2, row2) - y2;
         ++steps_;
         return true;
     }
 
-    // f(x_i) from scratch (only used to re-anchor the two changed points).
-    double Fx(std::size_t i) const {
+    // f(x_i) from scratch (re-anchoring the two changed points, and error
+    // reconstruction on Unshrink). `row` is the cached kernel row for i when
+    // available — K is symmetric, so row[j] = K(x_j, x_i).
+    double Fx(std::size_t i, const double* row) const {
         double f = -bias_;
         if (!w_.empty()) {
             f += Dot(w_, x_.Row(i));
+        } else if (row != nullptr) {
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (alpha_[j] > 0.0) f += alpha_[j] * y_[j] * row[j];
+            }
         } else {
             for (std::size_t j = 0; j < n_; ++j) {
                 if (alpha_[j] > 0.0) f += alpha_[j] * y_[j] * Kern(j, i);
@@ -284,8 +459,12 @@ class SmoSolver {
     std::vector<double> error_;
     std::vector<double> gram_;
     std::vector<double> w_;
+    KernelRowCache cache_;
+    std::vector<char> active_;  // 0 = shrunk (bound + KKT-satisfied)
     double bias_ = 0.0;  // Platt's threshold b (f = Σ αyK − b)
     bool use_gram_ = false;
+    bool use_cache_ = false;
+    std::size_t shrunk_total_ = 0;
     std::size_t steps_ = 0;
     std::size_t examine_calls_ = 0;
     // mutable: tallied inside const Kern() on both lookup paths.

@@ -27,6 +27,22 @@ struct SmoConfig {
     std::size_t max_steps = 2'000'000;  ///< total pair-update budget
     /// Precompute the full Gram matrix when n ≤ this (memory: n² doubles).
     std::size_t gram_limit = 3000;
+    /// Kernel-row LRU cache budget for solves too large for the full Gram
+    /// (n > gram_limit): TakeStep's O(n) error refresh re-reads the two
+    /// changed rows, so caching whole rows turns its 2n kernel evaluations
+    /// into 2n loads on a hit. Cached rows hold exactly the values direct
+    /// evaluation would produce (KernelEval is deterministic and bit-
+    /// symmetric), so the optimization trajectory — and the trained model —
+    /// is bit-identical with the cache on or off. 0 disables the cache.
+    std::size_t cache_bytes = 64ull << 20;
+    /// LIBSVM-style shrinking: bound multipliers that satisfy KKT beyond tol
+    /// are dropped from the error-cache refresh and the step-candidate scans
+    /// until the next full sweep, where their errors are reconstructed
+    /// exactly from the current iterate before re-examination. Cuts the
+    /// per-step O(n) work on mostly-converged solves, but reorders float
+    /// updates (the trajectory is no longer bit-identical to the unshrunk
+    /// solve, though both converge to tolerance), so it defaults to off.
+    bool shrinking = false;
     std::uint64_t seed = 7;  ///< tie-breaking RNG
     /// SvmClassifier-level: worker threads for the one-vs-one pairwise
     /// solves (each binary subproblem is independent and deterministic, so

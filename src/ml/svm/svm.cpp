@@ -71,6 +71,13 @@ Status SvmClassifier::Train(const FeatureMatrix& x, const std::vector<ClassLabel
         const FeatureMatrix sub = x.SelectRows(rows);
         SmoConfig pair_config = config_;
         pair_config.budget.time_budget_ms = timer.remaining_ms();
+        // Pair solves can run concurrently; split the kernel-row cache
+        // budget so peak memory stays within the configured bound. Cached
+        // rows equal direct evaluation bit for bit, so the capacity split
+        // does not change the trained model.
+        const std::size_t workers = std::max<std::size_t>(
+            1, std::min(ResolveNumThreads(config_.num_threads), pairs.size()));
+        pair_config.cache_bytes = config_.cache_bytes / workers;
         auto trained = TrainSmo(sub, labels, pair_config);
         if (!trained.ok()) {
             slot.status = trained.status();

@@ -1,0 +1,142 @@
+// Arena / FlatVec unit tests: alignment, stack-like rewind reuse, chunk
+// growth, reservation accounting and the published dfp.arena.* gauges.
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dfp {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAligned) {
+    Arena arena;
+    for (const std::size_t align : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, Arena::kMaxAlign}) {
+        for (int i = 0; i < 16; ++i) {
+            void* p = arena.Allocate(3, align);
+            ASSERT_NE(p, nullptr);
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+                << "align=" << align;
+        }
+    }
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+    Arena arena(/*chunk_bytes=*/256);  // force several chunk spills
+    std::vector<unsigned char*> blocks;
+    for (int i = 0; i < 100; ++i) {
+        auto* p = static_cast<unsigned char*>(arena.Allocate(40, 8));
+        std::memset(p, i, 40);
+        blocks.push_back(p);
+    }
+    for (int i = 0; i < 100; ++i) {
+        for (int b = 0; b < 40; ++b) {
+            ASSERT_EQ(blocks[static_cast<std::size_t>(i)][b], i)
+                << "block " << i << " was overwritten";
+        }
+    }
+}
+
+TEST(ArenaTest, RewindReusesMemory) {
+    Arena arena;
+    (void)arena.Allocate(64);
+    const Arena::Mark mark = arena.Position();
+    void* first = arena.Allocate(128);
+    const std::size_t used_after = arena.bytes_used();
+    arena.Rewind(mark);
+    void* second = arena.Allocate(128);
+    EXPECT_EQ(first, second) << "rewound bytes must be handed out again";
+    EXPECT_EQ(arena.bytes_used(), used_after);
+}
+
+TEST(ArenaTest, ResetKeepsReservation) {
+    Arena arena;
+    (void)arena.Allocate(100'000);  // spills past the default chunk
+    const std::size_t reserved = arena.bytes_reserved();
+    EXPECT_GE(reserved, 100'000u);
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "Reset must not free";
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedRoom) {
+    Arena arena(/*chunk_bytes=*/128);
+    auto* big = static_cast<unsigned char*>(arena.Allocate(10'000));
+    std::memset(big, 0xAB, 10'000);  // must be fully addressable
+    EXPECT_GE(arena.bytes_reserved(), 10'000u);
+}
+
+TEST(ArenaTest, ReleaseReturnsProcessReservation) {
+    const std::size_t before = Arena::TotalReservedBytes();
+    {
+        Arena arena;
+        (void)arena.Allocate(50'000);
+        EXPECT_GT(Arena::TotalReservedBytes(), before);
+        EXPECT_GE(Arena::PeakReservedBytes(), Arena::TotalReservedBytes());
+        arena.Release();
+        EXPECT_EQ(arena.bytes_reserved(), 0u);
+    }
+    EXPECT_EQ(Arena::TotalReservedBytes(), before)
+        << "destruction/Release must return the reservation";
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+    Arena a;
+    void* p = a.Allocate(64);
+    std::memset(p, 7, 64);
+    const std::size_t reserved = a.bytes_reserved();
+    Arena b = std::move(a);
+    EXPECT_EQ(b.bytes_reserved(), reserved);
+    EXPECT_EQ(static_cast<unsigned char*>(p)[63], 7);
+}
+
+TEST(FlatVecTest, PushBackPreservesContentsAcrossGrowth) {
+    Arena arena;
+    FlatVec<std::uint32_t> v;
+    v.Attach(&arena);
+    for (std::uint32_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+    ASSERT_EQ(v.size(), 1000u);
+    for (std::uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+}
+
+TEST(FlatVecTest, ResizeFillsAndClearKeepsCapacity) {
+    Arena arena;
+    FlatVec<int> v;
+    v.Attach(&arena);
+    v.resize(10, 42);
+    for (int x : v) EXPECT_EQ(x, 42);
+    const int* data = v.data();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.resize(10, 7);
+    EXPECT_EQ(v.data(), data) << "clear+refill must not reallocate";
+}
+
+TEST(FlatVecTest, CopyIsAView) {
+    Arena arena;
+    FlatVec<int> v;
+    v.Attach(&arena);
+    v.push_back(1);
+    FlatVec<int> view = v;
+    view[0] = 99;
+    EXPECT_EQ(v[0], 99) << "copies alias the same arena storage";
+}
+
+TEST(ArenaMetricsTest, PublishSetsGauges) {
+    Arena arena;
+    (void)arena.Allocate(1024);
+    PublishArenaMetrics();
+    auto& registry = obs::Registry::Get();
+    EXPECT_GT(registry.GetGauge("dfp.arena.bytes_reserved").value(), 0.0);
+    EXPECT_GT(registry.GetGauge("dfp.arena.peak_bytes_reserved").value(), 0.0);
+    EXPECT_GT(registry.GetGauge("dfp.arena.chunks_allocated").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace dfp
