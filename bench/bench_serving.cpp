@@ -1,0 +1,281 @@
+// Serving-path benchmark (BENCH_serving.json):
+//
+//  1. Inverted-index micro-bench — PatternMatchIndex::CountMatches vs the
+//     naive per-pattern std::includes scan FeatureSpace::Encode does, on the
+//     trained feature space. The index must be ≥ 3× the naive matcher.
+//  2. Closed-loop TCP load — dfp_serve's stack (registry → engine → server)
+//     on a loopback ephemeral port, hammered by 1 / 4 / 16 concurrent
+//     connections issuing predict_batch requests of 64 transactions.
+//     Per-request latency quantiles (p50/p95/p99) and end-to-end prediction
+//     throughput land in the report as
+//       dfp.bench.serving.c<k>.{p50_ms,p95_ms,p99_ms,preds_per_s}
+//     plus dfp.bench.serving.index_speedup for the micro-bench.
+//
+// Corpus: the 4000×30 dense synthetic corpus the parallel-mining bench uses,
+// so serving numbers sit next to mining numbers measured on the same data.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/string_util.hpp"
+#include "core/model_io.hpp"
+#include "core/pipeline.hpp"
+#include "exp/table_printer.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/scoring_index.hpp"
+#include "serve/server.hpp"
+
+using namespace dfp;
+
+namespace {
+
+TransactionDatabase DenseCorpus(std::size_t rows, std::size_t items,
+                                double density, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<ItemId>> txns(rows);
+    std::vector<ClassLabel> labels(rows);
+    for (std::size_t t = 0; t < rows; ++t) {
+        for (ItemId i = 0; i < items; ++i) {
+            if (rng.Bernoulli(density)) txns[t].push_back(i);
+        }
+        if (txns[t].empty()) txns[t].push_back(static_cast<ItemId>(t % items));
+        labels[t] = static_cast<ClassLabel>(rng.UniformInt(std::uint64_t{2}));
+    }
+    return TransactionDatabase::FromTransactions(std::move(txns),
+                                                 std::move(labels), items, 2);
+}
+
+/// Naive matcher: exactly the per-pattern std::includes scan the offline
+/// FeatureSpace::Encode runs — the baseline the index must beat.
+std::size_t NaiveCountMatches(const FeatureSpace& space,
+                              const std::vector<ItemId>& txn) {
+    std::size_t matches = 0;
+    for (const Pattern& p : space.patterns()) {
+        if (std::includes(txn.begin(), txn.end(), p.items.begin(),
+                          p.items.end())) {
+            ++matches;
+        }
+    }
+    return matches;
+}
+
+double Quantile(std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct LoadResult {
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double preds_per_s = 0;
+    std::size_t predictions = 0;
+};
+
+/// Closed loop: each connection issues `requests_per_conn` predict_batch
+/// calls of `batch_size` transactions back to back; latency is client-side
+/// per request.
+LoadResult RunLoadPhase(std::uint16_t port, const TransactionDatabase& db,
+                        std::size_t connections, std::size_t requests_per_conn,
+                        std::size_t batch_size) {
+    std::vector<std::vector<double>> latencies(connections);
+    std::atomic<std::size_t> failures{0};
+    Stopwatch wall;
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+            auto client = serve::ServeClient::Connect("127.0.0.1", port);
+            if (!client.ok()) {
+                failures.fetch_add(requests_per_conn);
+                return;
+            }
+            latencies[c].reserve(requests_per_conn);
+            for (std::size_t r = 0; r < requests_per_conn; ++r) {
+                std::vector<std::vector<ItemId>> batch;
+                batch.reserve(batch_size);
+                for (std::size_t b = 0; b < batch_size; ++b) {
+                    const std::size_t t =
+                        (c * 131 + r * batch_size + b) % db.num_transactions();
+                    batch.push_back(db.transaction(t));
+                }
+                Stopwatch request;
+                auto predictions = client->PredictBatch(batch);
+                if (!predictions.ok() || predictions->size() != batch_size) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                latencies[c].push_back(request.ElapsedMillis());
+            }
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    const double seconds = wall.ElapsedSeconds();
+
+    std::vector<double> all;
+    for (const auto& per_conn : latencies) {
+        all.insert(all.end(), per_conn.begin(), per_conn.end());
+    }
+    std::sort(all.begin(), all.end());
+    LoadResult result;
+    result.predictions = all.size() * batch_size;
+    result.p50_ms = Quantile(all, 0.50);
+    result.p95_ms = Quantile(all, 0.95);
+    result.p99_ms = Quantile(all, 0.99);
+    result.preds_per_s =
+        seconds > 0.0 ? static_cast<double>(result.predictions) / seconds : 0.0;
+    if (failures.load() > 0) {
+        std::fprintf(stderr, "[bench] %zu failed requests in c%zu phase\n",
+                     failures.load(), connections);
+    }
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto threads = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "threads", 1));
+    const auto requests_per_conn = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "requests", 40));
+    bench::BeginBenchObservability(threads);
+    auto& registry = obs::Registry::Get();
+
+    bench::Section("Serving benchmark: 4000x30 dense corpus");
+    const auto db = DenseCorpus(4000, 30, 0.40, 11);
+
+    // Train the model once; everything downstream scores with it.
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.05;
+    config.miner.max_pattern_len = 4;
+    config.mmrfs.coverage_delta = 4;
+    PatternClassifierPipeline pipeline(config);
+    {
+        Stopwatch train;
+        const Status st =
+            pipeline.Train(db, std::make_unique<NaiveBayesClassifier>());
+        if (!st.ok()) {
+            std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+            return 1;
+        }
+        std::printf("trained: %zu candidates -> %zu patterns in %.2fs\n",
+                    pipeline.stats().num_candidates,
+                    pipeline.stats().num_selected, train.ElapsedSeconds());
+    }
+    const std::string model_path =
+        "/tmp/dfp_bench_serving_" + std::to_string(::getpid()) + ".dfp";
+    if (!SavePipelineModelToFile(pipeline, model_path).ok()) {
+        std::fprintf(stderr, "model save failed\n");
+        return 1;
+    }
+
+    // --- Phase 1: inverted index vs naive matching -------------------------
+    bench::Section("Inverted-index matching vs naive std::includes");
+    const FeatureSpace& space = pipeline.feature_space();
+    const serve::PatternMatchIndex index = serve::PatternMatchIndex::Build(space);
+    serve::PatternMatchIndex::Scratch scratch;
+    constexpr std::size_t kMatchRounds = 20;
+
+    std::size_t naive_matches = 0;
+    Stopwatch naive_watch;
+    for (std::size_t round = 0; round < kMatchRounds; ++round) {
+        for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+            naive_matches += NaiveCountMatches(space, db.transaction(t));
+        }
+    }
+    const double naive_seconds = naive_watch.ElapsedSeconds();
+
+    std::size_t indexed_matches = 0;
+    Stopwatch indexed_watch;
+    for (std::size_t round = 0; round < kMatchRounds; ++round) {
+        for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+            indexed_matches += index.CountMatches(db.transaction(t), &scratch);
+        }
+    }
+    const double indexed_seconds = indexed_watch.ElapsedSeconds();
+
+    if (naive_matches != indexed_matches) {
+        std::fprintf(stderr, "MATCH MISMATCH: naive %zu vs indexed %zu\n",
+                     naive_matches, indexed_matches);
+        return 1;
+    }
+    const double speedup =
+        indexed_seconds > 0.0 ? naive_seconds / indexed_seconds : 0.0;
+    std::printf("patterns=%zu postings=%zu matches=%zu\n", index.num_patterns(),
+                index.num_postings(), indexed_matches / kMatchRounds);
+    std::printf("naive   : %.3fs (%.0f txn/s)\n", naive_seconds,
+                kMatchRounds * db.num_transactions() / naive_seconds);
+    std::printf("indexed : %.3fs (%.0f txn/s)\n", indexed_seconds,
+                kMatchRounds * db.num_transactions() / indexed_seconds);
+    std::printf("speedup : %.1fx (acceptance floor 3x)\n", speedup);
+    registry.GetGauge("dfp.bench.serving.index_speedup").Set(speedup);
+    registry.GetGauge("dfp.bench.serving.patterns")
+        .Set(static_cast<double>(index.num_patterns()));
+
+    // --- Phase 2: closed-loop TCP load at 1 / 4 / 16 connections -----------
+    bench::Section("TCP load (predict_batch of 64 per request)");
+    serve::ModelRegistry model_registry;
+    auto loaded = model_registry.Reload(model_path);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "reload failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+    }
+    serve::EngineConfig engine_config;
+    engine_config.num_threads = threads;
+    engine_config.max_delay_ms = 0.2;
+    serve::ScoringEngine engine(model_registry, engine_config);
+    serve::ServerConfig server_config;
+    server_config.port = 0;  // ephemeral: benches never collide
+    server_config.max_connections = 64;
+    serve::PredictionServer server(model_registry, engine, server_config,
+                                   model_path);
+    const Status started = server.Start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+    }
+
+    TablePrinter table({"connections", "requests", "predictions", "p50 ms",
+                        "p95 ms", "p99 ms", "preds/s"});
+    for (std::size_t connections : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+        const LoadResult result =
+            RunLoadPhase(server.port(), db, connections, requests_per_conn, 64);
+        table.AddRow({std::to_string(connections),
+                      std::to_string(connections * requests_per_conn),
+                      std::to_string(result.predictions),
+                      StrFormat("%.2f", result.p50_ms),
+                      StrFormat("%.2f", result.p95_ms),
+                      StrFormat("%.2f", result.p99_ms),
+                      StrFormat("%.0f", result.preds_per_s)});
+        const std::string prefix =
+            "dfp.bench.serving.c" + std::to_string(connections);
+        registry.GetGauge(prefix + ".p50_ms").Set(result.p50_ms);
+        registry.GetGauge(prefix + ".p95_ms").Set(result.p95_ms);
+        registry.GetGauge(prefix + ".p99_ms").Set(result.p99_ms);
+        registry.GetGauge(prefix + ".preds_per_s").Set(result.preds_per_s);
+    }
+    table.Print();
+
+    server.Stop();
+    engine.Stop();
+    std::remove(model_path.c_str());
+
+    bench::WriteBenchReport("serving");
+    return 0;
+}

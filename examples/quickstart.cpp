@@ -13,16 +13,23 @@
 // Parallel mining/selection/training (results identical at any thread count;
 // default 0 = one worker per hardware thread):
 //               ./build/examples/quickstart --threads 4
+// Serving smoke path (save → load → in-process scoring engine → verify the
+// served predictions match offline exactly):
+//               ./build/examples/quickstart --serve
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 
+#include "core/model_io.hpp"
 #include "core/pipeline.hpp"
 #include "data/encoder.hpp"
 #include "data/synthetic.hpp"
 #include "ml/svm/svm.hpp"
 #include "obs/report.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 int main(int argc, char** argv) {
     using namespace dfp;
@@ -36,6 +43,7 @@ int main(int argc, char** argv) {
     double time_budget_ms = -1.0;
     std::size_t max_patterns = 0;
     std::size_t threads = 0;
+    bool serve = false;
     auto flag_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "error: %s requires a value\n", flag);
@@ -64,6 +72,8 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
             threads = static_cast<std::size_t>(
                 std::strtoull(argv[i] + 10, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--serve") == 0) {
+            serve = true;
         }
     }
     if (!report_path.empty()) obs::EnableTracing(true);
@@ -129,7 +139,68 @@ int main(int argc, char** argv) {
     std::printf("first test row   -> predicted class %u (true %u)\n",
                 pipeline.Predict(example), test.label(0));
 
-    // 5. Optional run report: every dfp.* metric plus the nested span tree
+    // 5. Optional serving smoke path: persist the trained model, publish it
+    //    through a ModelRegistry, and score the test split through the
+    //    micro-batched ScoringEngine via an in-process ServeClient. The
+    //    served accuracy must equal the offline LoadedModel accuracy exactly
+    //    — serving is scheduling, never numerics.
+    if (serve) {
+        std::stringstream bundle;
+        Status save = SavePipelineModel(pipeline, bundle);
+        if (!save.ok()) {
+            std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+            return 1;
+        }
+        auto offline = LoadPipelineModel(bundle);
+        if (!offline.ok()) {
+            std::fprintf(stderr, "load failed: %s\n",
+                         offline.status().ToString().c_str());
+            return 1;
+        }
+        bundle.clear();
+        bundle.seekg(0);
+        auto served_model = LoadPipelineModel(bundle);
+        if (!served_model.ok()) {
+            std::fprintf(stderr, "load failed: %s\n",
+                         served_model.status().ToString().c_str());
+            return 1;
+        }
+
+        serve::ModelRegistry registry;
+        registry.Install(std::move(*served_model), "quickstart");
+        serve::EngineConfig engine_config;
+        engine_config.num_threads = threads;
+        serve::ScoringEngine engine(registry, engine_config);
+        serve::RequestDispatcher dispatcher(registry, engine);
+        serve::ServeClient client(dispatcher);
+
+        std::size_t correct = 0;
+        for (std::size_t t = 0; t < test.num_transactions(); ++t) {
+            auto prediction = client.Predict(test.transaction(t));
+            if (!prediction.ok()) {
+                std::fprintf(stderr, "serve predict failed: %s\n",
+                             prediction.status().ToString().c_str());
+                return 1;
+            }
+            if (prediction->label == test.label(t)) ++correct;
+        }
+        const double served_accuracy =
+            static_cast<double>(correct) /
+            static_cast<double>(test.num_transactions());
+        const double offline_accuracy = offline->Accuracy(test);
+        std::printf("served accuracy  : %.2f%% over %zu requests (model v%llu)\n",
+                    100.0 * served_accuracy, test.num_transactions(),
+                    static_cast<unsigned long long>(registry.current_version()));
+        if (served_accuracy != offline_accuracy) {
+            std::fprintf(stderr,
+                         "serving mismatch: served %.6f vs offline %.6f\n",
+                         served_accuracy, offline_accuracy);
+            return 1;
+        }
+        engine.Stop();
+    }
+
+    // 6. Optional run report: every dfp.* metric plus the nested span tree
     //    (train → mine[per-class] → pool_dedup → mmrfs → transform → learn).
     if (!report_path.empty()) {
         const obs::RunReport report = obs::CollectRunReport("quickstart");

@@ -13,6 +13,13 @@
 
 namespace dfp {
 
+/// Upper bound on any single count read from an untrusted model stream
+/// (pattern counts, weight-vector sizes, SV counts, tree nodes). Real models
+/// are orders of magnitude below this; a malformed count above it must fail
+/// with InvalidArgument instead of driving a multi-gigabyte allocation into
+/// std::bad_alloc / abort.
+inline constexpr std::size_t kMaxModelElements = std::size_t{1} << 24;
+
 /// Writes a double with enough precision to round-trip exactly.
 inline void WriteDouble(std::ostream& out, double v) {
     const auto old = out.precision(std::numeric_limits<double>::max_digits10);
@@ -71,6 +78,19 @@ class TokenReader {
             return Status::ParseError("malformed unsigned in model");
         }
         *out = static_cast<std::uint32_t>(v);
+        return Status::Ok();
+    }
+
+    /// Reads an element count from untrusted input, rejecting anything above
+    /// `max_value` (default kMaxModelElements) so the caller can size a
+    /// container without risking an allocation abort.
+    Status ReadCount(std::size_t* out, std::size_t max_value = kMaxModelElements) {
+        DFP_RETURN_NOT_OK(Read(out));
+        if (*out > max_value) {
+            return Status::InvalidArgument("model count " + std::to_string(*out) +
+                                           " exceeds sanity cap " +
+                                           std::to_string(max_value));
+        }
         return Status::Ok();
     }
 

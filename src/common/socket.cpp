@@ -1,0 +1,149 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dfp {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+    return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::Close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::ShutdownRead() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::SendAll(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return ErrnoStatus("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+}
+
+Result<std::size_t> Socket::Recv(char* buf, std::size_t len) {
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        return ErrnoStatus("recv");
+    }
+}
+
+Result<bool> LineReader::ReadLine(std::string* line, std::size_t max_line_bytes) {
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            line->assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!line->empty() && line->back() == '\r') line->pop_back();
+            return true;
+        }
+        if (buffer_.size() > max_line_bytes) {
+            return Status::InvalidArgument("line exceeds max length");
+        }
+        char chunk[4096];
+        auto n = socket_->Recv(chunk, sizeof(chunk));
+        if (!n.ok()) return n.status();
+        if (*n == 0) {
+            // Clean EOF; a partial unterminated line is discarded.
+            return false;
+        }
+        buffer_.append(chunk, *n);
+    }
+}
+
+Result<Socket> TcpListen(std::uint16_t port, int backlog) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) return ErrnoStatus("socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        return ErrnoStatus("bind");
+    }
+    if (::listen(sock.fd(), backlog) != 0) return ErrnoStatus("listen");
+    return sock;
+}
+
+Result<std::uint16_t> LocalPort(const Socket& socket) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        return ErrnoStatus("getsockname");
+    }
+    return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> TcpAccept(Socket& listener) {
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) return Socket(fd);
+        if (errno == EINTR) continue;
+        // EINVAL = listener shut down (the server's stop path); EBADF = closed.
+        if (errno == EINVAL || errno == EBADF) {
+            return Status::Unavailable("listener closed");
+        }
+        return ErrnoStatus("accept");
+    }
+}
+
+Result<Socket> TcpConnect(const std::string& host, std::uint16_t port) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                 &hints, &res);
+    if (rc != 0) {
+        return Status::NotFound("resolve '" + host + "': " + gai_strerror(rc));
+    }
+    Status last = Status::Internal("no addresses for '" + host + "'");
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!sock.valid()) {
+            last = ErrnoStatus("socket");
+            continue;
+        }
+        if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(res);
+            return sock;
+        }
+        last = ErrnoStatus("connect");
+    }
+    ::freeaddrinfo(res);
+    return last;
+}
+
+}  // namespace dfp

@@ -1,0 +1,93 @@
+// Minimal blocking TCP socket utilities for the serving subsystem.
+//
+// Deliberately small: RAII fd ownership, full-buffer send, a buffered line
+// reader, and listen/accept/connect helpers that return Status instead of
+// errno soup. Everything is blocking — the prediction server uses a
+// thread-per-connection model (DESIGN.md §13), so readiness APIs (epoll et
+// al.) would buy nothing but complexity here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace dfp {
+
+/// Move-only RAII wrapper around a socket file descriptor.
+class Socket {
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { Close(); }
+
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept {
+        if (this != &other) {
+            Close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    void Close();
+
+    /// shutdown(SHUT_RD): unblocks a recv() in progress on another thread
+    /// (subsequent reads see EOF) while writes still flush. The server's
+    /// graceful drain uses this to stop connection handlers without cutting
+    /// off responses in flight.
+    void ShutdownRead();
+    /// shutdown(SHUT_RDWR): also unblocks accept() on a listening socket.
+    void ShutdownBoth();
+
+    /// Writes the whole buffer (retrying short sends; SIGPIPE suppressed).
+    Status SendAll(std::string_view data);
+
+    /// One recv(): returns bytes read, 0 on orderly EOF.
+    Result<std::size_t> Recv(char* buf, std::size_t len);
+
+  private:
+    int fd_ = -1;
+};
+
+/// Buffered reader of '\n'-terminated lines from a socket. A trailing '\r'
+/// is stripped so telnet-style clients work.
+class LineReader {
+  public:
+    explicit LineReader(Socket& socket) : socket_(&socket) {}
+
+    /// Reads the next line into `*line` (terminator stripped). Returns true
+    /// on a line, false on clean EOF, error Status on socket failure or when
+    /// a line exceeds `max_line_bytes` (malicious framing).
+    Result<bool> ReadLine(std::string* line,
+                          std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+    /// 16 MiB — far above any sane predict_batch request.
+    static constexpr std::size_t kDefaultMaxLineBytes = std::size_t{16} << 20;
+
+  private:
+    Socket* socket_;
+    std::string buffer_;
+};
+
+/// Binds + listens on 127.0.0.1:`port` (port 0 = kernel-assigned ephemeral
+/// port; read it back with LocalPort). SO_REUSEADDR is set.
+Result<Socket> TcpListen(std::uint16_t port, int backlog = 64);
+
+/// The locally bound port of a socket (listen or connected).
+Result<std::uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking accept. Fails with kUnavailable once the listener is shut down.
+Result<Socket> TcpAccept(Socket& listener);
+
+/// Blocking connect to `host`:`port` (numeric IPv4 or a resolvable name).
+Result<Socket> TcpConnect(const std::string& host, std::uint16_t port);
+
+}  // namespace dfp

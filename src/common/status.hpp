@@ -24,6 +24,7 @@ enum class StatusCode {
     kParseError,
     kInternal,
     kCancelled,
+    kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode ("Ok", "ParseError", ...).
@@ -38,6 +39,7 @@ inline const char* StatusCodeName(StatusCode code) {
         case StatusCode::kParseError: return "ParseError";
         case StatusCode::kInternal: return "Internal";
         case StatusCode::kCancelled: return "Cancelled";
+        case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
 }
@@ -73,6 +75,11 @@ class Status {
     }
     static Status Cancelled(std::string m) {
         return Status(StatusCode::kCancelled, std::move(m));
+    }
+    /// Transient overload/shutdown rejection: retrying later may succeed.
+    /// The serving layer sheds load with this code (DESIGN.md §13).
+    static Status Unavailable(std::string m) {
+        return Status(StatusCode::kUnavailable, std::move(m));
     }
 
     bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <set>
 
 #include "common/serialize.hpp"
 #include "ml/dtree/c45.hpp"
@@ -33,17 +34,44 @@ Result<FeatureSpace> LoadFeatureSpace(std::istream& in) {
     DFP_RETURN_NOT_OK(reader.Expect("feature-space"));
     std::size_t num_items = 0;
     std::size_t num_patterns = 0;
-    DFP_RETURN_NOT_OK(reader.Read(&num_items));
-    DFP_RETURN_NOT_OK(reader.Read(&num_patterns));
-    std::vector<Pattern> patterns(num_patterns);
-    for (Pattern& p : patterns) {
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_items));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_patterns));
+    // Untrusted input: patterns are parsed incrementally (a lying header
+    // count fails at EOF instead of driving a huge up-front allocation) and
+    // each one is validated against the declared item universe. Prediction
+    // (FeatureSpace::Encode, serve::PatternMatchIndex) relies on every
+    // pattern being a sorted duplicate-free subset of [0, num_items).
+    std::vector<Pattern> patterns;
+    patterns.reserve(std::min(num_patterns, std::size_t{4096}));
+    std::set<Itemset> seen;
+    for (std::size_t n = 0; n < num_patterns; ++n) {
+        Pattern p;
         std::size_t len = 0;
-        DFP_RETURN_NOT_OK(reader.Read(&len));
-        if (len < 2) return Status::ParseError("pattern of length < 2 in model");
+        DFP_RETURN_NOT_OK(reader.ReadCount(&len));
+        if (len < 2) return Status::InvalidArgument("pattern of length < 2 in model");
+        if (len > num_items) {
+            return Status::InvalidArgument(
+                "pattern longer than the item universe");
+        }
         p.items.resize(len);
         for (ItemId& item : p.items) {
             DFP_RETURN_NOT_OK(reader.Read(&item));
         }
+        for (std::size_t i = 0; i < len; ++i) {
+            if (p.items[i] >= num_items) {
+                return Status::InvalidArgument(
+                    "pattern item id " + std::to_string(p.items[i]) +
+                    " outside the item universe of " + std::to_string(num_items));
+            }
+            if (i > 0 && p.items[i] <= p.items[i - 1]) {
+                return Status::InvalidArgument(
+                    "pattern items not strictly ascending");
+            }
+        }
+        if (!seen.insert(p.items).second) {
+            return Status::InvalidArgument("duplicate pattern in model");
+        }
+        patterns.push_back(std::move(p));
     }
     return FeatureSpace::Build(num_items, std::move(patterns));
 }
@@ -74,9 +102,13 @@ Status SavePipelineModel(const PatternClassifierPipeline& pipeline,
 }
 
 ClassLabel LoadedModel::Predict(const std::vector<ItemId>& transaction) const {
-    std::vector<double> encoded(space_.dim(), 0.0);
-    space_.Encode(transaction, encoded);
-    return learner_->Predict(encoded);
+    // Encode scratch is reused across calls — Predict is the serving-adjacent
+    // hot path and a per-call dim()-sized allocation is measurable there.
+    if (encode_buffer_.size() != space_.dim()) {
+        encode_buffer_.assign(space_.dim(), 0.0);
+    }
+    space_.Encode(transaction, encode_buffer_);
+    return learner_->Predict(encode_buffer_);
 }
 
 double LoadedModel::Accuracy(const TransactionDatabase& test) const {

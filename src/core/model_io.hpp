@@ -31,6 +31,10 @@ Status SavePipelineModel(const PatternClassifierPipeline& pipeline,
                          std::ostream& out);
 
 /// A loaded predictor: feature space + learner, predicting raw transactions.
+///
+/// Predict reuses an internal encode buffer, so a LoadedModel must not be
+/// shared across threads without external synchronization. Concurrent scoring
+/// goes through serve::ScoringEngine, which keeps per-worker scratch instead.
 class LoadedModel {
   public:
     LoadedModel(FeatureSpace space, std::unique_ptr<Classifier> learner)
@@ -44,6 +48,7 @@ class LoadedModel {
   private:
     FeatureSpace space_;
     std::unique_ptr<Classifier> learner_;
+    mutable std::vector<double> encode_buffer_;  // scratch for Predict
 };
 
 /// Deserializes a pipeline model saved with SavePipelineModel.

@@ -332,9 +332,11 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
 
 ClassLabel PatternClassifierPipeline::Predict(
     const std::vector<ItemId>& transaction) const {
-    std::vector<double> encoded(feature_space_.dim(), 0.0);
-    feature_space_.Encode(transaction, encoded);
-    return learner_->Predict(encoded);
+    if (encode_buffer_.size() != feature_space_.dim()) {
+        encode_buffer_.assign(feature_space_.dim(), 0.0);
+    }
+    feature_space_.Encode(transaction, encode_buffer_);
+    return learner_->Predict(encode_buffer_);
 }
 
 double PatternClassifierPipeline::Accuracy(const TransactionDatabase& test) const {

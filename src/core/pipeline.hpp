@@ -121,7 +121,7 @@ class PatternClassifierPipeline {
     std::vector<Pattern> candidates_;
     std::unique_ptr<Classifier> learner_;
     std::size_t num_classes_ = 0;
-    std::vector<double> encode_buffer_;  // scratch for Predict
+    mutable std::vector<double> encode_buffer_;  // scratch for Predict
 };
 
 }  // namespace dfp

@@ -271,10 +271,10 @@ Status C45Classifier::SaveModel(std::ostream& out) const {
 Status C45Classifier::LoadModel(std::istream& in) {
     TokenReader reader(in);
     DFP_RETURN_NOT_OK(reader.Expect("c45-model"));
-    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_classes_));
     DFP_RETURN_NOT_OK(reader.Read(&root_));
     std::size_t count = 0;
-    DFP_RETURN_NOT_OK(reader.Read(&count));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&count));
     nodes_.assign(count, Node{});
     for (Node& node : nodes_) {
         std::size_t leaf = 0;

@@ -82,8 +82,12 @@ Status NaiveBayesClassifier::SaveModel(std::ostream& out) const {
 Status NaiveBayesClassifier::LoadModel(std::istream& in) {
     TokenReader reader(in);
     DFP_RETURN_NOT_OK(reader.Expect("nb-model"));
-    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
-    DFP_RETURN_NOT_OK(reader.Read(&cols_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&cols_));
+    if (num_classes_ != 0 && cols_ > kMaxModelElements / num_classes_) {
+        return Status::InvalidArgument(
+            "NB parameter matrix exceeds the sanity cap");
+    }
     DFP_RETURN_NOT_OK(reader.Read(&smoothing_));
     DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_, &log_prior_));
     DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_ * cols_, &log_on_));

@@ -151,8 +151,12 @@ Status PegasosClassifier::SaveModel(std::ostream& out) const {
 Status PegasosClassifier::LoadModel(std::istream& in) {
     TokenReader reader(in);
     DFP_RETURN_NOT_OK(reader.Expect("pegasos-model"));
-    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
-    DFP_RETURN_NOT_OK(reader.Read(&cols_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&cols_));
+    if (num_classes_ != 0 && cols_ > kMaxModelElements / num_classes_) {
+        return Status::InvalidArgument(
+            "pegasos weight matrix exceeds the sanity cap");
+    }
     DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_ * cols_, &weights_));
     DFP_RETURN_NOT_OK(reader.ReadDoubles(num_classes_, &bias_));
     return Status::Ok();

@@ -323,21 +323,25 @@ Status SvmClassifier::LoadModel(std::istream& in) {
     DFP_RETURN_NOT_OK(reader.Read(&config_.kernel.coef0));
     DFP_RETURN_NOT_OK(reader.Read(&config_.kernel.degree));
     DFP_RETURN_NOT_OK(reader.Read(&config_.c));
-    DFP_RETURN_NOT_OK(reader.Read(&num_classes_));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&num_classes_));
     std::size_t machine_count = 0;
-    DFP_RETURN_NOT_OK(reader.Read(&machine_count));
+    DFP_RETURN_NOT_OK(reader.ReadCount(&machine_count));
     machines_.assign(machine_count, PairModel{});
     for (PairModel& pm : machines_) {
         DFP_RETURN_NOT_OK(reader.Read(&pm.positive));
         DFP_RETURN_NOT_OK(reader.Read(&pm.negative));
         DFP_RETURN_NOT_OK(reader.Read(&pm.model.bias));
         std::size_t w_size = 0;
-        DFP_RETURN_NOT_OK(reader.Read(&w_size));
+        DFP_RETURN_NOT_OK(reader.ReadCount(&w_size));
         DFP_RETURN_NOT_OK(reader.ReadDoubles(w_size, &pm.model.w));
         std::size_t sv_count = 0;
         std::size_t dim = 0;
-        DFP_RETURN_NOT_OK(reader.Read(&sv_count));
-        DFP_RETURN_NOT_OK(reader.Read(&dim));
+        DFP_RETURN_NOT_OK(reader.ReadCount(&sv_count));
+        DFP_RETURN_NOT_OK(reader.ReadCount(&dim));
+        if (sv_count != 0 && dim > kMaxModelElements / sv_count) {
+            return Status::InvalidArgument(
+                "SVM support-vector matrix exceeds the sanity cap");
+        }
         pm.model.kernel = config_.kernel;
         pm.model.sv_coef.resize(sv_count);
         pm.model.sv.assign(sv_count, std::vector<double>(dim, 0.0));

@@ -1,0 +1,149 @@
+#include "serve/client.hpp"
+
+#include <sstream>
+
+namespace dfp::serve {
+
+namespace {
+
+/// Maps an error response ({"ok":false,"error":"...","message":"..."}) back
+/// to the Status it was rendered from.
+Status StatusFromErrorResponse(const obs::JsonValue& response) {
+    std::string code = "Internal";
+    std::string message = "malformed error response";
+    if (const obs::JsonValue* error = response.Find("error");
+        error != nullptr && error->is_string()) {
+        code = error->string();
+    }
+    if (const obs::JsonValue* msg = response.Find("message");
+        msg != nullptr && msg->is_string()) {
+        message = msg->string();
+    }
+    for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+        const auto status_code = static_cast<StatusCode>(c);
+        if (code == StatusCodeName(status_code)) {
+            return Status(status_code, std::move(message));
+        }
+    }
+    return Status::Internal(code + ": " + message);
+}
+
+void AppendItems(std::ostringstream& out, const std::vector<ItemId>& items) {
+    out << '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out << ',';
+        out << items[i];
+    }
+    out << ']';
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         std::uint16_t port) {
+    auto socket = TcpConnect(host, port);
+    if (!socket.ok()) return socket.status();
+    return ServeClient(std::make_unique<Socket>(std::move(*socket)));
+}
+
+Result<std::string> ServeClient::RoundTrip(const std::string& line) {
+    if (dispatcher_ != nullptr) return dispatcher_->HandleLine(line);
+    DFP_RETURN_NOT_OK(socket_->SendAll(line + "\n"));
+    std::string response;
+    auto got = reader_->ReadLine(&response);
+    if (!got.ok()) return got.status();
+    if (!*got) return Status::Unavailable("server closed the connection");
+    return response;
+}
+
+Result<obs::JsonValue> ServeClient::Call(const std::string& line) {
+    auto response = RoundTrip(line);
+    if (!response.ok()) return response.status();
+    auto parsed = obs::ParseJson(*response);
+    if (!parsed.ok()) {
+        return Status::Internal("unparseable response: " + *response);
+    }
+    const obs::JsonValue* ok = parsed->Find("ok");
+    if (ok == nullptr) return Status::Internal("response missing \"ok\"");
+    if (!ok->boolean()) return StatusFromErrorResponse(*parsed);
+    return parsed;
+}
+
+Result<Prediction> ServeClient::Predict(const std::vector<ItemId>& items,
+                                        double deadline_ms) {
+    std::ostringstream line;
+    line << "{\"op\":\"predict\",\"items\":";
+    AppendItems(line, items);
+    if (deadline_ms >= 0.0) {
+        line << ",\"deadline_ms\":";
+        obs::WriteJsonNumber(line, deadline_ms);
+    }
+    line << '}';
+    auto response = Call(line.str());
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* label = response->Find("label");
+    const obs::JsonValue* version = response->Find("version");
+    if (label == nullptr || !label->is_number() || version == nullptr ||
+        !version->is_number()) {
+        return Status::Internal("predict response missing label/version");
+    }
+    return Prediction{static_cast<ClassLabel>(label->number()),
+                      static_cast<std::uint64_t>(version->number())};
+}
+
+Result<std::vector<Prediction>> ServeClient::PredictBatch(
+    const std::vector<std::vector<ItemId>>& batch) {
+    std::ostringstream line;
+    line << "{\"op\":\"predict_batch\",\"batch\":[";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (i > 0) line << ',';
+        AppendItems(line, batch[i]);
+    }
+    line << "]}";
+    auto response = Call(line.str());
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* labels = response->Find("labels");
+    const obs::JsonValue* version = response->Find("version");
+    if (labels == nullptr || !labels->is_array() || version == nullptr ||
+        !version->is_number()) {
+        return Status::Internal("predict_batch response missing labels/version");
+    }
+    const auto model_version = static_cast<std::uint64_t>(version->number());
+    std::vector<Prediction> predictions;
+    predictions.reserve(labels->array().size());
+    for (const obs::JsonValue& label : labels->array()) {
+        if (!label.is_number()) {
+            return Status::Internal("non-numeric label in response");
+        }
+        predictions.push_back(
+            Prediction{static_cast<ClassLabel>(label.number()), model_version});
+    }
+    return predictions;
+}
+
+Result<std::uint64_t> ServeClient::Reload(const std::string& path) {
+    std::ostringstream line;
+    line << "{\"op\":\"reload\"";
+    if (!path.empty()) {
+        line << ",\"path\":";
+        obs::WriteJsonString(line, path);
+    }
+    line << '}';
+    auto response = Call(line.str());
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* version = response->Find("version");
+    if (version == nullptr || !version->is_number()) {
+        return Status::Internal("reload response missing version");
+    }
+    return static_cast<std::uint64_t>(version->number());
+}
+
+Result<obs::JsonValue> ServeClient::Stats() {
+    return Call("{\"op\":\"stats\"}");
+}
+
+Result<obs::JsonValue> ServeClient::Health() {
+    return Call("{\"op\":\"health\"}");
+}
+
+}  // namespace dfp::serve

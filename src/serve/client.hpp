@@ -1,0 +1,65 @@
+// ServeClient: speaks the line-delimited JSON protocol over either transport.
+//
+// * In-process: constructed on a RequestDispatcher — request lines are
+//   rendered, dispatched and parsed exactly as over the wire, with no socket.
+//   Used by the quickstart --serve smoke path and the protocol tests.
+// * TCP: Connect() to a running dfp_serve. Used by the server tests and the
+//   bench_serving closed-loop load generator.
+//
+// Not thread-safe; use one client per thread (connections are cheap).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/status.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+
+namespace dfp::serve {
+
+class ServeClient {
+  public:
+    /// In-process transport (dispatcher is borrowed).
+    explicit ServeClient(RequestDispatcher& dispatcher)
+        : dispatcher_(&dispatcher) {}
+
+    /// TCP transport.
+    static Result<ServeClient> Connect(const std::string& host,
+                                       std::uint16_t port);
+
+    ServeClient(ServeClient&&) = default;
+    ServeClient& operator=(ServeClient&&) = default;
+
+    Result<Prediction> Predict(const std::vector<ItemId>& items,
+                               double deadline_ms = -1.0);
+    Result<std::vector<Prediction>> PredictBatch(
+        const std::vector<std::vector<ItemId>>& batch);
+    /// Current model version after a successful reload.
+    Result<std::uint64_t> Reload(const std::string& path = "");
+    Result<obs::JsonValue> Stats();
+    Result<obs::JsonValue> Health();
+
+    /// Raw line round-trip (the protocol golden tests use this directly).
+    Result<std::string> RoundTrip(const std::string& line);
+
+  private:
+    // Socket lives on the heap so ServeClient stays movable while the
+    // LineReader keeps a stable reference to it.
+    explicit ServeClient(std::unique_ptr<Socket> socket)
+        : socket_(std::move(socket)),
+          reader_(std::make_unique<LineReader>(*socket_)) {}
+
+    /// RoundTrip + parse + "ok" check; protocol errors come back as the
+    /// Status carried in the error response.
+    Result<obs::JsonValue> Call(const std::string& line);
+
+    RequestDispatcher* dispatcher_ = nullptr;
+    std::unique_ptr<Socket> socket_;
+    std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace dfp::serve

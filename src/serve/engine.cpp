@@ -1,0 +1,230 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dfp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::vector<double> LatencyBoundsMs() {
+    return {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+            250.0, 1000.0};
+}
+
+std::vector<double> BatchSizeBounds() {
+    return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+}
+
+void Canonicalize(std::vector<ItemId>* items) {
+    std::sort(items->begin(), items->end());
+    items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+}  // namespace
+
+ScoringEngine::ScoringEngine(ModelRegistry& registry, EngineConfig config)
+    : registry_(registry), config_(config) {
+    const std::size_t threads = ResolveNumThreads(config_.num_threads);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    if (!config_.manual_pump) {
+        batcher_ = std::thread([this] { BatcherLoop(); });
+    }
+}
+
+ScoringEngine::~ScoringEngine() { Stop(); }
+
+std::future<Result<Prediction>> ScoringEngine::Submit(std::vector<ItemId> items,
+                                                      double deadline_ms,
+                                                      CancelToken* cancel) {
+    auto& registry = obs::Registry::Get();
+    registry.GetCounter("dfp.serve.requests").Inc();
+    if (deadline_ms < 0.0) deadline_ms = config_.default_deadline_ms;
+
+    PendingRequest request{std::move(items), DeadlineTimer(deadline_ms), cancel,
+                           std::promise<Result<Prediction>>{}, Clock::now()};
+    Canonicalize(&request.items);
+    std::future<Result<Prediction>> future = request.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            registry.GetCounter("dfp.serve.shed").Inc();
+            request.promise.set_value(
+                Status::Unavailable("scoring engine is draining"));
+            return future;
+        }
+        if (queue_.size() >= config_.queue_capacity) {
+            registry.GetCounter("dfp.serve.shed").Inc();
+            request.promise.set_value(
+                Status::Unavailable("admission queue full (" +
+                                    std::to_string(config_.queue_capacity) +
+                                    " pending)"));
+            return future;
+        }
+        queue_.push_back(std::move(request));
+        registry.GetGauge("dfp.serve.queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+Result<Prediction> ScoringEngine::Predict(std::vector<ItemId> items,
+                                          double deadline_ms) {
+    return Submit(std::move(items), deadline_ms).get();
+}
+
+Result<std::vector<Prediction>> ScoringEngine::PredictBatch(
+    std::vector<std::vector<ItemId>> batch) const {
+    const ServablePtr snapshot = registry_.Snapshot();
+    if (snapshot == nullptr) {
+        obs::Registry::Get().GetCounter("dfp.serve.no_model").Inc();
+        return Status::FailedPrecondition("no model installed");
+    }
+    for (auto& items : batch) Canonicalize(&items);
+
+    std::vector<Prediction> out(batch.size());
+    const auto score_range = [&](std::size_t begin, std::size_t end) {
+        PatternMatchIndex::Scratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            snapshot->index.EncodeInto(batch[i], &scratch);
+            out[i] = Prediction{snapshot->model.learner().Predict(scratch.encoded),
+                                snapshot->version};
+        }
+    };
+    ParallelFor(pool_.get(), batch.size(), score_range, /*min_grain=*/8);
+    obs::Registry::Get().GetCounter("dfp.serve.predictions").Inc(batch.size());
+    return out;
+}
+
+void ScoringEngine::Stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (batcher_.joinable()) batcher_.join();
+    // manual_pump mode (or anything left behind): drain inline.
+    while (PumpOnce() > 0) {
+    }
+}
+
+bool ScoringEngine::stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+}
+
+std::size_t ScoringEngine::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t ScoringEngine::PumpOnce() { return ProcessBatch(TakeBatch()); }
+
+void ScoringEngine::BatcherLoop() {
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and fully drained
+            // Micro-batch policy: once something is pending, wait up to
+            // max_delay_ms (from the oldest request's arrival) for the batch
+            // to fill — unless we're draining, in which case dispatch now.
+            if (!stopping_ && config_.max_delay_ms > 0.0 &&
+                queue_.size() < config_.max_batch) {
+                const auto fill_deadline =
+                    queue_.front().enqueued +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            config_.max_delay_ms));
+                cv_.wait_until(lock, fill_deadline, [this] {
+                    return stopping_ || queue_.size() >= config_.max_batch;
+                });
+            }
+        }
+        ProcessBatch(TakeBatch());
+    }
+}
+
+std::vector<ScoringEngine::PendingRequest> ScoringEngine::TakeBatch() {
+    std::vector<PendingRequest> batch;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    obs::Registry::Get().GetGauge("dfp.serve.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+    return batch;
+}
+
+std::size_t ScoringEngine::ProcessBatch(std::vector<PendingRequest> batch) {
+    if (batch.empty()) return 0;
+    obs::Span span("serve.batch");
+    auto& registry = obs::Registry::Get();
+    registry.GetCounter("dfp.serve.batches").Inc();
+    registry.GetHistogram("dfp.serve.batch_size", BatchSizeBounds())
+        .Observe(static_cast<double>(batch.size()));
+    span.Annotate("requests", static_cast<double>(batch.size()));
+
+    const ServablePtr snapshot = registry_.Snapshot();
+    ParallelFor(
+        pool_.get(), batch.size(),
+        [&](std::size_t begin, std::size_t end) {
+            ScoreRange(snapshot, batch, begin, end);
+        },
+        /*min_grain=*/4);
+
+    auto& latency = registry.GetHistogram("dfp.serve.latency_ms", LatencyBoundsMs());
+    for (const PendingRequest& request : batch) {
+        latency.Observe(MsSince(request.enqueued));
+    }
+    return batch.size();
+}
+
+void ScoringEngine::ScoreRange(const ServablePtr& snapshot,
+                               std::vector<PendingRequest>& batch,
+                               std::size_t begin, std::size_t end) {
+    auto& registry = obs::Registry::Get();
+    PatternMatchIndex::Scratch scratch;
+    std::size_t scored = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        PendingRequest& request = batch[i];
+        if (request.cancel != nullptr && request.cancel->Poll()) {
+            registry.GetCounter("dfp.serve.cancelled").Inc();
+            request.promise.set_value(Status::Cancelled("request cancelled"));
+            continue;
+        }
+        if (request.deadline.expired()) {
+            registry.GetCounter("dfp.serve.deadline_expired").Inc();
+            request.promise.set_value(
+                Status::Cancelled("deadline expired before scoring"));
+            continue;
+        }
+        if (snapshot == nullptr) {
+            registry.GetCounter("dfp.serve.no_model").Inc();
+            request.promise.set_value(
+                Status::FailedPrecondition("no model installed"));
+            continue;
+        }
+        snapshot->index.EncodeInto(request.items, &scratch);
+        request.promise.set_value(
+            Prediction{snapshot->model.learner().Predict(scratch.encoded),
+                       snapshot->version});
+        ++scored;
+    }
+    if (scored > 0) registry.GetCounter("dfp.serve.predictions").Inc(scored);
+}
+
+}  // namespace dfp::serve

@@ -1,0 +1,136 @@
+// Micro-batched scoring engine with admission control.
+//
+// The serving front-end (TCP handlers, the in-process client) submits single
+// transactions; the engine coalesces whatever is concurrently pending into
+// micro-batches (up to max_batch requests, waiting at most max_delay_ms for
+// stragglers) and fans each batch out over the work-stealing ThreadPool.
+// Batching amortizes queue/wake overhead; the per-request unit of work stays
+// one inverted-index match plus one learner evaluation, so results are
+// independent of batch composition — predictions are bit-identical to
+// LoadedModel::Predict at every batch size and thread count.
+//
+// Admission control (DESIGN.md §13):
+//  * Bounded queue. Submit() on a full queue sheds immediately with
+//    kUnavailable (counted in dfp.serve.shed) instead of building an
+//    unbounded backlog — the client's cue to back off.
+//  * Per-request deadlines reuse the budget primitives (DeadlineTimer
+//    anchored at submit, optional CancelToken): a request whose deadline
+//    passed while queued is answered kCancelled without being scored.
+//  * Graceful drain. Stop() refuses new work (kUnavailable) but scores
+//    everything already admitted before returning — an accepted request is
+//    never dropped.
+//
+// Every stage publishes dfp.serve.* metrics; batch scoring runs under a
+// "serve.batch" trace span.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/budget.hpp"
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "serve/registry.hpp"
+
+namespace dfp::serve {
+
+struct EngineConfig {
+    /// Largest micro-batch handed to the pool in one go.
+    std::size_t max_batch = 64;
+    /// How long a non-full batch waits for stragglers once the first request
+    /// is pending. 0 = dispatch immediately.
+    double max_delay_ms = 0.5;
+    /// Admission bound: Submit() sheds with kUnavailable beyond this.
+    std::size_t queue_capacity = 1024;
+    /// Scoring workers (0 = hardware_concurrency, 1 = score on the batcher
+    /// thread — the serial path).
+    std::size_t num_threads = 1;
+    /// Deadline applied to requests that don't carry their own (< 0 = none).
+    double default_deadline_ms = -1.0;
+    /// Test seam: no batcher thread is spawned; tests call PumpOnce() to
+    /// process one micro-batch deterministically.
+    bool manual_pump = false;
+};
+
+/// One scored request: the label plus the model version that produced it.
+struct Prediction {
+    ClassLabel label = 0;
+    std::uint64_t model_version = 0;
+};
+
+class ScoringEngine {
+  public:
+    ScoringEngine(ModelRegistry& registry, EngineConfig config);
+    ScoringEngine(const ScoringEngine&) = delete;
+    ScoringEngine& operator=(const ScoringEngine&) = delete;
+    /// Stops and drains (see Stop()).
+    ~ScoringEngine();
+
+    /// Enqueues one transaction for micro-batched scoring. `items` need not
+    /// be sorted — the engine canonicalizes (sort + dedup). The future is
+    /// always eventually satisfied: with a Prediction, or with kUnavailable
+    /// (shed / stopped), kCancelled (deadline or token), or
+    /// kFailedPrecondition (no model installed).
+    std::future<Result<Prediction>> Submit(std::vector<ItemId> items,
+                                           double deadline_ms = -1.0,
+                                           CancelToken* cancel = nullptr);
+
+    /// Submit + wait. Do not call in manual_pump mode (nothing would pump).
+    Result<Prediction> Predict(std::vector<ItemId> items,
+                               double deadline_ms = -1.0);
+
+    /// Scores a whole batch directly against the current snapshot, bypassing
+    /// the admission queue (the predict_batch protocol op and offline eval).
+    Result<std::vector<Prediction>> PredictBatch(
+        std::vector<std::vector<ItemId>> batch) const;
+
+    /// Graceful drain: new Submits are refused with kUnavailable, every
+    /// already-queued request is scored, then the batcher joins. Idempotent.
+    void Stop();
+
+    bool stopped() const;
+    /// Current queue depth (tests / stats).
+    std::size_t queue_depth() const;
+
+    /// manual_pump mode: processes at most one micro-batch on the calling
+    /// thread; returns the number of requests handled.
+    std::size_t PumpOnce();
+
+    const EngineConfig& config() const { return config_; }
+
+  private:
+    struct PendingRequest {
+        std::vector<ItemId> items;
+        DeadlineTimer deadline;
+        CancelToken* cancel = nullptr;
+        std::promise<Result<Prediction>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void BatcherLoop();
+    /// Takes up to max_batch requests off the queue (call with mu_ held is
+    /// NOT required; it locks internally). Returns an empty vector when the
+    /// queue was empty.
+    std::vector<PendingRequest> TakeBatch();
+    std::size_t ProcessBatch(std::vector<PendingRequest> batch);
+    void ScoreRange(const ServablePtr& snapshot,
+                    std::vector<PendingRequest>& batch, std::size_t begin,
+                    std::size_t end);
+
+    ModelRegistry& registry_;
+    EngineConfig config_;
+    std::unique_ptr<ThreadPool> pool_;  ///< null when scoring runs serial
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<PendingRequest> queue_;
+    bool stopping_ = false;
+    std::thread batcher_;
+};
+
+}  // namespace dfp::serve

@@ -1,0 +1,43 @@
+#include "serve/registry.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dfp::serve {
+
+Result<ServablePtr> ModelRegistry::Reload(const std::string& path) {
+    obs::Span span("serve.reload");
+    auto loaded = LoadPipelineModelFromFile(path);
+    if (!loaded.ok()) {
+        obs::Registry::Get().GetCounter("dfp.serve.reload_failures").Inc();
+        return loaded.status();
+    }
+    ServablePtr published = Publish(std::move(*loaded), path);
+    span.Annotate("version", static_cast<double>(published->version));
+    return published;
+}
+
+ServablePtr ModelRegistry::Install(LoadedModel model, std::string source) {
+    return Publish(std::move(model), std::move(source));
+}
+
+ServablePtr ModelRegistry::Publish(LoadedModel model, std::string source) {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    auto servable = std::make_shared<const ServableModel>(
+        std::move(model), next_version_++, std::move(source));
+    {
+        std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+        current_ = servable;
+    }
+    auto& registry = obs::Registry::Get();
+    registry.GetCounter("dfp.serve.reloads").Inc();
+    registry.GetGauge("dfp.serve.model_version")
+        .Set(static_cast<double>(servable->version));
+    registry.GetGauge("dfp.serve.model_patterns")
+        .Set(static_cast<double>(servable->index.num_patterns()));
+    registry.GetGauge("dfp.serve.model_dim")
+        .Set(static_cast<double>(servable->index.dim()));
+    return servable;
+}
+
+}  // namespace dfp::serve

@@ -1,0 +1,84 @@
+// Model registry: versioned, hot-reloadable ownership of the served model.
+//
+// A ServableModel bundles a LoadedModel with its compiled PatternMatchIndex
+// and a monotonically increasing version. The registry hands out
+// `shared_ptr<const ServableModel>` snapshots; a Reload() builds the new
+// servable entirely off to the side before one pointer swap publishes it.
+// In-flight requests keep scoring against the snapshot they grabbed, so a
+// reload drops no responses and misroutes none (each response reports the
+// version that produced it).
+//
+// The published pointer is guarded by a plain mutex held only for the
+// shared_ptr copy, not std::atomic<shared_ptr>: libstdc++ 12's _Sp_atomic
+// unlocks its reader spin-bit with relaxed ordering, which TSan (correctly,
+// per the C++ memory model) reports as a load/store race. A snapshot is
+// taken once per scoring batch, so the mutex is off the per-prediction path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/model_io.hpp"
+#include "serve/scoring_index.hpp"
+
+namespace dfp::serve {
+
+/// One immutable, scorable model version.
+struct ServableModel {
+    ServableModel(LoadedModel loaded, std::uint64_t model_version,
+                  std::string model_source)
+        : model(std::move(loaded)),
+          index(PatternMatchIndex::Build(model.feature_space())),
+          version(model_version),
+          source(std::move(model_source)) {}
+
+    LoadedModel model;
+    PatternMatchIndex index;
+    std::uint64_t version;
+    std::string source;
+};
+
+using ServablePtr = std::shared_ptr<const ServableModel>;
+
+class ModelRegistry {
+  public:
+    ModelRegistry() = default;
+    ModelRegistry(const ModelRegistry&) = delete;
+    ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+    /// Parses a dfp-model v1 bundle from `path`, compiles its index, and
+    /// publishes it as the next version. On error the currently served model
+    /// (if any) stays installed untouched. Thread-safe; concurrent reloads
+    /// serialize, readers are never blocked.
+    Result<ServablePtr> Reload(const std::string& path);
+
+    /// Publishes an already-loaded model (the in-process quickstart path).
+    ServablePtr Install(LoadedModel model, std::string source = "<memory>");
+
+    /// Snapshot of the current model; null before the first load. The
+    /// snapshot stays valid (and scorable) for as long as the caller holds
+    /// it, across any number of subsequent reloads.
+    ServablePtr Snapshot() const {
+        std::lock_guard<std::mutex> lock(snapshot_mu_);
+        return current_;
+    }
+
+    /// Version of the currently served model (0 = none installed).
+    std::uint64_t current_version() const {
+        const ServablePtr snap = Snapshot();
+        return snap == nullptr ? 0 : snap->version;
+    }
+
+  private:
+    ServablePtr Publish(LoadedModel model, std::string source);
+
+    mutable std::mutex snapshot_mu_;  ///< guards current_; pointer-copy only
+    ServablePtr current_;
+    std::mutex reload_mu_;  ///< serializes writers end to end
+    std::uint64_t next_version_ = 1;  ///< guarded by reload_mu_
+};
+
+}  // namespace dfp::serve

@@ -1,0 +1,185 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "obs/metrics.hpp"
+
+namespace dfp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string RequestDispatcher::HandleLine(std::string_view line) {
+    auto parsed = ParseServeRequest(line);
+    if (!parsed.ok()) {
+        obs::Registry::Get().GetCounter("dfp.serve.protocol_errors").Inc();
+        return RenderErrorResponse(nullptr, parsed.status());
+    }
+    const ServeRequest& request = *parsed;
+    switch (request.op) {
+        case ServeOp::kPredict:
+            return HandlePredict(request);
+        case ServeOp::kPredictBatch:
+            return HandlePredictBatch(request);
+        case ServeOp::kStats:
+            return RenderStatsResponse(request, obs::Registry::Get().Snapshot());
+        case ServeOp::kReload:
+            return HandleReload(request);
+        case ServeOp::kHealth:
+            return RenderHealthResponse(request,
+                                        registry_.current_version() != 0,
+                                        registry_.current_version(), draining());
+    }
+    return RenderErrorResponse(&request, Status::Internal("unhandled op"));
+}
+
+std::string RequestDispatcher::HandlePredict(const ServeRequest& request) {
+    const auto start = Clock::now();
+    Result<Prediction> prediction =
+        engine_.Submit(request.batch.front(), request.deadline_ms).get();
+    if (!prediction.ok()) return RenderErrorResponse(&request, prediction.status());
+    return RenderPredictResponse(request, *prediction, MsSince(start));
+}
+
+std::string RequestDispatcher::HandlePredictBatch(const ServeRequest& request) {
+    const auto start = Clock::now();
+    auto predictions = engine_.PredictBatch(request.batch);
+    if (!predictions.ok()) {
+        return RenderErrorResponse(&request, predictions.status());
+    }
+    return RenderPredictBatchResponse(request, *predictions, MsSince(start));
+}
+
+std::string RequestDispatcher::HandleReload(const ServeRequest& request) {
+    const std::string& path =
+        request.path.empty() ? default_model_path_ : request.path;
+    if (path.empty()) {
+        return RenderErrorResponse(
+            &request, Status::InvalidArgument(
+                          "reload needs a \"path\" (no default configured)"));
+    }
+    auto reloaded = registry_.Reload(path);
+    if (!reloaded.ok()) return RenderErrorResponse(&request, reloaded.status());
+    return RenderReloadResponse(request, (*reloaded)->version);
+}
+
+PredictionServer::PredictionServer(ModelRegistry& registry, ScoringEngine& engine,
+                                   ServerConfig config,
+                                   std::string default_model_path)
+    : dispatcher_(registry, engine, std::move(default_model_path)),
+      config_(config) {}
+
+PredictionServer::~PredictionServer() { Stop(); }
+
+Status PredictionServer::Start() {
+    auto listener = TcpListen(config_.port);
+    if (!listener.ok()) return listener.status();
+    listener_ = std::move(*listener);
+    auto port = LocalPort(listener_);
+    if (!port.ok()) return port.status();
+    port_ = *port;
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+    DFP_LOG_INFO(StrFormat("dfp_serve: listening on 127.0.0.1:%u", unsigned{port_}));
+    return Status::Ok();
+}
+
+void PredictionServer::Stop() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopping_.exchange(true)) return;  // idempotent; serialized by stop_mu_
+    dispatcher_.SetDraining(true);
+    // 1. Stop accepting: shutdown unblocks accept() with EINVAL.
+    listener_.ShutdownBoth();
+    if (acceptor_.joinable()) acceptor_.join();
+    // 2. Unblock idle connection readers. Handlers mid-request are not
+    //    interrupted: SHUT_RD only EOFs *reads*, so the response of any
+    //    request already being processed still flushes before the handler
+    //    sees EOF and exits.
+    {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        for (auto& connection : connections_) {
+            connection->socket.ShutdownRead();
+        }
+    }
+    // 3. Join handlers (each finishes its in-flight request first).
+    std::vector<std::unique_ptr<Connection>> done;
+    {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        done.swap(connections_);
+    }
+    for (auto& connection : done) {
+        if (connection->thread.joinable()) connection->thread.join();
+    }
+    listener_.Close();
+}
+
+void PredictionServer::AcceptLoop() {
+    auto& registry = obs::Registry::Get();
+    for (;;) {
+        auto accepted = TcpAccept(listener_);
+        if (!accepted.ok()) return;  // listener shut down (or fatal) — stop
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        registry.GetCounter("dfp.serve.connections").Inc();
+        if (active_connections_.load(std::memory_order_relaxed) >=
+            config_.max_connections) {
+            // Connection-level shedding: answer once, close, never spawn.
+            registry.GetCounter("dfp.serve.connections_shed").Inc();
+            accepted->SendAll(
+                RenderErrorResponse(
+                    nullptr, Status::Unavailable("connection limit reached")) +
+                "\n");
+            continue;  // Socket destructor closes
+        }
+        active_connections_.fetch_add(1, std::memory_order_relaxed);
+        ReapFinishedConnections();
+        auto connection = std::make_unique<Connection>();
+        connection->socket = std::move(*accepted);
+        Connection* raw = connection.get();
+        {
+            std::lock_guard<std::mutex> lock(connections_mu_);
+            connection->thread =
+                std::thread([this, raw] { HandleConnection(raw); });
+            connections_.push_back(std::move(connection));
+        }
+    }
+}
+
+void PredictionServer::ReapFinishedConnections() {
+    // Joins handler threads whose connection has ended, so a long-running
+    // server doesn't accumulate one zombie thread per past connection.
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable()) (*it)->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void PredictionServer::HandleConnection(Connection* connection) {
+    LineReader reader(connection->socket);
+    std::string line;
+    for (;;) {
+        auto got = reader.ReadLine(&line);
+        if (!got.ok() || !*got) break;  // error or clean EOF
+        if (line.empty()) continue;
+        const std::string response = dispatcher_.HandleLine(line);
+        if (!connection->socket.SendAll(response + "\n").ok()) break;
+        if (stopping_.load(std::memory_order_relaxed)) break;
+    }
+    connection->socket.ShutdownBoth();
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    connection->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace dfp::serve

@@ -1,0 +1,114 @@
+// The prediction server: a protocol dispatcher plus a blocking-socket TCP
+// front (thread per connection, bounded).
+//
+// RequestDispatcher is the transport-free core — one request line in, one
+// response line out — shared by the TCP handlers, the in-process ServeClient,
+// and the protocol golden tests. PredictionServer adds the listener, the
+// per-connection handler threads, connection-level admission control
+// (connections beyond max_connections are answered with a kUnavailable line
+// and closed), and graceful drain: Stop() stops accepting, unblocks idle
+// readers, lets every in-flight request finish and its response flush, then
+// joins all threads. Responses in flight are never cut off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/status.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace dfp::serve {
+
+/// Transport-agnostic protocol handler. Thread-safe: handlers on different
+/// connections dispatch concurrently.
+class RequestDispatcher {
+  public:
+    RequestDispatcher(ModelRegistry& registry, ScoringEngine& engine,
+                      std::string default_model_path = "")
+        : registry_(registry),
+          engine_(engine),
+          default_model_path_(std::move(default_model_path)) {}
+
+    /// Handles one request line; always returns exactly one response line
+    /// (without trailing '\n'), errors included.
+    std::string HandleLine(std::string_view line);
+
+    /// Health responses report "draining": true once set (server Stop()).
+    void SetDraining(bool draining) {
+        draining_.store(draining, std::memory_order_relaxed);
+    }
+    bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  private:
+    std::string HandlePredict(const ServeRequest& request);
+    std::string HandlePredictBatch(const ServeRequest& request);
+    std::string HandleReload(const ServeRequest& request);
+
+    ModelRegistry& registry_;
+    ScoringEngine& engine_;
+    std::string default_model_path_;
+    std::atomic<bool> draining_{false};
+};
+
+struct ServerConfig {
+    /// 0 = kernel-assigned ephemeral port (tests); read back with port().
+    std::uint16_t port = 7070;
+    /// Connection-level admission bound.
+    std::size_t max_connections = 64;
+};
+
+class PredictionServer {
+  public:
+    /// The registry/engine are borrowed (the owner wires model loading and
+    /// engine policy); the server only adds the TCP front.
+    PredictionServer(ModelRegistry& registry, ScoringEngine& engine,
+                     ServerConfig config, std::string default_model_path = "");
+    PredictionServer(const PredictionServer&) = delete;
+    PredictionServer& operator=(const PredictionServer&) = delete;
+    ~PredictionServer();
+
+    /// Binds, listens and spawns the acceptor. Fails if the port is taken.
+    Status Start();
+
+    /// Graceful drain; idempotent. Does NOT stop the engine — the owner
+    /// decides (the engine may serve an in-process client too).
+    void Stop();
+
+    /// Bound port (valid after Start; useful with config.port == 0).
+    std::uint16_t port() const { return port_; }
+
+    RequestDispatcher& dispatcher() { return dispatcher_; }
+
+  private:
+    struct Connection {
+        Socket socket;
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+
+    void AcceptLoop();
+    void HandleConnection(Connection* connection);
+    void ReapFinishedConnections();
+
+    RequestDispatcher dispatcher_;
+    ServerConfig config_;
+    Socket listener_;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::mutex stop_mu_;  ///< serializes Stop() callers
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> active_connections_{0};
+
+    std::mutex connections_mu_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace dfp::serve

@@ -1,0 +1,139 @@
+// dfp_serve: TCP prediction server for dfp-model v1 bundles.
+//
+//   dfp_serve --model m.dfp --port 7070
+//
+// Speaks one-line JSON requests (see src/serve/protocol.hpp):
+//
+//   $ printf '{"op":"predict","items":[3,7,12]}\n' | nc 127.0.0.1 7070
+//   {"ok":true,"label":1,"version":1,"latency_ms":0.41}
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+// requests finish and their responses flush, then the process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+void Usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s --model <bundle.dfp> [options]\n"
+        "\n"
+        "options:\n"
+        "  --model <path>          dfp-model v1 bundle to serve (required;\n"
+        "                          also the default target of {\"op\":\"reload\"})\n"
+        "  --port <n>              TCP port on 127.0.0.1 (default 7070; 0 = ephemeral)\n"
+        "  --threads <n>           scoring workers (default 1; 0 = all cores)\n"
+        "  --max-batch <n>         micro-batch size cap (default 64)\n"
+        "  --max-delay-ms <ms>     batch fill window (default 0.5)\n"
+        "  --queue-capacity <n>    admission queue bound (default 1024)\n"
+        "  --max-connections <n>   concurrent connection bound (default 64)\n"
+        "  --deadline-ms <ms>      default per-request deadline (default: none)\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dfp;
+    using namespace dfp::serve;
+
+    std::string model_path;
+    ServerConfig server_config;
+    EngineConfig engine_config;
+
+    auto flag_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--model") == 0) {
+            model_path = flag_value(i, "--model");
+        } else if (std::strcmp(argv[i], "--port") == 0) {
+            server_config.port =
+                static_cast<std::uint16_t>(std::atoi(flag_value(i, "--port")));
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            engine_config.num_threads = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--threads"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+            engine_config.max_batch = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--max-batch"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--max-delay-ms") == 0) {
+            engine_config.max_delay_ms = std::atof(flag_value(i, "--max-delay-ms"));
+        } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+            engine_config.queue_capacity = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--queue-capacity"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+            server_config.max_connections = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--max-connections"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+            engine_config.default_deadline_ms =
+                std::atof(flag_value(i, "--deadline-ms"));
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            Usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+            Usage(argv[0]);
+            return 2;
+        }
+    }
+    if (model_path.empty()) {
+        Usage(argv[0]);
+        return 2;
+    }
+
+    ModelRegistry registry;
+    auto loaded = registry.Reload(model_path);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "error: cannot load model '%s': %s\n",
+                     model_path.c_str(), loaded.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("dfp_serve: loaded %s (version %llu, %zu items + %zu patterns)\n",
+                model_path.c_str(),
+                static_cast<unsigned long long>((*loaded)->version),
+                (*loaded)->index.num_items(), (*loaded)->index.num_patterns());
+
+    ScoringEngine engine(registry, engine_config);
+    PredictionServer server(registry, engine, server_config, model_path);
+    const Status started = server.Start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+        return 1;
+    }
+    std::printf("dfp_serve: listening on 127.0.0.1:%u (threads=%zu max_batch=%zu "
+                "queue=%zu)\n",
+                unsigned{server.port()}, engine_config.num_threads,
+                engine_config.max_batch, engine_config.queue_capacity);
+
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    sigset_t wait_set;
+    sigemptyset(&wait_set);
+    while (g_stop_requested == 0) {
+        sigsuspend(&wait_set);  // sleep until a signal arrives
+    }
+
+    std::printf("dfp_serve: draining...\n");
+    server.Stop();
+    engine.Stop();
+    std::printf("dfp_serve: drained, bye\n");
+    return 0;
+}
