@@ -10,6 +10,12 @@
 //     throughput land in the report as
 //       dfp.bench.serving.c<k>.{p50_ms,p95_ms,p99_ms,preds_per_s}
 //     plus dfp.bench.serving.index_speedup for the micro-bench.
+//  3. Soak — sustained mixed traffic for --soak-seconds (default 4): 8
+//     connections of single-predict requests (the traced, micro-batched
+//     path) while a control thread hot-reloads the model twice a second.
+//     Shed rate, the engine's trailing-window p99.9, and throughput land as
+//       dfp.bench.serving.soak.{shed_rate,p999_ms,preds_per_s,reloads}
+//     (tools/bench_diff compares them against bench/baselines/serving.json).
 //
 // Corpus: the 4000×30 dense synthetic corpus the parallel-mining bench uses,
 // so serving numbers sit next to mining numbers measured on the same data.
@@ -17,6 +23,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -152,6 +159,7 @@ int main(int argc, char** argv) {
         bench::FlagValue(argc, argv, "threads", 1));
     const auto requests_per_conn = static_cast<std::size_t>(
         bench::FlagValue(argc, argv, "requests", 40));
+    const long soak_seconds = bench::FlagValue(argc, argv, "soak-seconds", 4);
     bench::BeginBenchObservability(threads);
     auto& registry = obs::Registry::Get();
 
@@ -271,6 +279,90 @@ int main(int argc, char** argv) {
         registry.GetGauge(prefix + ".preds_per_s").Set(result.preds_per_s);
     }
     table.Print();
+
+    // --- Phase 3: soak — sustained predicts under concurrent reloads -------
+    bench::Section(StrFormat("Soak: %lds of mixed predict + reload traffic",
+                             soak_seconds));
+    {
+        const auto base = registry.Snapshot();
+        const std::uint64_t base_requests = [&] {
+            const auto it = base.counters.find("dfp.serve.requests");
+            return it == base.counters.end() ? std::uint64_t{0} : it->second;
+        }();
+        const std::uint64_t base_shed = [&] {
+            const auto it = base.counters.find("dfp.serve.shed");
+            return it == base.counters.end() ? std::uint64_t{0} : it->second;
+        }();
+
+        std::atomic<bool> soak_stop{false};
+        std::atomic<std::size_t> soak_ok{0};
+        std::atomic<std::size_t> reloads{0};
+        constexpr std::size_t kSoakConnections = 8;
+        std::vector<std::thread> soakers;
+        for (std::size_t c = 0; c < kSoakConnections; ++c) {
+            soakers.emplace_back([&, c] {
+                auto client = serve::ServeClient::Connect("127.0.0.1",
+                                                          server.port());
+                if (!client.ok()) return;
+                std::size_t r = 0;
+                while (!soak_stop.load(std::memory_order_relaxed)) {
+                    const std::size_t t =
+                        (c * 977 + r * 13) % db.num_transactions();
+                    if (client->Predict(db.transaction(t)).ok()) {
+                        soak_ok.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    ++r;
+                }
+            });
+        }
+        std::thread reloader([&] {
+            auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+            if (!client.ok()) return;
+            while (!soak_stop.load(std::memory_order_relaxed)) {
+                if (client->Reload().ok()) {
+                    reloads.fetch_add(1, std::memory_order_relaxed);
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(500));
+            }
+        });
+        Stopwatch soak_wall;
+        std::this_thread::sleep_for(std::chrono::seconds(soak_seconds));
+        soak_stop.store(true);
+        for (auto& worker : soakers) worker.join();
+        reloader.join();
+        const double seconds = soak_wall.ElapsedSeconds();
+
+        const auto after = registry.Snapshot();
+        const auto requests = [&](const std::string& name) {
+            const auto it = after.counters.find(name);
+            return it == after.counters.end() ? std::uint64_t{0} : it->second;
+        };
+        const std::uint64_t submitted = requests("dfp.serve.requests") - base_requests;
+        const std::uint64_t shed = requests("dfp.serve.shed") - base_shed;
+        const double shed_rate =
+            submitted > 0 ? static_cast<double>(shed) /
+                                static_cast<double>(submitted)
+                          : 0.0;
+        // The trailing-window quantile the live /metrics endpoint would
+        // report right now — the whole point of the soak phase.
+        double p999 = 0.0;
+        if (const auto it = after.windows.find("dfp.serve.latency.total");
+            it != after.windows.end()) {
+            p999 = it->second.ValueAtQuantile(0.999);
+        }
+        const double preds_per_s =
+            seconds > 0.0 ? static_cast<double>(soak_ok.load()) / seconds : 0.0;
+        std::printf("soak: %zu ok, %llu shed (rate %.4f), %zu reloads\n",
+                    soak_ok.load(), static_cast<unsigned long long>(shed),
+                    shed_rate, reloads.load());
+        std::printf("soak: windowed p99.9 = %.3f ms, %.0f preds/s\n", p999,
+                    preds_per_s);
+        registry.GetGauge("dfp.bench.serving.soak.shed_rate").Set(shed_rate);
+        registry.GetGauge("dfp.bench.serving.soak.p999_ms").Set(p999);
+        registry.GetGauge("dfp.bench.serving.soak.preds_per_s").Set(preds_per_s);
+        registry.GetGauge("dfp.bench.serving.soak.reloads")
+            .Set(static_cast<double>(reloads.load()));
+    }
 
     server.Stop();
     engine.Stop();

@@ -24,6 +24,7 @@
 
 #include "core/model_io.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
 #include "data/encoder.hpp"
 #include "data/synthetic.hpp"
 #include "ml/svm/svm.hpp"
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
     //   --time-budget-ms <ms>    wall-clock budget for the whole Train
     //   --max-patterns <n>       cap on mined pattern candidates
     //   --threads <n>            worker threads (0 = hardware_concurrency)
+    //   --metrics-out <path>     final Prometheus snapshot of every dfp.*
+    //                            metric (atomic write; point a file-based
+    //                            scraper at it)
     std::string report_path;
+    std::string metrics_out;
     double time_budget_ms = -1.0;
     std::size_t max_patterns = 0;
     std::size_t threads = 0;
@@ -72,6 +77,10 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
             threads = static_cast<std::size_t>(
                 std::strtoull(argv[i] + 10, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+            metrics_out = flag_value(i, "--metrics-out");
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+            metrics_out = argv[i] + 14;
         } else if (std::strcmp(argv[i], "--serve") == 0) {
             serve = true;
         }
@@ -211,6 +220,17 @@ int main(int argc, char** argv) {
         }
         std::printf("run report       : wrote %s (%zu metrics)\n",
                     report_path.c_str(), report.metrics.TotalMetrics());
+    }
+
+    // 7. Optional Prometheus snapshot: the same text exposition a live
+    //    dfp_serve --metrics-port would serve, flushed once at exit.
+    if (!metrics_out.empty()) {
+        const Status mst = obs::WritePrometheusFile(metrics_out);
+        if (!mst.ok()) {
+            std::fprintf(stderr, "metrics failed: %s\n", mst.ToString().c_str());
+            return 1;
+        }
+        std::printf("metrics          : wrote %s\n", metrics_out.c_str());
     }
     return 0;
 }

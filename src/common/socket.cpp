@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -54,8 +55,22 @@ Result<std::size_t> Socket::Recv(char* buf, std::size_t len) {
         const ssize_t n = ::recv(fd_, buf, len, 0);
         if (n >= 0) return static_cast<std::size_t>(n);
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return Status::Unavailable("recv timed out");
+        }
         return ErrnoStatus("recv");
     }
+}
+
+Status Socket::SetRecvTimeout(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+        return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+    }
+    return Status::Ok();
 }
 
 Result<bool> LineReader::ReadLine(std::string* line, std::size_t max_line_bytes) {

@@ -50,8 +50,14 @@ class Socket {
     /// Writes the whole buffer (retrying short sends; SIGPIPE suppressed).
     Status SendAll(std::string_view data);
 
-    /// One recv(): returns bytes read, 0 on orderly EOF.
+    /// One recv(): returns bytes read, 0 on orderly EOF. With a receive
+    /// timeout set (below), a timed-out recv fails with kUnavailable.
     Result<std::size_t> Recv(char* buf, std::size_t len);
+
+    /// SO_RCVTIMEO: bounds how long a blocking recv may wait. Used by the
+    /// metrics HTTP side-port so one slow scraper cannot wedge the serve
+    /// loop; 0 disables the timeout.
+    Status SetRecvTimeout(double seconds);
 
   private:
     int fd_ = -1;

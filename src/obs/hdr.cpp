@@ -1,0 +1,240 @@
+#include "obs/hdr.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace dfp::obs {
+
+namespace {
+
+std::int64_t NowSteadyNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Round-robin shard slot per thread: the first histogram touch on a thread
+/// claims the next slot, so K threads spread evenly over K shards instead of
+/// relying on thread-id hash luck.
+std::size_t ThreadShardSlot() {
+    static std::atomic<std::size_t> next_slot{0};
+    thread_local const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+}  // namespace
+
+HdrLayout HdrLayout::FromConfig(const HdrConfig& config) {
+    HdrLayout layout;
+    layout.min_value = config.min_value > 0.0 ? config.min_value : 1e-3;
+    layout.subbuckets = std::max<std::size_t>(2, config.subbuckets_per_octave);
+    const double max_value = std::max(config.max_value, layout.min_value * 2.0);
+    layout.num_octaves = static_cast<std::size_t>(
+        std::ceil(std::log2(max_value / layout.min_value)));
+    layout.num_octaves = std::max<std::size_t>(1, layout.num_octaves);
+    layout.num_buckets = layout.num_octaves * layout.subbuckets;
+    return layout;
+}
+
+std::size_t HdrLayout::IndexFor(double v) const {
+    // NaN, negatives and anything at or below min_value clamp into bucket 0.
+    if (!(v > min_value)) return 0;
+    const double scaled = v / min_value;  // > 1
+    int exp = 0;
+    const double mantissa = std::frexp(scaled, &exp);  // scaled = m * 2^exp
+    // scaled in [2^(exp-1), 2^exp)  =>  octave exp-1, offset 2*m - 1 in [0,1).
+    const std::size_t octave = static_cast<std::size_t>(exp - 1);
+    const double offset = 2.0 * mantissa - 1.0;
+    std::size_t sub = static_cast<std::size_t>(
+        offset * static_cast<double>(subbuckets));
+    sub = std::min(sub, subbuckets - 1);
+    return std::min(octave * subbuckets + sub, num_buckets - 1);
+}
+
+double HdrLayout::LowerBound(std::size_t idx) const {
+    const std::size_t octave = idx / subbuckets;
+    const std::size_t sub = idx % subbuckets;
+    const double base = std::ldexp(min_value, static_cast<int>(octave));
+    return base * (1.0 + static_cast<double>(sub) /
+                             static_cast<double>(subbuckets));
+}
+
+double HdrLayout::Width(std::size_t idx) const {
+    const std::size_t octave = idx / subbuckets;
+    return std::ldexp(min_value, static_cast<int>(octave)) /
+           static_cast<double>(subbuckets);
+}
+
+double HdrSnapshot::ValueAtQuantile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (cumulative >= target) return layout.Representative(i);
+    }
+    return layout.Representative(counts.size() - 1);
+}
+
+void HdrSnapshot::MergeFrom(const HdrSnapshot& other) {
+    if (!layout.SameShapeAs(other.layout) ||
+        counts.size() != other.counts.size()) {
+        return;  // shape mismatch: caller error, nothing sane to merge
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+}
+
+HdrHistogram::HdrHistogram(HdrConfig config)
+    : layout_(HdrLayout::FromConfig(config)) {
+    std::size_t shards = config.shards;
+    if (shards == 0) {
+        shards = std::min<std::size_t>(
+            16, std::max<unsigned>(1, std::thread::hardware_concurrency()));
+    }
+    shards = RoundUpPow2(shards);
+    shard_mask_ = shards - 1;
+    shards_ = std::vector<Shard>(shards);
+    for (Shard& shard : shards_) {
+        shard.counts =
+            std::vector<std::atomic<std::uint64_t>>(layout_.num_buckets);
+    }
+}
+
+void HdrHistogram::Record(double v) {
+    Shard& shard = shards_[ThreadShardSlot() & shard_mask_];
+    shard.counts[layout_.IndexFor(v)].fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(shard.sum, v);
+}
+
+HdrSnapshot HdrHistogram::Snapshot() const {
+    HdrSnapshot snap;
+    snap.layout = layout_;
+    snap.counts.assign(layout_.num_buckets, 0);
+    double sum = 0.0;
+    for (const Shard& shard : shards_) {
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+            snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+        }
+        sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    std::uint64_t count = 0;
+    for (const std::uint64_t c : snap.counts) count += c;
+    snap.count = count;
+    // `sum` is tracked independently of the buckets; clamp the obviously
+    // torn states (reset races) instead of reporting nonsense.
+    snap.sum = (count == 0 || sum < 0.0) ? 0.0 : sum;
+    return snap;
+}
+
+void HdrHistogram::Reset() {
+    for (Shard& shard : shards_) {
+        for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+        shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+WindowedHdrHistogram::WindowedHdrHistogram(HdrConfig config, std::size_t epochs,
+                                           double epoch_seconds)
+    : epoch_seconds_(std::max(1e-3, epoch_seconds)),
+      last_rotate_ns_(NowSteadyNs()) {
+    epochs = std::max<std::size_t>(2, epochs);
+    ring_.reserve(epochs);
+    for (std::size_t i = 0; i < epochs; ++i) {
+        ring_.push_back(std::make_unique<HdrHistogram>(config));
+    }
+}
+
+void WindowedHdrHistogram::Record(double v) {
+    ring_[current_.load(std::memory_order_acquire)]->Record(v);
+}
+
+HdrSnapshot WindowedHdrHistogram::TrailingSnapshot() const {
+    HdrSnapshot merged = ring_.front()->Snapshot();
+    for (std::size_t i = 1; i < ring_.size(); ++i) {
+        merged.MergeFrom(ring_[i]->Snapshot());
+    }
+    return merged;
+}
+
+HdrSnapshot WindowedHdrHistogram::CurrentEpochSnapshot() const {
+    return ring_[current_.load(std::memory_order_acquire)]->Snapshot();
+}
+
+void WindowedHdrHistogram::Rotate() {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    const std::size_t next =
+        (current_.load(std::memory_order_relaxed) + 1) % ring_.size();
+    ring_[next]->Reset();
+    current_.store(next, std::memory_order_release);
+    last_rotate_ns_.store(NowSteadyNs(), std::memory_order_relaxed);
+}
+
+bool WindowedHdrHistogram::RotateIfDue() {
+    const auto epoch_ns =
+        static_cast<std::int64_t>(epoch_seconds_ * 1e9);
+    if (NowSteadyNs() - last_rotate_ns_.load(std::memory_order_relaxed) <
+        epoch_ns) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    // Re-check under the lock: a concurrent flusher may have just rotated.
+    if (NowSteadyNs() - last_rotate_ns_.load(std::memory_order_relaxed) <
+        epoch_ns) {
+        return false;
+    }
+    const std::size_t next =
+        (current_.load(std::memory_order_relaxed) + 1) % ring_.size();
+    ring_[next]->Reset();
+    current_.store(next, std::memory_order_release);
+    last_rotate_ns_.store(NowSteadyNs(), std::memory_order_relaxed);
+    return true;
+}
+
+void WindowedHdrHistogram::Reset() {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    for (auto& epoch : ring_) epoch->Reset();
+    last_rotate_ns_.store(NowSteadyNs(), std::memory_order_relaxed);
+}
+
+WindowFlusher::WindowFlusher(std::vector<WindowedHdrHistogram*> targets,
+                             double period_seconds)
+    : targets_(std::move(targets)) {
+    const auto period = std::chrono::duration<double>(
+        std::max(1e-3, period_seconds));
+    thread_ = std::thread([this, period] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            cv_.wait_for(lock, period, [this] { return stop_; });
+            if (stop_) return;
+            lock.unlock();
+            for (WindowedHdrHistogram* target : targets_) target->RotateIfDue();
+            lock.lock();
+        }
+    });
+}
+
+WindowFlusher::~WindowFlusher() { Stop(); }
+
+void WindowFlusher::Stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace dfp::obs

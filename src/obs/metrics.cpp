@@ -17,7 +17,6 @@ void Histogram::Observe(double v) {
     const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
     const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
     counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     AtomicAdd(sum_, v);
 }
 
@@ -25,17 +24,23 @@ HistogramData Histogram::Read() const {
     HistogramData data;
     data.bounds = bounds_;
     data.bucket_counts.reserve(counts_.size());
+    std::uint64_t count = 0;
     for (const auto& c : counts_) {
-        data.bucket_counts.push_back(c.load(std::memory_order_relaxed));
+        const std::uint64_t loaded = c.load(std::memory_order_relaxed);
+        data.bucket_counts.push_back(loaded);
+        count += loaded;
     }
-    data.count = count_.load(std::memory_order_relaxed);
-    data.sum = sum_.load(std::memory_order_relaxed);
+    // `count` is derived from the buckets just loaded, so it can never
+    // disagree with them (the old independent count cell could). `sum` is
+    // best-effort under concurrency; clamp states that are provably torn.
+    data.count = count;
+    const double sum = sum_.load(std::memory_order_relaxed);
+    data.sum = (count == 0 || sum < 0.0) ? 0.0 : sum;
     return data;
 }
 
 void Histogram::Reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
@@ -76,6 +81,33 @@ Histogram& Registry::GetHistogram(std::string_view name,
     return *it->second;
 }
 
+HdrHistogram& Registry::GetHdr(std::string_view name, HdrConfig config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hdrs_.find(name);
+    if (it == hdrs_.end()) {
+        it = hdrs_.emplace(std::string(name),
+                           std::make_unique<HdrHistogram>(config))
+                 .first;
+    }
+    return *it->second;
+}
+
+WindowedHdrHistogram& Registry::GetWindowedHdr(std::string_view name,
+                                               HdrConfig config,
+                                               std::size_t epochs,
+                                               double epoch_seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = windows_.find(name);
+    if (it == windows_.end()) {
+        it = windows_
+                 .emplace(std::string(name),
+                          std::make_unique<WindowedHdrHistogram>(
+                              config, epochs, epoch_seconds))
+                 .first;
+    }
+    return *it->second;
+}
+
 MetricsSnapshot Registry::Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     MetricsSnapshot snap;
@@ -88,6 +120,12 @@ MetricsSnapshot Registry::Snapshot() const {
     for (const auto& [name, hist] : histograms_) {
         snap.histograms.emplace(name, hist->Read());
     }
+    for (const auto& [name, hdr] : hdrs_) {
+        snap.hdrs.emplace(name, hdr->Snapshot());
+    }
+    for (const auto& [name, window] : windows_) {
+        snap.windows.emplace(name, window->TrailingSnapshot());
+    }
     return snap;
 }
 
@@ -96,6 +134,8 @@ void Registry::ResetValues() {
     for (auto& [name, counter] : counters_) counter->Reset();
     for (auto& [name, gauge] : gauges_) gauge->Reset();
     for (auto& [name, hist] : histograms_) hist->Reset();
+    for (auto& [name, hdr] : hdrs_) hdr->Reset();
+    for (auto& [name, window] : windows_) window->Reset();
 }
 
 }  // namespace dfp::obs

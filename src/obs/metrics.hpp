@@ -21,16 +21,9 @@
 #include <string_view>
 #include <vector>
 
-namespace dfp::obs {
+#include "obs/hdr.hpp"  // HdrHistogram / WindowedHdrHistogram + AtomicAdd
 
-/// Adds `delta` to an atomic double (CAS loop; fetch_add on double is not
-/// universally available).
-inline void AtomicAdd(std::atomic<double>& target, double delta) {
-    double current = target.load(std::memory_order_relaxed);
-    while (!target.compare_exchange_weak(current, current + delta,
-                                         std::memory_order_relaxed)) {
-    }
-}
+namespace dfp::obs {
 
 /// Monotonically increasing event count.
 class Counter {
@@ -68,6 +61,14 @@ struct HistogramData {
 };
 
 /// Fixed-bucket histogram. Bucket layout is immutable after registration.
+///
+/// Consistency under concurrent Observe(): `count` is DERIVED from the
+/// bucket counts at Read() time (there is no separate count cell to tear),
+/// so count == sum(bucket_counts) holds in every snapshot. `sum` is tracked
+/// in an independent atomic and may lag the buckets by observations that
+/// were mid-flight during the read; Read() clamps the obviously-torn states
+/// (negative sum, nonzero sum with zero count) and otherwise reports it
+/// as-is — it is an approximation under concurrency, not a ledger.
 class Histogram {
   public:
     /// `bounds` must be ascending; empty falls back to DefaultBounds().
@@ -83,7 +84,6 @@ class Histogram {
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
-    std::atomic<std::uint64_t> count_{0};
     std::atomic<double> sum_{0.0};
 };
 
@@ -92,9 +92,14 @@ struct MetricsSnapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> histograms;
+    /// Cumulative HDR histograms (merged over shards).
+    std::map<std::string, HdrSnapshot> hdrs;
+    /// Windowed HDR histograms: the TRAILING-WINDOW merge, not all-time.
+    std::map<std::string, HdrSnapshot> windows;
 
     std::size_t TotalMetrics() const {
-        return counters.size() + gauges.size() + histograms.size();
+        return counters.size() + gauges.size() + histograms.size() +
+               hdrs.size() + windows.size();
     }
 };
 
@@ -110,11 +115,25 @@ class Registry {
     /// `bounds` is only consulted on first registration of `name`.
     Histogram& GetHistogram(std::string_view name,
                             std::vector<double> bounds = {});
+    /// Sharded log-linear HDR histogram; `config` is only consulted on first
+    /// registration of `name`.
+    HdrHistogram& GetHdr(std::string_view name, HdrConfig config = {});
+    /// Trailing-window HDR histogram (ring of `epochs` shards rotated every
+    /// `epoch_seconds` by whoever drives rotation — see WindowFlusher).
+    /// Config/epoch parameters are only consulted on first registration.
+    WindowedHdrHistogram& GetWindowedHdr(std::string_view name,
+                                         HdrConfig config = {},
+                                         std::size_t epochs = 8,
+                                         double epoch_seconds = 1.25);
 
     /// Copies all current values.
     MetricsSnapshot Snapshot() const;
 
-    /// Zeroes every metric (names stay registered). For per-run reports/tests.
+    /// Zeroes every metric (names stay registered). Safe against concurrent
+    /// Observe()/Record(): every cell is an atomic, so this never races —
+    /// but an observation in flight during the reset may survive partially
+    /// (e.g. its bucket increment wiped, its sum contribution kept). Reads
+    /// clamp the torn combinations; per-run reports accept the slack.
     void ResetValues();
 
   private:
@@ -124,6 +143,9 @@ class Registry {
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdrs_;
+    std::map<std::string, std::unique_ptr<WindowedHdrHistogram>, std::less<>>
+        windows_;
 };
 
 }  // namespace dfp::obs

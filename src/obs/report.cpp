@@ -40,6 +40,23 @@ void WriteSpanJson(std::ostream& out, const SpanNode& node) {
 
 namespace {
 
+void WriteHdrSummaryJson(std::ostream& out, const HdrSnapshot& snap) {
+    static const double kQ[] = {0.5, 0.9, 0.95, 0.99, 0.999};
+    static const char* const kLabels[] = {"0.5", "0.9", "0.95", "0.99",
+                                          "0.999"};
+    out << "{\"count\":";
+    WriteJsonNumber(out, static_cast<double>(snap.count));
+    out << ",\"sum\":";
+    WriteJsonNumber(out, snap.sum);
+    out << ",\"mean\":";
+    WriteJsonNumber(out, snap.mean());
+    for (std::size_t i = 0; i < 5; ++i) {
+        out << ",\"p" << kLabels[i] << "\":";
+        WriteJsonNumber(out, snap.ValueAtQuantile(kQ[i]));
+    }
+    out << '}';
+}
+
 void WriteHistogramJson(std::ostream& out, const HistogramData& data) {
     out << "{\"count\":";
     WriteJsonNumber(out, static_cast<double>(data.count));
@@ -92,6 +109,24 @@ void WriteReportJson(std::ostream& out, const RunReport& report) {
         WriteJsonString(out, name);
         out << ':';
         WriteHistogramJson(out, data);
+    }
+    out << "},\"hdr\":{";
+    first = true;
+    for (const auto& [name, snap] : report.metrics.hdrs) {
+        if (!first) out << ',';
+        first = false;
+        WriteJsonString(out, name);
+        out << ':';
+        WriteHdrSummaryJson(out, snap);
+    }
+    out << "},\"windows\":{";
+    first = true;
+    for (const auto& [name, snap] : report.metrics.windows) {
+        if (!first) out << ',';
+        first = false;
+        WriteJsonString(out, name);
+        out << ':';
+        WriteHdrSummaryJson(out, snap);
     }
     out << "}},\"guard\":[";
     for (std::size_t i = 0; i < report.guard.size(); ++i) {
@@ -173,6 +208,12 @@ void WriteReportTable(std::ostream& out, const RunReport& report) {
     for (const auto& [name, data] : report.metrics.histograms) {
         width = std::max(width, name.size());
     }
+    for (const auto& [name, snap] : report.metrics.hdrs) {
+        width = std::max(width, name.size());
+    }
+    for (const auto& [name, snap] : report.metrics.windows) {
+        width = std::max(width, name.size());
+    }
     if (width > 0) out << "-- metrics --\n";
     for (const auto& [name, value] : report.metrics.counters) {
         out << "  " << std::left << std::setw(static_cast<int>(width)) << name
@@ -186,6 +227,18 @@ void WriteReportTable(std::ostream& out, const RunReport& report) {
         out << "  " << std::left << std::setw(static_cast<int>(width)) << name
             << "  count=" << data.count << " sum=" << std::defaultfloat
             << data.sum << '\n';
+    }
+    for (const auto& [name, snap] : report.metrics.hdrs) {
+        out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+            << "  count=" << snap.count << " p50=" << std::defaultfloat
+            << snap.ValueAtQuantile(0.5) << " p99=" << snap.ValueAtQuantile(0.99)
+            << '\n';
+    }
+    for (const auto& [name, snap] : report.metrics.windows) {
+        out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+            << "  count=" << snap.count << " p50=" << std::defaultfloat
+            << snap.ValueAtQuantile(0.5) << " p99=" << snap.ValueAtQuantile(0.99)
+            << '\n';
     }
 }
 

@@ -11,7 +11,11 @@
 //       "histograms": { "dfp.core.mmrfs.gain": {
 //                          "count": 9, "sum": 1.5,
 //                          "buckets": [ {"le": 0.01, "count": 2}, ...,
-//                                       {"le": null, "count": 0} ] } }
+//                                       {"le": null, "count": 0} ] } },
+//       "hdr":        { "dfp.serve.latency.total": {
+//                          "count": 9, "sum": 1.5, "mean": 0.16,
+//                          "p0.5": 0.1, ..., "p0.999": 1.4 } },
+//       "windows":    { ... same shape, trailing-window snapshots ... }
 //     },
 //     "guard": [ { "stage": "fpm.closed", "kind": "deadline",
 //                  "value": 1234 }, ... ],

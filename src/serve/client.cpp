@@ -146,4 +146,24 @@ Result<obs::JsonValue> ServeClient::Health() {
     return Call("{\"op\":\"health\"}");
 }
 
+Result<std::string> ServeClient::Metrics() {
+    auto response = Call("{\"op\":\"metrics\"}");
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* metrics = response->Find("metrics");
+    if (metrics == nullptr || !metrics->is_string()) {
+        return Status::Internal("metrics response missing \"metrics\"");
+    }
+    return metrics->string();
+}
+
+Result<obs::JsonValue> ServeClient::TraceDump() {
+    auto response = Call("{\"op\":\"trace_dump\"}");
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* trace = response->Find("trace");
+    if (trace == nullptr || !trace->is_object()) {
+        return Status::Internal("trace_dump response missing \"trace\"");
+    }
+    return *trace;
+}
+
 }  // namespace dfp::serve

@@ -42,6 +42,10 @@ class ServeClient {
     Result<std::uint64_t> Reload(const std::string& path = "");
     Result<obs::JsonValue> Stats();
     Result<obs::JsonValue> Health();
+    /// Prometheus text exposition, exactly as `GET /metrics` would serve it.
+    Result<std::string> Metrics();
+    /// Chrome trace-event document of the server's recent request traces.
+    Result<obs::JsonValue> TraceDump();
 
     /// Raw line round-trip (the protocol golden tests use this directly).
     Result<std::string> RoundTrip(const std::string& line);

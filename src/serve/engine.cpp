@@ -12,13 +12,27 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double MsSince(Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+/// Serve latencies live at tens of microseconds; the decade-style defaults
+/// (and the old 0.05 ms floor) collapsed the whole distribution into the
+/// first bucket or two. These bounds resolve 5 µs .. 1 s.
+std::vector<double> LatencyBoundsMs() {
+    return {0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,   1.0,   2.5,
+            5.0,   10.0, 25.0,  50.0, 100.0, 250.0, 1000.0};
 }
 
-std::vector<double> LatencyBoundsMs() {
-    return {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
-            250.0, 1000.0};
+/// HDR geometry for serve latencies: 1 µs .. 60 s in milliseconds, 64
+/// sub-buckets per octave (quantile error <= 0.79%), 8 recording shards.
+obs::HdrConfig ServeHdrConfig() {
+    obs::HdrConfig config;
+    config.min_value = 1e-3;
+    config.max_value = 6e4;
+    config.subbuckets_per_octave = 64;
+    config.shards = 8;
+    return config;
+}
+
+double StageMs(double begin_us, double end_us) {
+    return end_us > begin_us ? (end_us - begin_us) / 1000.0 : 0.0;
 }
 
 std::vector<double> BatchSizeBounds() {
@@ -33,9 +47,33 @@ void Canonicalize(std::vector<ItemId>* items) {
 }  // namespace
 
 ScoringEngine::ScoringEngine(ModelRegistry& registry, EngineConfig config)
-    : registry_(registry), config_(config) {
+    : registry_(registry),
+      config_(config),
+      trace_ring_(config.telemetry.trace_ring_capacity),
+      slow_sampler_(config.telemetry.slow_request_ms) {
     const std::size_t threads = ResolveNumThreads(config_.num_threads);
     if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+
+    auto& reg = obs::Registry::Get();
+    const obs::HdrConfig hdr = ServeHdrConfig();
+    const std::size_t epochs = std::max<std::size_t>(2, config_.telemetry.window_epochs);
+    const double epoch_s = std::max(0.05, config_.telemetry.window_epoch_seconds);
+    win_total_ = &reg.GetWindowedHdr("dfp.serve.latency.total", hdr, epochs, epoch_s);
+    win_queue_ = &reg.GetWindowedHdr("dfp.serve.latency.queue", hdr, epochs, epoch_s);
+    win_batch_wait_ =
+        &reg.GetWindowedHdr("dfp.serve.latency.batch_wait", hdr, epochs, epoch_s);
+    win_score_ = &reg.GetWindowedHdr("dfp.serve.latency.score", hdr, epochs, epoch_s);
+    win_serialize_ =
+        &reg.GetWindowedHdr("dfp.serve.latency.serialize", hdr, epochs, epoch_s);
+
+    if (config_.telemetry.background_flush && !config_.manual_pump) {
+        flusher_ = std::make_unique<obs::WindowFlusher>(
+            std::vector<obs::WindowedHdrHistogram*>{win_total_, win_queue_,
+                                                    win_batch_wait_, win_score_,
+                                                    win_serialize_},
+            /*period_seconds=*/epoch_s / 4.0);
+    }
+
     if (!config_.manual_pump) {
         batcher_ = std::thread([this] { BatcherLoop(); });
     }
@@ -45,29 +83,36 @@ ScoringEngine::~ScoringEngine() { Stop(); }
 
 std::future<Result<Prediction>> ScoringEngine::Submit(std::vector<ItemId> items,
                                                       double deadline_ms,
-                                                      CancelToken* cancel) {
+                                                      CancelToken* cancel,
+                                                      obs::RequestTrace* trace) {
     auto& registry = obs::Registry::Get();
     registry.GetCounter("dfp.serve.requests").Inc();
     if (deadline_ms < 0.0) deadline_ms = config_.default_deadline_ms;
 
     PendingRequest request{std::move(items), DeadlineTimer(deadline_ms), cancel,
                            std::promise<Result<Prediction>>{}, Clock::now()};
+    request.external_trace = trace;
+    obs::RequestTrace* t = request.trace_target();
+    if (t->id == 0) t->id = obs::RequestTrace::NextId();
+    t->submit_tid = obs::CompressedThreadId();
+    t->submit_us = obs::NowMicros();
     Canonicalize(&request.items);
     std::future<Result<Prediction>> future = request.promise.get_future();
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_) {
+        const bool shed =
+            stopping_ || queue_.size() >= config_.queue_capacity;
+        if (shed) {
             registry.GetCounter("dfp.serve.shed").Inc();
-            request.promise.set_value(
-                Status::Unavailable("scoring engine is draining"));
-            return future;
-        }
-        if (queue_.size() >= config_.queue_capacity) {
-            registry.GetCounter("dfp.serve.shed").Inc();
-            request.promise.set_value(
-                Status::Unavailable("admission queue full (" +
-                                    std::to_string(config_.queue_capacity) +
-                                    " pending)"));
+            t->outcome = static_cast<std::uint16_t>(StatusCode::kUnavailable);
+            // Internal traces are committed now; an external trace belongs
+            // to the caller, who commits after stamping serialize times.
+            if (request.external_trace == nullptr) CommitTrace(request.trace);
+            request.promise.set_value(Status::Unavailable(
+                stopping_ ? "scoring engine is draining"
+                          : "admission queue full (" +
+                                std::to_string(config_.queue_capacity) +
+                                " pending)"));
             return future;
         }
         queue_.push_back(std::move(request));
@@ -116,6 +161,7 @@ void ScoringEngine::Stop() {
     // manual_pump mode (or anything left behind): drain inline.
     while (PumpOnce() > 0) {
     }
+    if (flusher_ != nullptr) flusher_->Stop();
 }
 
 bool ScoringEngine::stopped() const {
@@ -157,15 +203,23 @@ void ScoringEngine::BatcherLoop() {
 
 std::vector<ScoringEngine::PendingRequest> ScoringEngine::TakeBatch() {
     std::vector<PendingRequest> batch;
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::size_t take = std::min(queue_.size(), config_.max_batch);
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::size_t take = std::min(queue_.size(), config_.max_batch);
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        obs::Registry::Get().GetGauge("dfp.serve.queue_depth")
+            .Set(static_cast<double>(queue_.size()));
     }
-    obs::Registry::Get().GetGauge("dfp.serve.queue_depth")
-        .Set(static_cast<double>(queue_.size()));
+    const double now_us = obs::NowMicros();
+    for (PendingRequest& request : batch) {
+        obs::RequestTrace* t = request.trace_target();
+        t->dequeue_us = now_us;
+        t->batch_size = static_cast<std::uint32_t>(batch.size());
+    }
     return batch;
 }
 
@@ -185,11 +239,8 @@ std::size_t ScoringEngine::ProcessBatch(std::vector<PendingRequest> batch) {
             ScoreRange(snapshot, batch, begin, end);
         },
         /*min_grain=*/4);
-
-    auto& latency = registry.GetHistogram("dfp.serve.latency_ms", LatencyBoundsMs());
-    for (const PendingRequest& request : batch) {
-        latency.Observe(MsSince(request.enqueued));
-    }
+    // Per-request latency now flows through RecordStageLatencies (ScoreRange),
+    // sourced from the trace timestamps rather than a separate clock read.
     return batch.size();
 }
 
@@ -201,30 +252,59 @@ void ScoringEngine::ScoreRange(const ServablePtr& snapshot,
     std::size_t scored = 0;
     for (std::size_t i = begin; i < end; ++i) {
         PendingRequest& request = batch[i];
+        obs::RequestTrace* t = request.trace_target();
+        t->score_tid = obs::CompressedThreadId();
+        t->score_start_us = obs::NowMicros();
+
+        Result<Prediction> result = Prediction{};
         if (request.cancel != nullptr && request.cancel->Poll()) {
             registry.GetCounter("dfp.serve.cancelled").Inc();
-            request.promise.set_value(Status::Cancelled("request cancelled"));
-            continue;
-        }
-        if (request.deadline.expired()) {
+            result = Status::Cancelled("request cancelled");
+        } else if (request.deadline.expired()) {
             registry.GetCounter("dfp.serve.deadline_expired").Inc();
-            request.promise.set_value(
-                Status::Cancelled("deadline expired before scoring"));
-            continue;
-        }
-        if (snapshot == nullptr) {
+            result = Status::Cancelled("deadline expired before scoring");
+        } else if (snapshot == nullptr) {
             registry.GetCounter("dfp.serve.no_model").Inc();
-            request.promise.set_value(
-                Status::FailedPrecondition("no model installed"));
-            continue;
+            result = Status::FailedPrecondition("no model installed");
+        } else {
+            snapshot->index.EncodeInto(request.items, &scratch);
+            result =
+                Prediction{snapshot->model.learner().Predict(scratch.encoded),
+                           snapshot->version};
+            ++scored;
         }
-        snapshot->index.EncodeInto(request.items, &scratch);
-        request.promise.set_value(
-            Prediction{snapshot->model.learner().Predict(scratch.encoded),
-                       snapshot->version});
-        ++scored;
+        t->score_end_us = obs::NowMicros();
+        t->outcome = static_cast<std::uint16_t>(result.status().code());
+
+        // Lifetime rule: a dispatcher-owned (external) trace must not be
+        // touched once the promise is fulfilled — the dispatcher wakes on the
+        // future and immediately keeps stamping it. Copy first, publish
+        // second, record from the copy.
+        const obs::RequestTrace done = *t;
+        request.promise.set_value(std::move(result));
+        RecordStageLatencies(done);
+        if (request.external_trace == nullptr) CommitTrace(done);
     }
     if (scored > 0) registry.GetCounter("dfp.serve.predictions").Inc(scored);
+}
+
+void ScoringEngine::CommitTrace(const obs::RequestTrace& trace) {
+    trace_ring_.Push(trace);
+    if (slow_sampler_.enabled()) slow_sampler_.Sample(trace);
+    const double serialize_ms =
+        StageMs(trace.serialize_start_us, trace.serialize_end_us);
+    if (serialize_ms > 0.0) win_serialize_->Record(serialize_ms);
+}
+
+void ScoringEngine::RecordStageLatencies(const obs::RequestTrace& trace) {
+    win_queue_->Record(StageMs(trace.submit_us, trace.dequeue_us));
+    win_batch_wait_->Record(StageMs(trace.dequeue_us, trace.score_start_us));
+    win_score_->Record(StageMs(trace.score_start_us, trace.score_end_us));
+    const double total_ms = StageMs(trace.submit_us, trace.score_end_us);
+    win_total_->Record(total_ms);
+    obs::Registry::Get()
+        .GetHistogram("dfp.serve.latency_ms", LatencyBoundsMs())
+        .Observe(total_ms);
 }
 
 }  // namespace dfp::serve

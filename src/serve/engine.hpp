@@ -35,9 +35,29 @@
 #include "common/budget.hpp"
 #include "common/parallel.hpp"
 #include "common/status.hpp"
+#include "obs/hdr.hpp"
+#include "obs/reqtrace.hpp"
 #include "serve/registry.hpp"
 
 namespace dfp::serve {
+
+/// Live-serving telemetry knobs (DESIGN.md §14).
+struct TelemetryConfig {
+    /// Completed request traces retained for {"op":"trace_dump"} and
+    /// `dfp_serve --trace-out` (bounded ring; oldest overwritten).
+    std::size_t trace_ring_capacity = 4096;
+    /// Requests slower than this many milliseconds end to end are logged
+    /// with their per-stage breakdown (rate-limited); < 0 disables.
+    double slow_request_ms = -1.0;
+    /// Trailing-window geometry of the dfp.serve.latency.* quantiles: a ring
+    /// of `window_epochs` HDR shards, one rotated out every
+    /// `window_epoch_seconds` (defaults: 10 s trailing window).
+    std::size_t window_epochs = 8;
+    double window_epoch_seconds = 1.25;
+    /// Spawn the background window flusher. Disabled automatically in
+    /// manual_pump mode; tests rotate by hand for determinism.
+    bool background_flush = true;
+};
 
 struct EngineConfig {
     /// Largest micro-batch handed to the pool in one go.
@@ -55,6 +75,7 @@ struct EngineConfig {
     /// Test seam: no batcher thread is spawned; tests call PumpOnce() to
     /// process one micro-batch deterministically.
     bool manual_pump = false;
+    TelemetryConfig telemetry;
 };
 
 /// One scored request: the label plus the model version that produced it.
@@ -76,9 +97,18 @@ class ScoringEngine {
     /// always eventually satisfied: with a Prediction, or with kUnavailable
     /// (shed / stopped), kCancelled (deadline or token), or
     /// kFailedPrecondition (no model installed).
+    ///
+    /// `trace`, when non-null, is stamped across the request's thread hops
+    /// (submit/dequeue/score). It must stay alive until the future is ready
+    /// (the dispatcher keeps it on its stack while blocked on get()); the
+    /// engine stops touching it strictly before fulfilling the promise. A
+    /// caller passing a trace owns committing it (CommitTrace) after adding
+    /// its serialize timestamps; requests submitted without one are traced
+    /// and committed internally.
     std::future<Result<Prediction>> Submit(std::vector<ItemId> items,
                                            double deadline_ms = -1.0,
-                                           CancelToken* cancel = nullptr);
+                                           CancelToken* cancel = nullptr,
+                                           obs::RequestTrace* trace = nullptr);
 
     /// Submit + wait. Do not call in manual_pump mode (nothing would pump).
     Result<Prediction> Predict(std::vector<ItemId> items,
@@ -103,6 +133,15 @@ class ScoringEngine {
 
     const EngineConfig& config() const { return config_; }
 
+    /// Completed request traces (bounded; see TelemetryConfig).
+    const obs::TraceRing& trace_ring() const { return trace_ring_; }
+
+    /// Pushes a finished trace into the ring, samples it for slow-request
+    /// logging, and records its serialize stage (if stamped) into
+    /// dfp.serve.latency.serialize. Called internally for engine-traced
+    /// requests and by RequestDispatcher for protocol requests.
+    void CommitTrace(const obs::RequestTrace& trace);
+
   private:
     struct PendingRequest {
         std::vector<ItemId> items;
@@ -110,6 +149,14 @@ class ScoringEngine {
         CancelToken* cancel = nullptr;
         std::promise<Result<Prediction>> promise;
         std::chrono::steady_clock::time_point enqueued;
+        /// Dispatcher-owned trace (engine must not touch it after the
+        /// promise is fulfilled), or null to use `trace` below.
+        obs::RequestTrace* external_trace = nullptr;
+        obs::RequestTrace trace;
+
+        obs::RequestTrace* trace_target() {
+            return external_trace != nullptr ? external_trace : &trace;
+        }
     };
 
     void BatcherLoop();
@@ -122,9 +169,24 @@ class ScoringEngine {
                     std::vector<PendingRequest>& batch, std::size_t begin,
                     std::size_t end);
 
+    /// Records one request's stage durations into the windowed latency
+    /// histograms and the fixed-bucket total-latency histogram.
+    void RecordStageLatencies(const obs::RequestTrace& trace);
+
     ModelRegistry& registry_;
     EngineConfig config_;
     std::unique_ptr<ThreadPool> pool_;  ///< null when scoring runs serial
+
+    // Telemetry. The windowed histograms are registry-owned (immortal);
+    // the engine only resolves them once and drives rotation.
+    obs::TraceRing trace_ring_;
+    obs::SlowRequestSampler slow_sampler_;
+    obs::WindowedHdrHistogram* win_total_ = nullptr;
+    obs::WindowedHdrHistogram* win_queue_ = nullptr;
+    obs::WindowedHdrHistogram* win_batch_wait_ = nullptr;
+    obs::WindowedHdrHistogram* win_score_ = nullptr;
+    obs::WindowedHdrHistogram* win_serialize_ = nullptr;
+    std::unique_ptr<obs::WindowFlusher> flusher_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;

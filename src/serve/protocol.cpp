@@ -100,6 +100,10 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
         }
     } else if (name == "health") {
         request.op = ServeOp::kHealth;
+    } else if (name == "metrics") {
+        request.op = ServeOp::kMetrics;
+    } else if (name == "trace_dump") {
+        request.op = ServeOp::kTraceDump;
     } else {
         return Status::InvalidArgument("unknown op '" + name + "'");
     }
@@ -180,6 +184,25 @@ std::string RenderHealthResponse(const ServeRequest& request, bool serving,
     out << "{\"ok\":true,\"serving\":" << (serving ? "true" : "false")
         << ",\"version\":" << version
         << ",\"draining\":" << (draining ? "true" : "false");
+    AppendIdField(out, request);
+    out << '}';
+    return out.str();
+}
+
+std::string RenderMetricsResponse(const ServeRequest& request,
+                                  std::string_view prometheus_text) {
+    std::ostringstream out;
+    out << "{\"ok\":true,\"metrics\":";
+    obs::WriteJsonString(out, prometheus_text);
+    AppendIdField(out, request);
+    out << '}';
+    return out.str();
+}
+
+std::string RenderTraceDumpResponse(const ServeRequest& request,
+                                    std::string_view chrome_trace_json) {
+    std::ostringstream out;
+    out << "{\"ok\":true,\"trace\":" << chrome_trace_json;
     AppendIdField(out, request);
     out << '}';
     return out.str();

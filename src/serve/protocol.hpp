@@ -13,6 +13,12 @@
 //     -> {"ok":true,"version":2}
 //   {"op":"health"}
 //     -> {"ok":true,"serving":true,"version":1,"draining":false}
+//   {"op":"metrics"}
+//     -> {"ok":true,"metrics":"<Prometheus text exposition, escaped>"}
+//        (byte-identical to the side-port `GET /metrics` body)
+//   {"op":"trace_dump"}
+//     -> {"ok":true,"trace":{"traceEvents":[...]}}
+//        (Chrome trace-event JSON, loadable in chrome://tracing)
 //
 // Requests may carry an "id" (non-negative integer) echoed back in the
 // response for client-side correlation. Every error is
@@ -32,7 +38,15 @@
 
 namespace dfp::serve {
 
-enum class ServeOp { kPredict, kPredictBatch, kStats, kReload, kHealth };
+enum class ServeOp {
+    kPredict,
+    kPredictBatch,
+    kStats,
+    kReload,
+    kHealth,
+    kMetrics,
+    kTraceDump,
+};
 
 struct ServeRequest {
     ServeOp op = ServeOp::kHealth;
@@ -62,6 +76,14 @@ std::string RenderReloadResponse(const ServeRequest& request,
                                  std::uint64_t version);
 std::string RenderHealthResponse(const ServeRequest& request, bool serving,
                                  std::uint64_t version, bool draining);
+/// `prometheus_text` is embedded as an escaped JSON string so the client can
+/// recover the exact exposition payload.
+std::string RenderMetricsResponse(const ServeRequest& request,
+                                  std::string_view prometheus_text);
+/// `chrome_trace_json` must already be a valid JSON document
+/// (RenderChromeTrace output); it is embedded verbatim.
+std::string RenderTraceDumpResponse(const ServeRequest& request,
+                                    std::string_view chrome_trace_json);
 /// `request` may be null (unparseable line).
 std::string RenderErrorResponse(const ServeRequest* request, const Status& status);
 

@@ -4,7 +4,9 @@
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 
 namespace dfp::serve {
 
@@ -38,16 +40,38 @@ std::string RequestDispatcher::HandleLine(std::string_view line) {
             return RenderHealthResponse(request,
                                         registry_.current_version() != 0,
                                         registry_.current_version(), draining());
+        case ServeOp::kMetrics:
+            // The same pure render the HTTP side-port uses — the two payloads
+            // are identical by construction (tested in telemetry_test).
+            return RenderMetricsResponse(
+                request, obs::RenderPrometheus(obs::Registry::Get().Snapshot()));
+        case ServeOp::kTraceDump:
+            return RenderTraceDumpResponse(
+                request, obs::RenderChromeTrace(engine_.trace_ring().Dump()));
     }
     return RenderErrorResponse(&request, Status::Internal("unhandled op"));
 }
 
 std::string RequestDispatcher::HandlePredict(const ServeRequest& request) {
-    const auto start = Clock::now();
+    // The trace lives on this stack frame across the engine's thread hops;
+    // Submit's contract guarantees the engine stops writing it strictly
+    // before the future becomes ready.
+    obs::RequestTrace trace;
     Result<Prediction> prediction =
-        engine_.Submit(request.batch.front(), request.deadline_ms).get();
-    if (!prediction.ok()) return RenderErrorResponse(&request, prediction.status());
-    return RenderPredictResponse(request, *prediction, MsSince(start));
+        engine_
+            .Submit(request.batch.front(), request.deadline_ms,
+                    /*cancel=*/nullptr, &trace)
+            .get();
+    std::string response;
+    trace.serialize_start_us = obs::NowMicros();
+    if (prediction.ok()) {
+        response = RenderPredictResponse(request, *prediction, trace.TotalMs());
+    } else {
+        response = RenderErrorResponse(&request, prediction.status());
+    }
+    trace.serialize_end_us = obs::NowMicros();
+    engine_.CommitTrace(trace);
+    return response;
 }
 
 std::string RequestDispatcher::HandlePredictBatch(const ServeRequest& request) {
@@ -87,9 +111,26 @@ Status PredictionServer::Start() {
     auto port = LocalPort(listener_);
     if (!port.ok()) return port.status();
     port_ = *port;
+    if (config_.metrics_port >= 0) {
+        obs::MetricsHttpConfig http;
+        http.port = static_cast<std::uint16_t>(config_.metrics_port);
+        metrics_http_ = std::make_unique<obs::MetricsHttpServer>(http);
+        const Status st = metrics_http_->Start();
+        if (!st.ok()) {
+            metrics_http_.reset();
+            listener_.Close();
+            return st;
+        }
+        DFP_LOG_INFO(StrFormat("dfp_serve: metrics on 127.0.0.1:%u/metrics",
+                               unsigned{metrics_http_->port()}));
+    }
     acceptor_ = std::thread([this] { AcceptLoop(); });
     DFP_LOG_INFO(StrFormat("dfp_serve: listening on 127.0.0.1:%u", unsigned{port_}));
     return Status::Ok();
+}
+
+std::uint16_t PredictionServer::metrics_port() const {
+    return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
 void PredictionServer::Stop() {
@@ -119,6 +160,7 @@ void PredictionServer::Stop() {
         if (connection->thread.joinable()) connection->thread.join();
     }
     listener_.Close();
+    if (metrics_http_ != nullptr) metrics_http_->Stop();
 }
 
 void PredictionServer::AcceptLoop() {

@@ -21,6 +21,7 @@
 
 #include "common/socket.hpp"
 #include "common/status.hpp"
+#include "obs/export.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
@@ -63,6 +64,10 @@ struct ServerConfig {
     std::uint16_t port = 7070;
     /// Connection-level admission bound.
     std::size_t max_connections = 64;
+    /// Metrics side-port for `GET /metrics` scrapes (obs::MetricsHttpServer):
+    /// -1 = disabled, 0 = ephemeral (read back with metrics_port()), else the
+    /// literal port. Scrapers never consume prediction connection slots.
+    int metrics_port = -1;
 };
 
 class PredictionServer {
@@ -85,6 +90,9 @@ class PredictionServer {
     /// Bound port (valid after Start; useful with config.port == 0).
     std::uint16_t port() const { return port_; }
 
+    /// Bound metrics side-port, or 0 when disabled.
+    std::uint16_t metrics_port() const;
+
     RequestDispatcher& dispatcher() { return dispatcher_; }
 
   private:
@@ -101,6 +109,7 @@ class PredictionServer {
     RequestDispatcher dispatcher_;
     ServerConfig config_;
     Socket listener_;
+    std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
     std::uint16_t port_ = 0;
     std::thread acceptor_;
     std::mutex stop_mu_;  ///< serializes Stop() callers

@@ -1,0 +1,191 @@
+// obs/hdr: log-linear layout math, quantile accuracy against exact sorted
+// values (the documented relative-error bound), sharded concurrent
+// recording, snapshot merging, and trailing-window rotation.
+#include "obs/hdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dfp::obs {
+namespace {
+
+TEST(HdrLayoutTest, BucketsCoverRangeInOrder) {
+    const HdrLayout layout = HdrLayout::FromConfig(HdrConfig{});
+    ASSERT_GT(layout.num_buckets, 0u);
+    // Lower bounds are strictly increasing and every bound maps back into
+    // its own bucket.
+    double prev = -1.0;
+    for (std::size_t i = 0; i < layout.num_buckets; ++i) {
+        const double lo = layout.LowerBound(i);
+        EXPECT_GT(lo, prev) << "bucket " << i;
+        prev = lo;
+    }
+    // Spot values round-trip through IndexFor/LowerBound.
+    for (const double v : {0.001, 0.0017, 0.01, 0.5, 1.0, 3.14, 250.0, 5e4}) {
+        const std::size_t idx = layout.IndexFor(v);
+        ASSERT_LT(idx, layout.num_buckets) << v;
+        EXPECT_GE(v, layout.LowerBound(idx)) << v;
+        if (idx + 1 < layout.num_buckets) {
+            EXPECT_LT(v, layout.LowerBound(idx + 1)) << v;
+        }
+    }
+}
+
+TEST(HdrLayoutTest, UnderflowAndOverflowClampToEdgeBuckets) {
+    const HdrLayout layout = HdrLayout::FromConfig(HdrConfig{});
+    EXPECT_EQ(layout.IndexFor(0.0), 0u);
+    EXPECT_EQ(layout.IndexFor(-5.0), 0u);
+    EXPECT_EQ(layout.IndexFor(1e-9), 0u);
+    EXPECT_EQ(layout.IndexFor(1e12), layout.num_buckets - 1);
+}
+
+TEST(HdrHistogramTest, CountSumAndMean) {
+    HdrHistogram hist{HdrConfig{}};
+    hist.Record(1.0);
+    hist.Record(2.0);
+    hist.Record(3.0);
+    const HdrSnapshot snap = hist.Snapshot();
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_NEAR(snap.sum, 6.0, 1e-9);
+    EXPECT_NEAR(snap.mean(), 2.0, 1e-9);
+}
+
+TEST(HdrHistogramTest, EmptySnapshotIsZero) {
+    HdrHistogram hist{HdrConfig{}};
+    const HdrSnapshot snap = hist.Snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.sum, 0.0);
+    EXPECT_EQ(snap.mean(), 0.0);
+    EXPECT_EQ(snap.ValueAtQuantile(0.99), 0.0);
+}
+
+double ExactQuantile(std::vector<double>& sorted, double q) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// The acceptance criterion: HDR quantiles agree with exact sorted-array
+// quantiles within the layout's documented relative-error bound (plus a hair
+// of rank slack at the extreme tail, where the exact estimator itself jumps
+// between adjacent order statistics).
+TEST(HdrHistogramTest, QuantilesMatchExactWithinDocumentedBound) {
+    HdrConfig config;
+    config.subbuckets_per_octave = 64;
+    HdrHistogram hist{config};
+    Rng rng(42);
+    std::vector<double> values;
+    values.reserve(200000);
+    for (int i = 0; i < 200000; ++i) {
+        // Log-normal-ish latencies: most around 0.1 ms, tail into hundreds.
+        const double v = 0.05 * std::exp(2.0 * rng.Gaussian());
+        values.push_back(v);
+        hist.Record(v);
+    }
+    std::sort(values.begin(), values.end());
+    const HdrSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    const double bound = snap.layout.RelativeErrorBound();
+    EXPECT_NEAR(bound, 1.0 / 128.0, 1e-12);  // S=64 -> 1/(2S)
+    for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+        const double exact = ExactQuantile(values, q);
+        const double approx = snap.ValueAtQuantile(q);
+        // 2x the per-value bound: one factor for the recorded value's
+        // bucket, one for where the exact rank sits inside that bucket.
+        EXPECT_NEAR(approx, exact, 2.0 * bound * exact)
+            << "q=" << q << " exact=" << exact << " approx=" << approx;
+    }
+}
+
+TEST(HdrHistogramTest, ConcurrentShardedRecordingLosesNothing) {
+    HdrConfig config;
+    config.shards = 4;
+    HdrHistogram hist{config};
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist] {
+            for (int i = 0; i < kPerThread; ++i) {
+                hist.Record(0.1 + 0.001 * (i % 100));
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    const HdrSnapshot snap = hist.Snapshot();
+    EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HdrSnapshotTest, MergeAddsCountsAndSums) {
+    HdrHistogram a{HdrConfig{}};
+    HdrHistogram b{HdrConfig{}};
+    a.Record(1.0);
+    a.Record(2.0);
+    b.Record(100.0);
+    HdrSnapshot merged = a.Snapshot();
+    merged.MergeFrom(b.Snapshot());
+    EXPECT_EQ(merged.count, 3u);
+    EXPECT_NEAR(merged.sum, 103.0, 1e-9);
+    // p99 must now come from b's tail value.
+    EXPECT_GT(merged.ValueAtQuantile(0.99), 50.0);
+}
+
+TEST(WindowedHdrTest, RotationEvictsOldEpochs) {
+    WindowedHdrHistogram window{HdrConfig{}, /*epochs=*/3,
+                                /*epoch_seconds=*/1000.0};
+    window.Record(1.0);
+    EXPECT_EQ(window.TrailingSnapshot().count, 1u);
+    window.Rotate();  // epoch 1: the 1.0 is now one epoch old, still inside
+    window.Record(2.0);
+    EXPECT_EQ(window.TrailingSnapshot().count, 2u);
+    window.Rotate();  // epoch 2
+    window.Rotate();  // epoch 3: the ring wraps, 1.0's epoch is cleared
+    const HdrSnapshot snap = window.TrailingSnapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_NEAR(snap.sum, 2.0, 1e-9);
+}
+
+TEST(WindowedHdrTest, ResetClearsEverything) {
+    WindowedHdrHistogram window{HdrConfig{}, 4, 1000.0};
+    window.Record(1.0);
+    window.Rotate();
+    window.Record(2.0);
+    window.Reset();
+    EXPECT_EQ(window.TrailingSnapshot().count, 0u);
+}
+
+TEST(WindowedHdrTest, RotateIfDueIsTimeGated) {
+    WindowedHdrHistogram window{HdrConfig{}, 4, /*epoch_seconds=*/3600.0};
+    window.Record(1.0);
+    // Not due for an hour: any number of calls must not rotate.
+    for (int i = 0; i < 100; ++i) window.RotateIfDue();
+    EXPECT_EQ(window.CurrentEpochSnapshot().count, 1u);
+}
+
+TEST(WindowFlusherTest, BackgroundRotationEventuallyEvicts) {
+    WindowedHdrHistogram window{HdrConfig{}, /*epochs=*/2,
+                                /*epoch_seconds=*/0.05};
+    window.Record(1.0);
+    {
+        WindowFlusher flusher({&window}, /*period_seconds=*/0.01);
+        // 2 epochs x 50 ms: the recorded value must age out well within 2 s.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (window.TrailingSnapshot().count != 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        flusher.Stop();
+    }
+    EXPECT_EQ(window.TrailingSnapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace dfp::obs

@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/reqtrace.hpp"
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
@@ -40,7 +43,15 @@ void Usage(const char* argv0) {
         "  --max-delay-ms <ms>     batch fill window (default 0.5)\n"
         "  --queue-capacity <n>    admission queue bound (default 1024)\n"
         "  --max-connections <n>   concurrent connection bound (default 64)\n"
-        "  --deadline-ms <ms>      default per-request deadline (default: none)\n",
+        "  --deadline-ms <ms>      default per-request deadline (default: none)\n"
+        "  --metrics-port <n>      HTTP side-port for GET /metrics\n"
+        "                          (default: off; 0 = ephemeral)\n"
+        "  --trace-out <path>      write a Chrome trace-event JSON of recent\n"
+        "                          requests on drain (chrome://tracing)\n"
+        "  --snapshot-out <path>   periodic JSON metrics snapshot file\n"
+        "                          (atomic tmp+rename, every 2s + on drain)\n"
+        "  --slow-ms <ms>          log requests slower than this end to end,\n"
+        "                          with per-stage breakdown (default: off)\n",
         argv0);
 }
 
@@ -51,6 +62,8 @@ int main(int argc, char** argv) {
     using namespace dfp::serve;
 
     std::string model_path;
+    std::string trace_out;
+    std::string snapshot_out;
     ServerConfig server_config;
     EngineConfig engine_config;
 
@@ -84,6 +97,15 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
             engine_config.default_deadline_ms =
                 std::atof(flag_value(i, "--deadline-ms"));
+        } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+            server_config.metrics_port = std::atoi(flag_value(i, "--metrics-port"));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            trace_out = flag_value(i, "--trace-out");
+        } else if (std::strcmp(argv[i], "--snapshot-out") == 0) {
+            snapshot_out = flag_value(i, "--snapshot-out");
+        } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+            engine_config.telemetry.slow_request_ms =
+                std::atof(flag_value(i, "--slow-ms"));
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             Usage(argv[0]);
@@ -122,6 +144,15 @@ int main(int argc, char** argv) {
                 "queue=%zu)\n",
                 unsigned{server.port()}, engine_config.num_threads,
                 engine_config.max_batch, engine_config.queue_capacity);
+    if (server.metrics_port() != 0) {
+        std::printf("dfp_serve: metrics at http://127.0.0.1:%u/metrics\n",
+                    unsigned{server.metrics_port()});
+    }
+    std::unique_ptr<dfp::obs::PeriodicSnapshotWriter> snapshot_writer;
+    if (!snapshot_out.empty()) {
+        snapshot_writer = std::make_unique<dfp::obs::PeriodicSnapshotWriter>(
+            snapshot_out, /*period_seconds=*/2.0);
+    }
 
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
@@ -134,6 +165,18 @@ int main(int argc, char** argv) {
     std::printf("dfp_serve: draining...\n");
     server.Stop();
     engine.Stop();
+    if (snapshot_writer != nullptr) snapshot_writer->Stop();
+    if (!trace_out.empty()) {
+        const auto traces = engine.trace_ring().Dump();
+        const Status written = dfp::obs::WriteFileAtomic(
+            trace_out, dfp::obs::RenderChromeTrace(traces) + "\n");
+        if (written.ok()) {
+            std::printf("dfp_serve: wrote %zu request traces to %s\n",
+                        traces.size(), trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        }
+    }
     std::printf("dfp_serve: drained, bye\n");
     return 0;
 }
