@@ -13,9 +13,12 @@
 //  3. Soak — sustained mixed traffic for --soak-seconds (default 4): 8
 //     connections of single-predict requests (the traced, micro-batched
 //     path) while a control thread hot-reloads the model twice a second.
-//     Shed rate, the engine's trailing-window p99.9, and throughput land as
-//       dfp.bench.serving.soak.{shed_rate,p999_ms,preds_per_s,reloads}
-//     (tools/bench_diff compares them against bench/baselines/serving.json).
+//     Soak clients run the production retry policy; shed rate, client retry
+//     rate, failpoint trips (gated to zero — injection must never leak into
+//     the measured path), the engine's trailing-window p99.9, and throughput
+//     land as dfp.bench.serving.soak.{shed_rate,retry_rate,failpoint_trips,
+//     p999_ms,preds_per_s,reloads} (tools/bench_diff compares them against
+//     bench/baselines/serving.json).
 //
 // Corpus: the 4000×30 dense synthetic corpus the parallel-mining bench uses,
 // so serving numbers sit next to mining numbers measured on the same data.
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/string_util.hpp"
@@ -293,16 +297,30 @@ int main(int argc, char** argv) {
             const auto it = base.counters.find("dfp.serve.shed");
             return it == base.counters.end() ? std::uint64_t{0} : it->second;
         }();
+        const std::uint64_t base_retries = [&] {
+            const auto it = base.counters.find("dfp.serve.client.retries");
+            return it == base.counters.end() ? std::uint64_t{0} : it->second;
+        }();
 
         std::atomic<bool> soak_stop{false};
         std::atomic<std::size_t> soak_ok{0};
         std::atomic<std::size_t> reloads{0};
         constexpr std::size_t kSoakConnections = 8;
         std::vector<std::thread> soakers;
+        // Soak clients run the production retry policy (DESIGN.md §15):
+        // transient transport hiccups around the twice-a-second reloads are
+        // absorbed, and the retry rate itself is a gated health metric — a
+        // serving regression that manifests as retry churn fails the gate
+        // even if every request eventually succeeds.
+        serve::RetryPolicy soak_retry;
+        soak_retry.max_attempts = 4;
+        soak_retry.initial_backoff_ms = 1.0;
+        soak_retry.max_backoff_ms = 20.0;
+        soak_retry.deadline_ms = 1000.0;
         for (std::size_t c = 0; c < kSoakConnections; ++c) {
             soakers.emplace_back([&, c] {
-                auto client = serve::ServeClient::Connect("127.0.0.1",
-                                                          server.port());
+                auto client = serve::ServeClient::Connect(
+                    "127.0.0.1", server.port(), soak_retry);
                 if (!client.ok()) return;
                 std::size_t r = 0;
                 while (!soak_stop.load(std::memory_order_relaxed)) {
@@ -352,16 +370,29 @@ int main(int argc, char** argv) {
         }
         const double preds_per_s =
             seconds > 0.0 ? static_cast<double>(soak_ok.load()) / seconds : 0.0;
+        const std::uint64_t retries =
+            requests("dfp.serve.client.retries") - base_retries;
+        const double retry_rate =
+            soak_ok.load() > 0 ? static_cast<double>(retries) /
+                                     static_cast<double>(soak_ok.load())
+                               : 0.0;
         std::printf("soak: %zu ok, %llu shed (rate %.4f), %zu reloads\n",
                     soak_ok.load(), static_cast<unsigned long long>(shed),
                     shed_rate, reloads.load());
+        std::printf("soak: %llu client retries (rate %.4f)\n",
+                    static_cast<unsigned long long>(retries), retry_rate);
         std::printf("soak: windowed p99.9 = %.3f ms, %.0f preds/s\n", p999,
                     preds_per_s);
         registry.GetGauge("dfp.bench.serving.soak.shed_rate").Set(shed_rate);
+        registry.GetGauge("dfp.bench.serving.soak.retry_rate").Set(retry_rate);
         registry.GetGauge("dfp.bench.serving.soak.p999_ms").Set(p999);
         registry.GetGauge("dfp.bench.serving.soak.preds_per_s").Set(preds_per_s);
         registry.GetGauge("dfp.bench.serving.soak.reloads")
             .Set(static_cast<double>(reloads.load()));
+        // No failpoint is ever armed in the bench: a nonzero trip count means
+        // injection leaked into the measured path (gated to exactly zero).
+        registry.GetGauge("dfp.bench.serving.soak.failpoint_trips")
+            .Set(static_cast<double>(FailpointRegistry::Get().TotalTrips()));
     }
 
     server.Stop();

@@ -1,0 +1,105 @@
+#include "common/fileio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.hpp"
+
+namespace dfp {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+    return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer to an fd, retrying short writes and EINTR.
+Status WriteAll(int fd, std::string_view data) {
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return ErrnoStatus("write");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+}
+
+Status FsyncParentDir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open(" + dir + ")");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync(" + dir + ")");
+    return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       bool durable) {
+    std::string_view to_write = content;
+    bool injected_short = false;
+    if (const auto fp = DFP_FAILPOINT("common.fileio.write_atomic"); fp) {
+        fp.Sleep();
+        switch (fp.kind) {
+            case FailpointKind::kShortWrite:
+                // A torn write: half the payload reaches the tmp file, then
+                // the write "fails". The target must stay untouched.
+                to_write = content.substr(0, content.size() / 2);
+                injected_short = true;
+                break;
+            case FailpointKind::kDelay:
+                break;
+            default:
+                return Status::Internal("injected write failure for " + path);
+        }
+    }
+
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open(" + tmp + ")");
+    Status st = WriteAll(fd, to_write);
+    if (st.ok() && injected_short) {
+        st = Status::Internal("injected short write for " + path);
+    }
+    if (st.ok() && durable && ::fsync(fd) != 0) {
+        st = ErrnoStatus("fsync(" + tmp + ")");
+    }
+    if (::close(fd) != 0 && st.ok()) st = ErrnoStatus("close(" + tmp + ")");
+    if (!st.ok()) {
+        std::remove(tmp.c_str());
+        return st;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return ErrnoStatus("rename " + tmp + " -> " + path);
+    }
+    if (durable) DFP_RETURN_NOT_OK(FsyncParentDir(path));
+    return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* content) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) return Status::Internal("read failed for '" + path + "'");
+    *content = buf.str();
+    return Status::Ok();
+}
+
+}  // namespace dfp

@@ -1,0 +1,29 @@
+// Crash-safe file writing shared by model persistence, metric snapshots and
+// run reports.
+//
+// WriteFileAtomic is the tmp + rename pattern: the content lands in
+// `<path>.tmp` first and a rename publishes it, so a concurrent reader (or a
+// reader after a crash) sees the old file or the new one, never a torn mix.
+// With `durable` set the tmp file is fsync'd before the rename and the parent
+// directory fsync'd after it, which upgrades "atomic against readers" to
+// "atomic against power loss" — model bundles want that; 2-second metric
+// snapshots do not.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace dfp {
+
+/// Writes `content` to `path` atomically via `<path>.tmp` + rename. On any
+/// failure the tmp file is removed and the target is left untouched.
+/// `durable` adds fsync(tmp) before the rename and fsync(parent dir) after.
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       bool durable = false);
+
+/// Reads the whole file into `*content`. NotFound when it cannot be opened.
+Status ReadFileToString(const std::string& path, std::string* content);
+
+}  // namespace dfp

@@ -4,12 +4,16 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/failpoint.hpp"
 
 namespace dfp {
 
@@ -17,6 +21,43 @@ namespace {
 
 Status ErrnoStatus(const std::string& what) {
     return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SetTimeoutOpt(int fd, int opt, const char* opt_name, double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) != 0) {
+        return ErrnoStatus(std::string("setsockopt(") + opt_name + ")");
+    }
+    return Status::Ok();
+}
+
+/// connect(2) interrupted by a signal is NOT restartable by calling connect
+/// again (the second call fails with EALREADY while the handshake proceeds
+/// in the background). The portable recovery is to wait for writability and
+/// then read the final disposition from SO_ERROR.
+Status FinishInterruptedConnect(int fd) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc > 0) break;
+        if (rc < 0 && errno == EINTR) continue;
+        return ErrnoStatus("poll(connect)");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        return ErrnoStatus("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+        return Status::Internal(std::string("connect: ") + std::strerror(err));
+    }
+    return Status::Ok();
 }
 
 }  // namespace
@@ -37,12 +78,51 @@ void Socket::ShutdownBoth() {
 }
 
 Status Socket::SendAll(std::string_view data) {
+    // The failpoint is evaluated once per frame, before the first byte goes
+    // out: an injected hard failure therefore never leaves a half-sent frame
+    // behind (the retry layer depends on "error => peer saw nothing of this
+    // frame"). Short writes and EINTR exercise the retry loop below and
+    // still deliver the full frame.
+    std::size_t injected_short = 0;
+    int injected_eintr = 0;
+    if (const auto fp = DFP_FAILPOINT("serve.socket.write"); fp) {
+        fp.Sleep();
+        switch (fp.kind) {
+            case FailpointKind::kShortWrite:
+                injected_short = std::max<std::size_t>(1, data.size() / 2);
+                break;
+            case FailpointKind::kEintr:
+                injected_eintr = 1;
+                break;
+            case FailpointKind::kTimeout:
+                return Status::Unavailable("send timed out (injected)");
+            case FailpointKind::kDelay:
+                break;
+            default:
+                return Status::Internal("send: injected failure");
+        }
+    }
     std::size_t sent = 0;
+    bool first = true;
     while (sent < data.size()) {
-        const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                                 MSG_NOSIGNAL);
+        if (injected_eintr > 0) {
+            // As if send() returned -1/EINTR: make no progress, retry.
+            --injected_eintr;
+            continue;
+        }
+        std::size_t len = data.size() - sent;
+        if (first && injected_short != 0) len = std::min(len, injected_short);
+        first = false;
+        // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE,
+        // not a process-killing SIGPIPE.
+        const ssize_t n = ::send(fd_, data.data() + sent, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO elapsed: the peer stopped draining its receive
+                // window (slow-loris) — give up on the connection.
+                return Status::Unavailable("send timed out");
+            }
             return ErrnoStatus("send");
         }
         sent += static_cast<std::size_t>(n);
@@ -51,7 +131,29 @@ Status Socket::SendAll(std::string_view data) {
 }
 
 Result<std::size_t> Socket::Recv(char* buf, std::size_t len) {
+    int injected_eintr = 0;
+    if (const auto fp = DFP_FAILPOINT("serve.socket.read"); fp) {
+        fp.Sleep();
+        switch (fp.kind) {
+            case FailpointKind::kShortWrite:
+                len = 1;  // short read: one byte per call, framing reassembles
+                break;
+            case FailpointKind::kEintr:
+                injected_eintr = 1;
+                break;
+            case FailpointKind::kTimeout:
+                return Status::Unavailable("recv timed out (injected)");
+            case FailpointKind::kDelay:
+                break;
+            default:
+                return Status::Internal("recv: injected failure");
+        }
+    }
     for (;;) {
+        if (injected_eintr > 0) {
+            --injected_eintr;
+            continue;  // as if recv() returned -1/EINTR
+        }
         const ssize_t n = ::recv(fd_, buf, len, 0);
         if (n >= 0) return static_cast<std::size_t>(n);
         if (errno == EINTR) continue;
@@ -63,14 +165,11 @@ Result<std::size_t> Socket::Recv(char* buf, std::size_t len) {
 }
 
 Status Socket::SetRecvTimeout(double seconds) {
-    if (seconds < 0.0) seconds = 0.0;
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(seconds);
-    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
-        return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
-    }
-    return Status::Ok();
+    return SetTimeoutOpt(fd_, SO_RCVTIMEO, "SO_RCVTIMEO", seconds);
+}
+
+Status Socket::SetSendTimeout(double seconds) {
+    return SetTimeoutOpt(fd_, SO_SNDTIMEO, "SO_SNDTIMEO", seconds);
 }
 
 Result<bool> LineReader::ReadLine(std::string* line, std::size_t max_line_bytes) {
@@ -108,6 +207,9 @@ Result<Socket> TcpListen(std::uint16_t port, int backlog) {
     if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
         return ErrnoStatus("bind");
     }
+    // Clamp to a sane backlog: 0/negative would make the kernel silently
+    // refuse bursts, and huge values just waste kernel memory.
+    backlog = std::clamp(backlog, 1, 1024);
     if (::listen(sock.fd(), backlog) != 0) return ErrnoStatus("listen");
     return sock;
 }
@@ -122,10 +224,36 @@ Result<std::uint16_t> LocalPort(const Socket& socket) {
 }
 
 Result<Socket> TcpAccept(Socket& listener) {
+    int injected_eintr = 0;
+    if (const auto fp = DFP_FAILPOINT("serve.socket.accept"); fp) {
+        fp.Sleep();
+        switch (fp.kind) {
+            case FailpointKind::kEintr:
+                injected_eintr = 1;
+                break;
+            case FailpointKind::kDelay:
+                break;
+            default:
+                return Status::Internal("accept: injected failure");
+        }
+    }
     for (;;) {
+        if (injected_eintr > 0) {
+            --injected_eintr;
+            continue;  // as if accept() returned -1/EINTR
+        }
         const int fd = ::accept(listener.fd(), nullptr, nullptr);
         if (fd >= 0) return Socket(fd);
         if (errno == EINTR) continue;
+        // Transient per-connection failures (the handshake died before we
+        // picked it up, or an fd/buffer shortage): the listener itself is
+        // fine, so report them as retryable instead of tearing down the
+        // accept loop.
+        if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+            errno == ENOBUFS || errno == ENOMEM) {
+            return Status::ResourceExhausted(std::string("accept: ") +
+                                            std::strerror(errno));
+        }
         // EINVAL = listener shut down (the server's stop path); EBADF = closed.
         if (errno == EINVAL || errno == EBADF) {
             return Status::Unavailable("listener closed");
@@ -135,6 +263,12 @@ Result<Socket> TcpAccept(Socket& listener) {
 }
 
 Result<Socket> TcpConnect(const std::string& host, std::uint16_t port) {
+    if (const auto fp = DFP_FAILPOINT("serve.socket.connect"); fp) {
+        fp.Sleep();
+        if (fp.kind != FailpointKind::kDelay) {
+            return Status::Unavailable("connect refused (injected)");
+        }
+    }
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
@@ -154,6 +288,15 @@ Result<Socket> TcpConnect(const std::string& host, std::uint16_t port) {
         if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
             ::freeaddrinfo(res);
             return sock;
+        }
+        if (errno == EINTR) {
+            // The handshake keeps going; wait it out instead of failing.
+            last = FinishInterruptedConnect(sock.fd());
+            if (last.ok()) {
+                ::freeaddrinfo(res);
+                return sock;
+            }
+            continue;
         }
         last = ErrnoStatus("connect");
     }

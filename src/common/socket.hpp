@@ -59,6 +59,12 @@ class Socket {
     /// loop; 0 disables the timeout.
     Status SetRecvTimeout(double seconds);
 
+    /// SO_SNDTIMEO: bounds how long a blocking send may wait for buffer
+    /// space. The prediction server's slow-loris defense: a client that
+    /// stops reading its response cannot pin a handler thread forever. A
+    /// timed-out send fails with kUnavailable; 0 disables the timeout.
+    Status SetSendTimeout(double seconds);
+
   private:
     int fd_ = -1;
 };
@@ -77,6 +83,11 @@ class LineReader {
 
     /// 16 MiB — far above any sane predict_batch request.
     static constexpr std::size_t kDefaultMaxLineBytes = std::size_t{16} << 20;
+
+    /// Bytes buffered but not yet returned as a line. Nonzero after a failed
+    /// ReadLine means a response frame was partially received — the retry
+    /// layer uses this to refuse to resend (DESIGN.md §15).
+    std::size_t buffered_bytes() const { return buffer_.size(); }
 
   private:
     Socket* socket_;

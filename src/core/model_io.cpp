@@ -1,9 +1,13 @@
 #include "core/model_io.hpp"
 
-#include <fstream>
+#include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <set>
+#include <sstream>
 
+#include "common/failpoint.hpp"
+#include "common/fileio.hpp"
 #include "common/serialize.hpp"
 #include "ml/dtree/c45.hpp"
 #include "ml/nb/naive_bayes.hpp"
@@ -135,16 +139,86 @@ Result<LoadedModel> LoadPipelineModel(std::istream& in) {
     return LoadedModel(std::move(*space), std::move(*learner));
 }
 
+namespace {
+
+constexpr const char* kChecksumTag = "checksum fnv1a64";
+
+std::string ChecksumTrailer(std::string_view payload) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "checksum fnv1a64 %016llx %zu\n",
+                  static_cast<unsigned long long>(Fnv1a64(payload)),
+                  payload.size());
+    return line;
+}
+
+/// Strips and verifies the checksum trailer, leaving `*bundle` = payload.
+/// Bundles written before the trailer existed (no "checksum" line) pass
+/// through unchanged — the loader stays readable on legacy files.
+Status VerifyChecksumTrailer(std::string* bundle, const std::string& path) {
+    // The trailer is the final '\n'-terminated line; find the line start.
+    if (bundle->empty() || bundle->back() != '\n') return Status::Ok();
+    const std::size_t prev_nl = bundle->find_last_of('\n', bundle->size() - 2);
+    const std::size_t line_start = prev_nl == std::string::npos ? 0
+                                                                : prev_nl + 1;
+    if (bundle->compare(line_start, std::strlen(kChecksumTag), kChecksumTag) !=
+        0) {
+        return Status::Ok();  // legacy bundle, no trailer
+    }
+    unsigned long long stored_sum = 0;
+    std::size_t stored_len = 0;
+    if (std::sscanf(bundle->c_str() + line_start, "checksum fnv1a64 %llx %zu",
+                    &stored_sum, &stored_len) != 2) {
+        return Status::InvalidArgument("malformed checksum trailer in '" +
+                                       path + "'");
+    }
+    bundle->resize(line_start);
+    if (stored_len != bundle->size() ||
+        stored_sum != static_cast<unsigned long long>(Fnv1a64(*bundle))) {
+        return Status::InvalidArgument(
+            "checksum mismatch in '" + path +
+            "': file is truncated or corrupt (expected " +
+            std::to_string(stored_len) + " payload bytes, have " +
+            std::to_string(bundle->size()) + ")");
+    }
+    return Status::Ok();
+}
+
+}  // namespace
+
 Status SavePipelineModelToFile(const PatternClassifierPipeline& pipeline,
                                const std::string& path) {
-    std::ofstream out(path);
-    if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
-    return SavePipelineModel(pipeline, out);
+    // Serialize to memory first, then publish with WriteFileAtomic
+    // (tmp + fsync + rename): a crash mid-save can never leave a torn or
+    // half-written bundle at `path` — either the old file or the complete new
+    // one. The FNV-1a trailer lets the loader detect truncation/corruption
+    // that happened after the rename (disk errors, manual edits).
+    std::ostringstream out;
+    DFP_RETURN_NOT_OK(SavePipelineModel(pipeline, out));
+    std::string bundle = out.str();
+    bundle += ChecksumTrailer(bundle);
+    return WriteFileAtomic(path, bundle, /*durable=*/true);
 }
 
 Result<LoadedModel> LoadPipelineModelFromFile(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    std::string bundle;
+    DFP_RETURN_NOT_OK(ReadFileToString(path, &bundle));
+    if (const auto fp = DFP_FAILPOINT("core.model_io.load"); fp) {
+        fp.Sleep();
+        switch (fp.kind) {
+            case FailpointKind::kShortWrite:
+                // Simulated torn read: drop the back half of the bundle. The
+                // checksum (or the incremental parser) must reject it.
+                bundle.resize(bundle.size() / 2);
+                break;
+            case FailpointKind::kDelay:
+                break;
+            default:
+                return Status::Internal("injected load failure for '" + path +
+                                        "'");
+        }
+    }
+    DFP_RETURN_NOT_OK(VerifyChecksumTrailer(&bundle, path));
+    std::istringstream in(bundle);
     return LoadPipelineModel(in);
 }
 

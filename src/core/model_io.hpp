@@ -54,7 +54,14 @@ class LoadedModel {
 /// Deserializes a pipeline model saved with SavePipelineModel.
 Result<LoadedModel> LoadPipelineModel(std::istream& in);
 
-/// File-path conveniences.
+/// File-path conveniences, hardened for crash safety (DESIGN.md §15):
+/// * Save is atomic (tmp + fsync + rename + parent-dir fsync) and appends an
+///   FNV-1a 64 checksum trailer ("checksum fnv1a64 <hex> <bytes>") — a crash
+///   mid-save leaves the previous file intact, never a torn bundle.
+/// * Load verifies the trailer (InvalidArgument on mismatch) and still
+///   accepts legacy trailer-less bundles.
+/// The stream APIs above stay trailer-free: the trailer is a property of the
+/// at-rest file, not of the serialization format.
 Status SavePipelineModelToFile(const PatternClassifierPipeline& pipeline,
                                const std::string& path);
 Result<LoadedModel> LoadPipelineModelFromFile(const std::string& path);

@@ -176,23 +176,6 @@ std::string RenderSnapshotJson(const MetricsSnapshot& snapshot) {
     return out.str();
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view content) {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out) return Status::Internal("cannot open " + tmp);
-        out.write(content.data(),
-                  static_cast<std::streamsize>(content.size()));
-        out.flush();
-        if (!out) return Status::Internal("failed writing " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return Status::Internal("rename " + tmp + " -> " + path + " failed");
-    }
-    return Status::Ok();
-}
-
 Status WritePrometheusFile(const std::string& path) {
     return WriteFileAtomic(path, RenderPrometheus(Registry::Get().Snapshot()));
 }
@@ -308,10 +291,17 @@ void MetricsHttpServer::HandleConnection(Socket socket) {
         status_line = "HTTP/1.1 200 OK";
         content_type = "application/json";
         body = RenderSnapshotJson(Registry::Get().Snapshot()) + "\n";
+    } else if (path == "/healthz") {
+        const bool ready =
+            config_.ready_check == nullptr || config_.ready_check();
+        status_line = ready ? "HTTP/1.1 200 OK"
+                            : "HTTP/1.1 503 Service Unavailable";
+        content_type = "text/plain";
+        body = ready ? "ok\n" : "unavailable\n";
     } else {
         status_line = "HTTP/1.1 404 Not Found";
         content_type = "text/plain";
-        body = "not found (try /metrics or /metrics.json)\n";
+        body = "not found (try /metrics, /metrics.json or /healthz)\n";
     }
     std::ostringstream response;
     response << status_line << "\r\nContent-Type: " << content_type

@@ -9,24 +9,28 @@
 //   is byte-deterministic for a given snapshot: sections in a fixed order,
 //   names alphabetical within each section — so the protocol `{"op":
 //   "metrics"}` verb and the HTTP port provably serve identical payloads.
-// * WriteFileAtomic() is the tmp+rename pattern: a reader never observes a
-//   half-written snapshot file. PeriodicSnapshotWriter drives it on a
-//   background thread for sidecar-style collection (tail the file, no port).
-// * MetricsHttpServer answers `GET /metrics` (Prometheus) and
-//   `GET /metrics.json` (JSON snapshot) on its own listener so scrapers
-//   never consume prediction-protocol connection slots. Connections are
-//   handled sequentially with a receive timeout — scraping is a
-//   once-per-seconds affair and must stay boring.
+// * File snapshots go through common/fileio's WriteFileAtomic (tmp+rename):
+//   a reader never observes a half-written snapshot file.
+//   PeriodicSnapshotWriter drives it on a background thread for
+//   sidecar-style collection (tail the file, no port).
+// * MetricsHttpServer answers `GET /metrics` (Prometheus), `GET
+//   /metrics.json` (JSON snapshot) and `GET /healthz` (liveness/readiness)
+//   on its own listener so scrapers and probes never consume
+//   prediction-protocol connection slots. Connections are handled
+//   sequentially with a receive timeout — scraping is a once-per-seconds
+//   affair and must stay boring.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 
+#include "common/fileio.hpp"
 #include "common/socket.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
@@ -49,10 +53,9 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot);
 /// plus HDR quantile summaries).
 std::string RenderSnapshotJson(const MetricsSnapshot& snapshot);
 
-/// Writes `content` to `path` atomically: write to `<path>.tmp`, fsync-free
-/// flush, rename over the target. Readers see the old file or the new one,
-/// never a torn mix.
-Status WriteFileAtomic(const std::string& path, std::string_view content);
+/// The one WriteFileAtomic implementation lives in common/fileio; re-exported
+/// here because every exporter call site predates the move.
+using ::dfp::WriteFileAtomic;
 
 /// Snapshot of the global registry rendered as Prometheus text, written
 /// atomically to `path`.
@@ -88,11 +91,16 @@ struct MetricsHttpConfig {
     std::uint16_t port = 0;
     /// Receive timeout per connection; a stalled scraper is dropped.
     double recv_timeout_s = 2.0;
+    /// Readiness probe for `GET /healthz`: true -> 200 "ok", false -> 503
+    /// "unavailable". Null means always ready (bare liveness). The serving
+    /// stack wires this to "model installed and not draining".
+    std::function<bool()> ready_check;
 };
 
 /// Minimal HTTP/1.x responder for metric scrapes. GET /metrics returns the
 /// same RenderPrometheus payload as the prediction protocol's "metrics" op;
-/// GET /metrics.json returns RenderSnapshotJson. Anything else is 404/405.
+/// GET /metrics.json returns RenderSnapshotJson; GET /healthz answers the
+/// readiness probe. Anything else is 404/405.
 class MetricsHttpServer {
   public:
     explicit MetricsHttpServer(MetricsHttpConfig config = {});

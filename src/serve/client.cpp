@@ -1,6 +1,12 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include "common/budget.hpp"
+#include "obs/metrics.hpp"
 
 namespace dfp::serve {
 
@@ -40,10 +46,22 @@ void AppendItems(std::ostringstream& out, const std::vector<ItemId>& items) {
 }  // namespace
 
 Result<ServeClient> ServeClient::Connect(const std::string& host,
-                                         std::uint16_t port) {
+                                         std::uint16_t port,
+                                         RetryPolicy retry) {
     auto socket = TcpConnect(host, port);
     if (!socket.ok()) return socket.status();
-    return ServeClient(std::make_unique<Socket>(std::move(*socket)));
+    return ServeClient(std::make_unique<Socket>(std::move(*socket)), host,
+                       port, retry);
+}
+
+Status ServeClient::Reconnect() {
+    if (dispatcher_ != nullptr) return Status::Ok();  // nothing to re-dial
+    auto socket = TcpConnect(host_, port_);
+    if (!socket.ok()) return socket.status();
+    socket_ = std::make_unique<Socket>(std::move(*socket));
+    reader_ = std::make_unique<LineReader>(*socket_);
+    obs::Registry::Get().GetCounter("dfp.serve.client.reconnects").Inc();
+    return Status::Ok();
 }
 
 Result<std::string> ServeClient::RoundTrip(const std::string& line) {
@@ -56,9 +74,14 @@ Result<std::string> ServeClient::RoundTrip(const std::string& line) {
     return response;
 }
 
-Result<obs::JsonValue> ServeClient::Call(const std::string& line) {
+Result<obs::JsonValue> ServeClient::Call(const std::string& line,
+                                         bool* transport_failed) {
+    if (transport_failed != nullptr) *transport_failed = false;
     auto response = RoundTrip(line);
-    if (!response.ok()) return response.status();
+    if (!response.ok()) {
+        if (transport_failed != nullptr) *transport_failed = true;
+        return response.status();
+    }
     auto parsed = obs::ParseJson(*response);
     if (!parsed.ok()) {
         return Status::Internal("unparseable response: " + *response);
@@ -67,6 +90,72 @@ Result<obs::JsonValue> ServeClient::Call(const std::string& line) {
     if (ok == nullptr) return Status::Internal("response missing \"ok\"");
     if (!ok->boolean()) return StatusFromErrorResponse(*parsed);
     return parsed;
+}
+
+Result<obs::JsonValue> ServeClient::CallIdempotent(const std::string& line) {
+    if (retry_.max_attempts <= 1) return Call(line);
+
+    auto& metrics = obs::Registry::Get();
+    DeadlineTimer deadline(retry_.deadline_ms);
+    double backoff_ms = retry_.initial_backoff_ms;
+    bool need_reconnect = false;
+    Result<obs::JsonValue> result = Status::Internal("retry loop never ran");
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+        bool transport_failed = false;
+        if (need_reconnect) {
+            const Status st = Reconnect();
+            need_reconnect = !st.ok();
+            if (!st.ok()) {
+                // The dial itself failed — that IS this attempt's failure.
+                transport_failed = true;
+                result = st;
+            }
+        }
+        if (!need_reconnect) {
+            result = Call(line, &transport_failed);
+            if (result.ok()) {
+                if (attempt > 1) {
+                    metrics.GetCounter("dfp.serve.client.retry_success").Inc();
+                }
+                return result;
+            }
+        }
+
+        // Retry policy: a transport failure is retryable only while no byte
+        // of the response has arrived — after that, the request may have
+        // executed and a resend could double-execute. A well-formed
+        // kUnavailable response (shed, draining, connection limit) is a
+        // complete exchange and always retryable.
+        bool retryable;
+        if (transport_failed) {
+            const bool partial_response =
+                reader_ != nullptr && reader_->buffered_bytes() > 0;
+            retryable = !partial_response;
+            need_reconnect = dispatcher_ == nullptr;
+        } else {
+            retryable = result.status().code() == StatusCode::kUnavailable;
+        }
+        if (!retryable) return result;  // a real error: report, don't mask
+        if (attempt >= retry_.max_attempts) break;
+
+        // Decorrelated jitter, clamped to the remaining deadline budget.
+        double sleep_ms = std::min(
+            retry_.max_backoff_ms,
+            jitter_.Uniform(retry_.initial_backoff_ms, 3.0 * backoff_ms));
+        backoff_ms = std::max(sleep_ms, retry_.initial_backoff_ms);
+        if (retry_.deadline_ms >= 0.0) {
+            const double remaining = deadline.remaining_ms();
+            if (remaining <= 0.0) break;  // budget exhausted, report last error
+            sleep_ms = std::min(sleep_ms, remaining);
+        }
+        metrics.GetCounter("dfp.serve.client.retries").Inc();
+        if (sleep_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+    }
+    metrics.GetCounter("dfp.serve.client.retry_exhausted").Inc();
+    return result;
 }
 
 Result<Prediction> ServeClient::Predict(const std::vector<ItemId>& items,
@@ -79,7 +168,7 @@ Result<Prediction> ServeClient::Predict(const std::vector<ItemId>& items,
         obs::WriteJsonNumber(line, deadline_ms);
     }
     line << '}';
-    auto response = Call(line.str());
+    auto response = CallIdempotent(line.str());
     if (!response.ok()) return response.status();
     const obs::JsonValue* label = response->Find("label");
     const obs::JsonValue* version = response->Find("version");
@@ -100,7 +189,7 @@ Result<std::vector<Prediction>> ServeClient::PredictBatch(
         AppendItems(line, batch[i]);
     }
     line << "]}";
-    auto response = Call(line.str());
+    auto response = CallIdempotent(line.str());
     if (!response.ok()) return response.status();
     const obs::JsonValue* labels = response->Find("labels");
     const obs::JsonValue* version = response->Find("version");
@@ -143,7 +232,17 @@ Result<obs::JsonValue> ServeClient::Stats() {
 }
 
 Result<obs::JsonValue> ServeClient::Health() {
-    return Call("{\"op\":\"health\"}");
+    return CallIdempotent("{\"op\":\"health\"}");
+}
+
+Result<bool> ServeClient::Ready() {
+    auto response = CallIdempotent("{\"op\":\"ready\"}");
+    if (!response.ok()) return response.status();
+    const obs::JsonValue* ready = response->Find("ready");
+    if (ready == nullptr || ready->kind() != obs::JsonValue::Kind::kBool) {
+        return Status::Internal("ready response missing \"ready\"");
+    }
+    return ready->boolean();
 }
 
 Result<std::string> ServeClient::Metrics() {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <new>
 
+#include "common/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -11,6 +14,35 @@ namespace dfp::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Scores one transaction against the snapshot, converting anything thrown
+/// into a Status: scoring one poisoned request must fail that request alone,
+/// never take down the batch, the worker thread, or the process. The
+/// `serve.engine.score` failpoint injects exactly those escapes.
+Result<Prediction> ScoreOne(const ServableModel& servable,
+                            const std::vector<ItemId>& items,
+                            PatternMatchIndex::Scratch* scratch) {
+    try {
+        if (const auto fp = DFP_FAILPOINT("serve.engine.score"); fp) {
+            fp.Sleep();
+            switch (fp.kind) {
+                case FailpointKind::kAllocFail:
+                    throw std::bad_alloc();
+                case FailpointKind::kDelay:
+                    break;
+                default:
+                    return Status::Internal("injected scoring failure");
+            }
+        }
+        servable.index.EncodeInto(items, scratch);
+        return Prediction{servable.model.learner().Predict(scratch->encoded),
+                          servable.version};
+    } catch (const std::bad_alloc&) {
+        return Status::ResourceExhausted("out of memory while scoring");
+    } catch (const std::exception& e) {
+        return Status::Internal(std::string("scoring failed: ") + e.what());
+    }
+}
 
 /// Serve latencies live at tens of microseconds; the decade-style defaults
 /// (and the old 0.05 ms floor) collapsed the whole distribution into the
@@ -138,15 +170,24 @@ Result<std::vector<Prediction>> ScoringEngine::PredictBatch(
     for (auto& items : batch) Canonicalize(&items);
 
     std::vector<Prediction> out(batch.size());
+    std::vector<Status> errors(batch.size(), Status::Ok());
     const auto score_range = [&](std::size_t begin, std::size_t end) {
         PatternMatchIndex::Scratch scratch;
         for (std::size_t i = begin; i < end; ++i) {
-            snapshot->index.EncodeInto(batch[i], &scratch);
-            out[i] = Prediction{snapshot->model.learner().Predict(scratch.encoded),
-                                snapshot->version};
+            Result<Prediction> result = ScoreOne(*snapshot, batch[i], &scratch);
+            if (result.ok()) {
+                out[i] = std::move(*result);
+            } else {
+                errors[i] = result.status();
+            }
         }
     };
     ParallelFor(pool_.get(), batch.size(), score_range, /*min_grain=*/8);
+    // Batch semantics are all-or-nothing: the response frame carries either
+    // every prediction or one error, so the first failure fails the call.
+    for (const Status& st : errors) {
+        if (!st.ok()) return st;
+    }
     obs::Registry::Get().GetCounter("dfp.serve.predictions").Inc(batch.size());
     return out;
 }
@@ -267,11 +308,12 @@ void ScoringEngine::ScoreRange(const ServablePtr& snapshot,
             registry.GetCounter("dfp.serve.no_model").Inc();
             result = Status::FailedPrecondition("no model installed");
         } else {
-            snapshot->index.EncodeInto(request.items, &scratch);
-            result =
-                Prediction{snapshot->model.learner().Predict(scratch.encoded),
-                           snapshot->version};
-            ++scored;
+            result = ScoreOne(*snapshot, request.items, &scratch);
+            if (result.ok()) {
+                ++scored;
+            } else {
+                registry.GetCounter("dfp.serve.score_errors").Inc();
+            }
         }
         t->score_end_us = obs::NowMicros();
         t->outcome = static_cast<std::uint16_t>(result.status().code());

@@ -100,6 +100,8 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
         }
     } else if (name == "health") {
         request.op = ServeOp::kHealth;
+    } else if (name == "ready") {
+        request.op = ServeOp::kReady;
     } else if (name == "metrics") {
         request.op = ServeOp::kMetrics;
     } else if (name == "trace_dump") {
@@ -184,6 +186,16 @@ std::string RenderHealthResponse(const ServeRequest& request, bool serving,
     out << "{\"ok\":true,\"serving\":" << (serving ? "true" : "false")
         << ",\"version\":" << version
         << ",\"draining\":" << (draining ? "true" : "false");
+    AppendIdField(out, request);
+    out << '}';
+    return out.str();
+}
+
+std::string RenderReadyResponse(const ServeRequest& request, bool ready,
+                                std::uint64_t version) {
+    std::ostringstream out;
+    out << "{\"ok\":true,\"ready\":" << (ready ? "true" : "false")
+        << ",\"version\":" << version;
     AppendIdField(out, request);
     out << '}';
     return out.str();

@@ -13,6 +13,10 @@
 //     -> {"ok":true,"version":2}
 //   {"op":"health"}
 //     -> {"ok":true,"serving":true,"version":1,"draining":false}
+//   {"op":"ready"}
+//     -> {"ok":true,"ready":true,"version":1}
+//        (ready = a model is installed and the server is not draining; the
+//        same predicate backs `GET /healthz` on the metrics side-port)
 //   {"op":"metrics"}
 //     -> {"ok":true,"metrics":"<Prometheus text exposition, escaped>"}
 //        (byte-identical to the side-port `GET /metrics` body)
@@ -44,6 +48,7 @@ enum class ServeOp {
     kStats,
     kReload,
     kHealth,
+    kReady,
     kMetrics,
     kTraceDump,
 };
@@ -76,6 +81,8 @@ std::string RenderReloadResponse(const ServeRequest& request,
                                  std::uint64_t version);
 std::string RenderHealthResponse(const ServeRequest& request, bool serving,
                                  std::uint64_t version, bool draining);
+std::string RenderReadyResponse(const ServeRequest& request, bool ready,
+                                std::uint64_t version);
 /// `prometheus_text` is embedded as an escaped JSON string so the client can
 /// recover the exact exposition payload.
 std::string RenderMetricsResponse(const ServeRequest& request,

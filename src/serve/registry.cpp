@@ -1,27 +1,99 @@
 #include "serve/registry.hpp"
 
+#include <new>
+
+#include "common/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dfp::serve {
 
+namespace {
+
+/// Evaluates a reload-stage failpoint: Ok when disarmed or kDelay, an
+/// injected error otherwise. Lets chaos tests fail a reload at any stage.
+Status StageFailpoint(const char* name, const std::string& path) {
+    if (const auto fp = DFP_FAILPOINT(name); fp) {
+        fp.Sleep();
+        if (fp.kind == FailpointKind::kAllocFail) throw std::bad_alloc();
+        if (fp.kind != FailpointKind::kDelay) {
+            return Status::Internal(std::string("injected ") + name +
+                                    " failure for '" + path + "'");
+        }
+    }
+    return Status::Ok();
+}
+
+}  // namespace
+
 Result<ServablePtr> ModelRegistry::Reload(const std::string& path) {
     obs::Span span("serve.reload");
+    auto& metrics = obs::Registry::Get();
+    auto fail = [&metrics](Status st) -> Result<ServablePtr> {
+        metrics.GetCounter("dfp.serve.reload_failures").Inc();
+        return st;
+    };
+
+    // Writers serialize end to end: the whole load -> validate -> build ->
+    // swap sequence runs under reload_mu_, so two concurrent reloads can
+    // never interleave their installs (readers stay lock-free throughout).
+    std::lock_guard<std::mutex> lock(reload_mu_);
+
+    // Stage 1: load + parse (checksum-verified; `core.model_io.load`
+    // failpoint lives inside). Nothing published yet — a failure here leaves
+    // the current model serving untouched.
     auto loaded = LoadPipelineModelFromFile(path);
-    if (!loaded.ok()) {
-        obs::Registry::Get().GetCounter("dfp.serve.reload_failures").Inc();
-        return loaded.status();
+    if (!loaded.ok()) return fail(loaded.status());
+
+    // Stages 2+3: validate, then build the servable (pattern index
+    // compilation) off to the side. A bundle that parses but describes a
+    // degenerate model must not evict a good one, and allocation failure is
+    // survivable because nothing has been swapped yet.
+    ServablePtr servable;
+    try {
+        Status st = StageFailpoint("serve.registry.validate", path);
+        if (!st.ok()) return fail(st);
+        if (loaded->feature_space().num_items() == 0) {
+            return fail(Status::InvalidArgument(
+                "model in '" + path + "' has an empty feature space"));
+        }
+        st = StageFailpoint("serve.registry.swap", path);
+        if (!st.ok()) return fail(st);
+        servable = std::make_shared<const ServableModel>(
+            std::move(*loaded), next_version_, path);
+    } catch (const std::bad_alloc&) {
+        return fail(Status::ResourceExhausted(
+            "out of memory building servable for '" + path + "'"));
     }
-    ServablePtr published = Publish(std::move(*loaded), path);
-    span.Annotate("version", static_cast<double>(published->version));
-    return published;
+
+    // Stage 4: install. The pointer swap is the commit point.
+    ServablePtr previous;
+    {
+        std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+        previous = current_;
+        current_ = servable;
+    }
+    next_version_++;
+
+    // Stage 5: post-publish verification. If it fails, roll back to the
+    // previous version (which in-flight snapshots still hold anyway) so a
+    // bad publish never sticks.
+    const Status post = StageFailpoint("serve.registry.publish", path);
+    if (!post.ok()) {
+        {
+            std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+            current_ = previous;
+        }
+        metrics.GetCounter("dfp.serve.reload_rollbacks").Inc();
+        return fail(post);
+    }
+
+    RecordPublish(metrics, *servable);
+    span.Annotate("version", static_cast<double>(servable->version));
+    return servable;
 }
 
 ServablePtr ModelRegistry::Install(LoadedModel model, std::string source) {
-    return Publish(std::move(model), std::move(source));
-}
-
-ServablePtr ModelRegistry::Publish(LoadedModel model, std::string source) {
     std::lock_guard<std::mutex> lock(reload_mu_);
     auto servable = std::make_shared<const ServableModel>(
         std::move(model), next_version_++, std::move(source));
@@ -29,15 +101,19 @@ ServablePtr ModelRegistry::Publish(LoadedModel model, std::string source) {
         std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
         current_ = servable;
     }
-    auto& registry = obs::Registry::Get();
-    registry.GetCounter("dfp.serve.reloads").Inc();
-    registry.GetGauge("dfp.serve.model_version")
-        .Set(static_cast<double>(servable->version));
-    registry.GetGauge("dfp.serve.model_patterns")
-        .Set(static_cast<double>(servable->index.num_patterns()));
-    registry.GetGauge("dfp.serve.model_dim")
-        .Set(static_cast<double>(servable->index.dim()));
+    RecordPublish(obs::Registry::Get(), *servable);
     return servable;
+}
+
+void ModelRegistry::RecordPublish(obs::Registry& metrics,
+                                  const ServableModel& servable) {
+    metrics.GetCounter("dfp.serve.reloads").Inc();
+    metrics.GetGauge("dfp.serve.model_version")
+        .Set(static_cast<double>(servable.version));
+    metrics.GetGauge("dfp.serve.model_patterns")
+        .Set(static_cast<double>(servable.index.num_patterns()));
+    metrics.GetGauge("dfp.serve.model_dim")
+        .Set(static_cast<double>(servable.index.dim()));
 }
 
 }  // namespace dfp::serve

@@ -24,6 +24,10 @@
 #include "core/model_io.hpp"
 #include "serve/scoring_index.hpp"
 
+namespace dfp::obs {
+class Registry;
+}  // namespace dfp::obs
+
 namespace dfp::serve {
 
 /// One immutable, scorable model version.
@@ -49,9 +53,14 @@ class ModelRegistry {
     ModelRegistry(const ModelRegistry&) = delete;
     ModelRegistry& operator=(const ModelRegistry&) = delete;
 
-    /// Parses a dfp-model v1 bundle from `path`, compiles its index, and
-    /// publishes it as the next version. On error the currently served model
-    /// (if any) stays installed untouched. Thread-safe; concurrent reloads
+    /// Validate-then-swap reload (DESIGN.md §15): parses the dfp-model v1
+    /// bundle from `path` (checksum-verified), validates it, compiles its
+    /// index entirely off to the side, and only then swaps it in as the next
+    /// version. A failure at any stage before the swap — unreadable file,
+    /// checksum mismatch, parse error, degenerate model, allocation failure —
+    /// leaves the currently served model untouched; a failure detected after
+    /// the swap rolls back to the previous version (counted in
+    /// `dfp.serve.reload_rollbacks`). Thread-safe; concurrent reloads
     /// serialize, readers are never blocked.
     Result<ServablePtr> Reload(const std::string& path);
 
@@ -73,7 +82,8 @@ class ModelRegistry {
     }
 
   private:
-    ServablePtr Publish(LoadedModel model, std::string source);
+    static void RecordPublish(obs::Registry& metrics,
+                              const ServableModel& servable);
 
     mutable std::mutex snapshot_mu_;  ///< guards current_; pointer-copy only
     ServablePtr current_;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
 #include "obs/export.hpp"
@@ -40,6 +41,9 @@ std::string RequestDispatcher::HandleLine(std::string_view line) {
             return RenderHealthResponse(request,
                                         registry_.current_version() != 0,
                                         registry_.current_version(), draining());
+        case ServeOp::kReady:
+            return RenderReadyResponse(request, Ready(),
+                                       registry_.current_version());
         case ServeOp::kMetrics:
             // The same pure render the HTTP side-port uses — the two payloads
             // are identical by construction (tested in telemetry_test).
@@ -114,6 +118,10 @@ Status PredictionServer::Start() {
     if (config_.metrics_port >= 0) {
         obs::MetricsHttpConfig http;
         http.port = static_cast<std::uint16_t>(config_.metrics_port);
+        // `GET /healthz` answers 503 until a model is installed and 503
+        // again once draining starts — load balancers stop routing before
+        // the drain cuts connections.
+        http.ready_check = [this] { return dispatcher_.Ready(); };
         metrics_http_ = std::make_unique<obs::MetricsHttpServer>(http);
         const Status st = metrics_http_->Start();
         if (!st.ok()) {
@@ -167,8 +175,16 @@ void PredictionServer::AcceptLoop() {
     auto& registry = obs::Registry::Get();
     for (;;) {
         auto accepted = TcpAccept(listener_);
-        if (!accepted.ok()) return;  // listener shut down (or fatal) — stop
         if (stopping_.load(std::memory_order_relaxed)) return;
+        if (!accepted.ok()) {
+            // Only "listener closed" ends the loop. Everything else —
+            // ECONNABORTED, fd exhaustion, injected accept faults — kills at
+            // most that one connection; the server must keep accepting
+            // (an accept loop that exits on a transient error is an outage).
+            if (accepted.status().code() == StatusCode::kUnavailable) return;
+            registry.GetCounter("dfp.serve.accept_errors").Inc();
+            continue;
+        }
         registry.GetCounter("dfp.serve.connections").Inc();
         if (active_connections_.load(std::memory_order_relaxed) >=
             config_.max_connections) {
@@ -209,14 +225,52 @@ void PredictionServer::ReapFinishedConnections() {
 }
 
 void PredictionServer::HandleConnection(Connection* connection) {
+    auto& registry = obs::Registry::Get();
+    if (config_.read_timeout_s > 0.0) {
+        (void)connection->socket.SetRecvTimeout(config_.read_timeout_s);
+    }
+    if (config_.write_timeout_s > 0.0) {
+        (void)connection->socket.SetSendTimeout(config_.write_timeout_s);
+    }
     LineReader reader(connection->socket);
     std::string line;
     for (;;) {
-        auto got = reader.ReadLine(&line);
-        if (!got.ok() || !*got) break;  // error or clean EOF
+        auto got = reader.ReadLine(&line, config_.max_line_bytes);
+        if (!got.ok()) {
+            if (got.status().code() == StatusCode::kInvalidArgument) {
+                // Oversized request line: the buffer is bounded, so tell the
+                // client why before dropping it (nothing of the line was
+                // dispatched, so one error response is unambiguous).
+                registry.GetCounter("dfp.serve.oversized_lines").Inc();
+                (void)connection->socket.SendAll(
+                    RenderErrorResponse(nullptr, got.status()) + "\n");
+            } else if (got.status().code() == StatusCode::kUnavailable) {
+                // Read deadline expired (slow-loris or an idle client under
+                // read_timeout_s): reclaim the handler thread.
+                registry.GetCounter("dfp.serve.conn_timeouts").Inc();
+            }
+            break;
+        }
+        if (!*got) break;  // clean EOF
         if (line.empty()) continue;
+        if (const auto fp = DFP_FAILPOINT("serve.conn.handle"); fp) {
+            fp.Sleep();
+            if (fp.kind != FailpointKind::kDelay) {
+                // Simulated handler crash: drop the connection without a
+                // response — the client sees a transport error, never a
+                // half-frame, and may safely retry.
+                registry.GetCounter("dfp.serve.conn_faults").Inc();
+                break;
+            }
+        }
         const std::string response = dispatcher_.HandleLine(line);
-        if (!connection->socket.SendAll(response + "\n").ok()) break;
+        const Status sent = connection->socket.SendAll(response + "\n");
+        if (!sent.ok()) {
+            if (sent.code() == StatusCode::kUnavailable) {
+                registry.GetCounter("dfp.serve.conn_timeouts").Inc();
+            }
+            break;
+        }
         if (stopping_.load(std::memory_order_relaxed)) break;
     }
     connection->socket.ShutdownBoth();

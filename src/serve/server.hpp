@@ -48,6 +48,12 @@ class RequestDispatcher {
     }
     bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
+    /// Readiness predicate shared by the `ready` op and `GET /healthz`:
+    /// a model is installed and the server is not draining.
+    bool Ready() const {
+        return !draining() && registry_.current_version() != 0;
+    }
+
   private:
     std::string HandlePredict(const ServeRequest& request);
     std::string HandlePredictBatch(const ServeRequest& request);
@@ -68,6 +74,15 @@ struct ServerConfig {
     /// -1 = disabled, 0 = ephemeral (read back with metrics_port()), else the
     /// literal port. Scrapers never consume prediction connection slots.
     int metrics_port = -1;
+    /// Per-connection socket deadlines (seconds; 0 = none). The slow-loris
+    /// defense: a client that trickles request bytes (read) or stops draining
+    /// its response (write) is disconnected instead of pinning a handler
+    /// thread; timeouts are counted in `dfp.serve.conn_timeouts`.
+    double read_timeout_s = 0.0;
+    double write_timeout_s = 0.0;
+    /// Per-line request size bound; an oversized line gets one kInvalidArgument
+    /// response and the connection is closed (the buffer never grows past it).
+    std::size_t max_line_bytes = LineReader::kDefaultMaxLineBytes;
 };
 
 class PredictionServer {

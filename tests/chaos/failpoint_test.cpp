@@ -1,0 +1,225 @@
+// Failpoint framework tests: spec grammar, per-seed determinism, firing
+// modes, trip accounting, and the disabled fast path. The chaos suite proper
+// (live server under randomized fault schedules) lives in chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/fileio.hpp"
+#include "obs/metrics.hpp"
+
+namespace dfp {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+  protected:
+    void SetUp() override { FailpointRegistry::Get().DisableAll(); }
+    void TearDown() override { FailpointRegistry::Get().DisableAll(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefaultAndZeroAction) {
+    EXPECT_FALSE(FailpointsEnabled());
+    const FailpointAction action = DFP_FAILPOINT("test.never_armed");
+    EXPECT_FALSE(action);
+    EXPECT_EQ(action.kind, FailpointKind::kNone);
+    // The disabled fast path never touches the registry: the site must not
+    // even have been registered by the macro above.
+    EXPECT_EQ(FailpointRegistry::Get().Find("test.never_armed"), nullptr);
+}
+
+TEST_F(FailpointTest, AlwaysModeFiresEveryHit) {
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure("test.always=always:error", 1)
+                    .ok());
+    EXPECT_TRUE(FailpointsEnabled());
+    for (int i = 0; i < 5; ++i) {
+        const FailpointAction action = DFP_FAILPOINT("test.always");
+        EXPECT_TRUE(action);
+        EXPECT_EQ(action.kind, FailpointKind::kError);
+    }
+    Failpoint* fp = FailpointRegistry::Get().Find("test.always");
+    ASSERT_NE(fp, nullptr);
+    EXPECT_EQ(fp->hits(), 5u);
+    EXPECT_EQ(fp->trips(), 5u);
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.nth=nth(3):timeout", 1).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) {
+        fired.push_back(static_cast<bool>(DFP_FAILPOINT("test.nth")));
+    }
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+    EXPECT_EQ(FailpointRegistry::Get().Find("test.nth")->trips(), 1u);
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.every=every(2):eintr", 1).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) {
+        fired.push_back(static_cast<bool>(DFP_FAILPOINT("test.every")));
+    }
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicPerSeed) {
+    auto draw_sequence = [](std::uint64_t seed) {
+        EXPECT_TRUE(FailpointRegistry::Get()
+                        .Configure("test.prob=prob(0.5):error", seed)
+                        .ok());
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i) {
+            fired.push_back(static_cast<bool>(DFP_FAILPOINT("test.prob")));
+        }
+        return fired;
+    };
+    const auto seed7_a = draw_sequence(7);
+    const auto seed7_b = draw_sequence(7);
+    const auto seed8 = draw_sequence(8);
+    EXPECT_EQ(seed7_a, seed7_b) << "same seed must replay identically";
+    EXPECT_NE(seed7_a, seed8) << "different seeds must diverge (p < 2^-64)";
+    // prob(0.5) over 64 draws: both extremes are astronomically unlikely.
+    const auto fires = static_cast<std::size_t>(
+        std::count(seed7_a.begin(), seed7_a.end(), true));
+    EXPECT_GT(fires, 10u);
+    EXPECT_LT(fires, 54u);
+}
+
+TEST_F(FailpointTest, SeedStreamsAreIndependentPerName) {
+    // Two prob points under one seed draw from distinct streams (seed ^
+    // fnv1a(name)), so their fire patterns must not be correlated copies.
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure("test.a=prob(0.5);test.b=prob(0.5)", 42)
+                    .ok());
+    std::vector<bool> a, b;
+    for (int i = 0; i < 64; ++i) {
+        a.push_back(static_cast<bool>(DFP_FAILPOINT("test.a")));
+        b.push_back(static_cast<bool>(DFP_FAILPOINT("test.b")));
+    }
+    EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, DelayKindCarriesItsArgument) {
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure("test.delay=always:delay(2.5)", 1)
+                    .ok());
+    const FailpointAction action = DFP_FAILPOINT("test.delay");
+    ASSERT_TRUE(action);
+    EXPECT_EQ(action.kind, FailpointKind::kDelay);
+    EXPECT_DOUBLE_EQ(action.delay_ms, 2.5);
+}
+
+TEST_F(FailpointTest, MalformedSpecsArmNothing) {
+    const char* bad_specs[] = {
+        "missing_equals",          "=always",
+        "test.x=definitely_not",   "test.x=prob(1.5)",
+        "test.x=prob(abc)",        "test.x=nth(0)",
+        "test.x=always:what",      "test.x=always:delay(-3)",
+        "test.x=prob(0.5",
+    };
+    for (const char* spec : bad_specs) {
+        EXPECT_FALSE(FailpointRegistry::Get().Configure(spec, 1).ok())
+            << "accepted: " << spec;
+        EXPECT_FALSE(FailpointsEnabled()) << "armed by: " << spec;
+    }
+}
+
+TEST_F(FailpointTest, MalformedSpecLeavesPreviousScheduleIntact) {
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.keep=always:error", 1).ok());
+    EXPECT_FALSE(
+        FailpointRegistry::Get().Configure("test.keep=prob(nope)", 1).ok());
+    EXPECT_TRUE(FailpointsEnabled());
+    EXPECT_TRUE(static_cast<bool>(DFP_FAILPOINT("test.keep")));
+}
+
+TEST_F(FailpointTest, ReconfigureReplacesAndEmptySpecDisables) {
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.one=always:error", 1).ok());
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.two=always:error", 1).ok());
+    // test.one was disarmed by the second Configure.
+    EXPECT_FALSE(static_cast<bool>(DFP_FAILPOINT("test.one")));
+    EXPECT_TRUE(static_cast<bool>(DFP_FAILPOINT("test.two")));
+    ASSERT_TRUE(FailpointRegistry::Get().Configure("", 1).ok());
+    EXPECT_FALSE(FailpointsEnabled());
+}
+
+TEST_F(FailpointTest, OffModeAndMultiPointSpecs) {
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure(" test.x = always : short ; test.y = off ", 1)
+                    .ok());
+    const FailpointAction x = DFP_FAILPOINT("test.x");
+    ASSERT_TRUE(x);
+    EXPECT_EQ(x.kind, FailpointKind::kShortWrite);
+    EXPECT_FALSE(static_cast<bool>(DFP_FAILPOINT("test.y")));
+}
+
+TEST_F(FailpointTest, TripsAreCountedInMetricsRegistry) {
+    obs::Registry::Get().ResetValues();
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Configure("test.counted=every(2)", 1).ok());
+    for (int i = 0; i < 10; ++i) (void)DFP_FAILPOINT("test.counted");
+    EXPECT_EQ(
+        obs::Registry::Get().GetCounter("dfp.failpoint.test.counted").value(),
+        5u);
+    EXPECT_EQ(FailpointRegistry::Get().TotalTrips(), 5u);
+    const auto stats = FailpointRegistry::Get().Snapshot();
+    const auto it = std::find_if(
+        stats.begin(), stats.end(),
+        [](const FailpointRegistry::Stats& s) { return s.name == "test.counted"; });
+    ASSERT_NE(it, stats.end());
+    EXPECT_EQ(it->hits, 10u);
+    EXPECT_EQ(it->trips, 5u);
+}
+
+TEST_F(FailpointTest, ConfiguresFromEnvironment) {
+    ASSERT_EQ(::setenv("DFP_FAILPOINTS", "test.env=always:timeout", 1), 0);
+    ASSERT_EQ(::setenv("DFP_FAILPOINT_SEED", "99", 1), 0);
+    EXPECT_TRUE(ConfigureFailpointsFromEnv().ok());
+    const FailpointAction action = DFP_FAILPOINT("test.env");
+    ASSERT_TRUE(action);
+    EXPECT_EQ(action.kind, FailpointKind::kTimeout);
+    ::unsetenv("DFP_FAILPOINTS");
+    ::unsetenv("DFP_FAILPOINT_SEED");
+    // With the variable unset the call is a no-op (schedule unchanged).
+    EXPECT_TRUE(ConfigureFailpointsFromEnv().ok());
+    EXPECT_TRUE(FailpointsEnabled());
+}
+
+TEST_F(FailpointTest, WriteFileAtomicInjectedFailureLeavesTargetUntouched) {
+    const std::string path = ::testing::TempDir() + "/dfp_fp_atomic_" +
+                             std::to_string(::getpid()) + ".txt";
+    ASSERT_TRUE(WriteFileAtomic(path, "original contents\n").ok());
+
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure("common.fileio.write_atomic=always:short", 1)
+                    .ok());
+    EXPECT_FALSE(WriteFileAtomic(path, "replacement that must not land\n").ok());
+    FailpointRegistry::Get().DisableAll();
+
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+    EXPECT_EQ(contents, "original contents\n") << "torn write reached the target";
+    // No stray tmp file left behind either.
+    std::string tmp_contents;
+    EXPECT_FALSE(ReadFileToString(path + ".tmp", &tmp_contents).ok());
+    std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, Fnv1a64MatchesReferenceVectors) {
+    // Published FNV-1a 64 test vectors.
+    EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ull);
+    EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
+    EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ull);
+}
+
+}  // namespace
+}  // namespace dfp

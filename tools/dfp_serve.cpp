@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "obs/export.hpp"
 #include "obs/reqtrace.hpp"
 #include "serve/client.hpp"
@@ -51,7 +52,16 @@ void Usage(const char* argv0) {
         "  --snapshot-out <path>   periodic JSON metrics snapshot file\n"
         "                          (atomic tmp+rename, every 2s + on drain)\n"
         "  --slow-ms <ms>          log requests slower than this end to end,\n"
-        "                          with per-stage breakdown (default: off)\n",
+        "                          with per-stage breakdown (default: off)\n"
+        "  --io-timeout-s <s>      per-connection read/write deadline in\n"
+        "                          seconds (slow-loris defense; default: off)\n"
+        "  --failpoints <spec>     arm deterministic failpoints, e.g.\n"
+        "                          'serve.socket.write=prob(0.1):error;\n"
+        "                          serve.registry.swap=nth(3)' (chaos testing;\n"
+        "                          see src/common/failpoint.hpp for grammar;\n"
+        "                          also readable from $DFP_FAILPOINTS)\n"
+        "  --seed <n>              seed for the failpoint schedules (default 1;\n"
+        "                          same seed + spec => same fault sequence)\n",
         argv0);
 }
 
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
     std::string model_path;
     std::string trace_out;
     std::string snapshot_out;
+    std::string failpoint_spec;
+    std::uint64_t failpoint_seed = 1;
     ServerConfig server_config;
     EngineConfig engine_config;
 
@@ -106,6 +118,15 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
             engine_config.telemetry.slow_request_ms =
                 std::atof(flag_value(i, "--slow-ms"));
+        } else if (std::strcmp(argv[i], "--io-timeout-s") == 0) {
+            const double seconds = std::atof(flag_value(i, "--io-timeout-s"));
+            server_config.read_timeout_s = seconds;
+            server_config.write_timeout_s = seconds;
+        } else if (std::strcmp(argv[i], "--failpoints") == 0) {
+            failpoint_spec = flag_value(i, "--failpoints");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            failpoint_seed =
+                std::strtoull(flag_value(i, "--seed"), nullptr, 10);
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             Usage(argv[0]);
@@ -119,6 +140,22 @@ int main(int argc, char** argv) {
     if (model_path.empty()) {
         Usage(argv[0]);
         return 2;
+    }
+
+    if (!failpoint_spec.empty()) {
+        const Status armed = FailpointRegistry::Get().Configure(failpoint_spec,
+                                                                failpoint_seed);
+        if (!armed.ok()) {
+            std::fprintf(stderr, "error: bad --failpoints spec: %s\n",
+                         armed.ToString().c_str());
+            return 2;
+        }
+        std::printf("dfp_serve: failpoints armed (seed %llu): %s\n",
+                    static_cast<unsigned long long>(failpoint_seed),
+                    failpoint_spec.c_str());
+    } else {
+        // No flag: honour $DFP_FAILPOINTS / $DFP_FAILPOINT_SEED if present.
+        ConfigureFailpointsFromEnv();
     }
 
     ModelRegistry registry;
@@ -175,6 +212,14 @@ int main(int argc, char** argv) {
                         traces.size(), trace_out.c_str());
         } else {
             std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        }
+    }
+    for (const auto& fp : FailpointRegistry::Get().Snapshot()) {
+        if (fp.trips > 0) {
+            std::printf("dfp_serve: failpoint %s tripped %llu/%llu hits\n",
+                        fp.name.c_str(),
+                        static_cast<unsigned long long>(fp.trips),
+                        static_cast<unsigned long long>(fp.hits));
         }
     }
     std::printf("dfp_serve: drained, bye\n");
