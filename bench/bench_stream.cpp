@@ -1,0 +1,249 @@
+// Streaming-path benchmark (BENCH_stream.json):
+//
+//  1. Ingest throughput — StreamingDatabase::Append plus incremental CanTree
+//     maintenance (insert + evict) over a sliding window, measured in rows/s
+//     on a pre-generated drifting stream (generation is excluded).
+//       dfp.bench.stream.ingest_rows_per_s
+//  2. Window mining: remine vs incremental — both WindowMiner strategies mine
+//     the same sliding window at every checkpoint while the stream advances;
+//     total mine time per strategy and the speedup land as
+//       dfp.bench.stream.{remine_mine_ms,incremental_mine_ms,mine_speedup}.
+//     This is the measurement behind the ContinuousTrainerConfig default
+//     (window_miner = kIncremental); the golden-equivalence suite certifies
+//     the two strategies emit identical pattern sets.
+//  3. Retrain latency + staleness — a full ContinuousTrainer loop (stream →
+//     mine → select → train → save → hot reload through ModelRegistry) on a
+//     row-count schedule; the end-to-end retrain latency and the staleness of
+//     the replaced model at swap time land as
+//       dfp.bench.stream.{retrain_seconds,staleness_seconds,retrains}.
+//
+// tools/bench_diff gates these against bench/baselines/stream.json.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "common/string_util.hpp"
+#include "exp/table_printer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/registry.hpp"
+#include "stream/streaming_db.hpp"
+#include "stream/trainer.hpp"
+#include "stream/window_miner.hpp"
+#include "testutil/drift_source.hpp"
+
+using namespace dfp;
+
+namespace {
+
+void Canonicalize(stream::TransactionBatch* batch) {
+    for (auto& txn : batch->transactions) {
+        std::sort(txn.begin(), txn.end());
+        txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto stream_rows = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "rows", 20000));
+    const auto window_capacity = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "window", 2048));
+    bench::BeginBenchObservability(1);
+    auto& registry = obs::Registry::Get();
+
+    bench::Section(StrFormat("Stream benchmark: %zu rows, window %zu",
+                             stream_rows, window_capacity));
+    testutil::DriftSourceConfig source_config;
+    source_config.num_phases = 4;
+    source_config.rows_per_phase = (stream_rows + 3) / 4;
+    source_config.eval_rows = 16;
+    source_config.attributes = 10;
+    source_config.arity = 3;
+    source_config.seed = 29;
+    testutil::DriftSource source(source_config);
+    std::printf("source: %zu phases x %zu rows, %zu items\n",
+                source_config.num_phases, source_config.rows_per_phase,
+                source.num_items());
+
+    MinerConfig mine_config;
+    mine_config.min_sup_rel = 0.10;
+    mine_config.max_pattern_len = 4;
+    mine_config.include_singletons = false;
+
+    // --- Phase 1+2: ingest throughput and remine-vs-incremental mining -----
+    bench::Section("Ingest + window mining (remine vs incremental)");
+    stream::StreamConfig stream_config;
+    stream_config.num_items = source.num_items();
+    stream_config.num_classes = source.num_classes();
+    stream_config.window_capacity = window_capacity;
+    auto db = stream::StreamingDatabase::Create(stream_config);
+    if (!db.ok()) {
+        std::fprintf(stderr, "stream create failed: %s\n",
+                     db.status().ToString().c_str());
+        return 1;
+    }
+    auto remine =
+        stream::MakeWindowMiner(stream::WindowMinerKind::kRemine,
+                                source.num_items());
+    auto incremental =
+        stream::MakeWindowMiner(stream::WindowMinerKind::kIncremental,
+                                source.num_items());
+
+    // Pre-generate canonical batches so the timed loop measures ingestion,
+    // not synthesis.
+    constexpr std::size_t kBatch = 256;
+    std::vector<stream::TransactionBatch> batches;
+    while (!source.exhausted()) {
+        batches.push_back(source.NextBatch(kBatch));
+        Canonicalize(&batches.back());
+    }
+
+    double ingest_seconds = 0.0;
+    double remine_seconds = 0.0;
+    double incremental_seconds = 0.0;
+    std::size_t checkpoints = 0;
+    std::size_t patterns_last = 0;
+    std::size_t ingested = 0;
+    const std::size_t checkpoint_every =
+        std::max<std::size_t>(1, window_capacity / (2 * kBatch));
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        Stopwatch ingest;
+        auto appended = (*db)->Append(batches[b]);
+        if (!appended.ok()) {
+            std::fprintf(stderr, "append failed: %s\n",
+                         appended.status().ToString().c_str());
+            return 1;
+        }
+        for (const auto& txn : batches[b].transactions) {
+            incremental->Insert(txn);
+        }
+        for (const auto& txn : appended->evicted.transactions) {
+            incremental->Evict(txn);
+        }
+        ingest_seconds += ingest.ElapsedSeconds();
+        ingested += batches[b].size();
+        // The remine strategy keeps its own window copy; its maintenance is
+        // trivial (deque push/pop) and is excluded from the ingest figure.
+        for (const auto& txn : batches[b].transactions) remine->Insert(txn);
+        for (const auto& txn : appended->evicted.transactions) {
+            remine->Evict(txn);
+        }
+
+        if ((*db)->window_size() < window_capacity) continue;
+        if (b % checkpoint_every != 0) continue;
+        ++checkpoints;
+        Stopwatch remine_watch;
+        auto from_remine = remine->MineWindow(mine_config);
+        remine_seconds += remine_watch.ElapsedSeconds();
+        Stopwatch incremental_watch;
+        auto from_incremental = incremental->MineWindow(mine_config);
+        incremental_seconds += incremental_watch.ElapsedSeconds();
+        if (!from_remine.ok() || !from_incremental.ok()) {
+            std::fprintf(stderr, "window mine failed\n");
+            return 1;
+        }
+        if (from_remine->size() != from_incremental->size()) {
+            std::fprintf(stderr, "PATTERN COUNT MISMATCH: remine %zu vs %zu\n",
+                         from_remine->size(), from_incremental->size());
+            return 1;
+        }
+        patterns_last = from_incremental->size();
+    }
+    const double ingest_rows_per_s =
+        ingest_seconds > 0.0 ? static_cast<double>(ingested) / ingest_seconds
+                             : 0.0;
+    const double mine_speedup =
+        incremental_seconds > 0.0 ? remine_seconds / incremental_seconds : 0.0;
+    std::printf("ingest  : %zu rows in %.3fs (%.0f rows/s)\n", ingested,
+                ingest_seconds, ingest_rows_per_s);
+    std::printf("mining  : %zu checkpoints, %zu patterns at the last\n",
+                checkpoints, patterns_last);
+    std::printf("remine      : %.3fs total (%.2f ms/mine)\n", remine_seconds,
+                1e3 * remine_seconds / static_cast<double>(checkpoints));
+    std::printf("incremental : %.3fs total (%.2f ms/mine)\n",
+                incremental_seconds,
+                1e3 * incremental_seconds / static_cast<double>(checkpoints));
+    std::printf("speedup     : %.2fx (remine / incremental)\n", mine_speedup);
+    registry.GetGauge("dfp.bench.stream.ingest_rows_per_s")
+        .Set(ingest_rows_per_s);
+    registry.GetGauge("dfp.bench.stream.remine_mine_ms")
+        .Set(1e3 * remine_seconds / static_cast<double>(checkpoints));
+    registry.GetGauge("dfp.bench.stream.incremental_mine_ms")
+        .Set(1e3 * incremental_seconds / static_cast<double>(checkpoints));
+    registry.GetGauge("dfp.bench.stream.mine_speedup").Set(mine_speedup);
+
+    // --- Phase 3: end-to-end retrain latency + staleness --------------------
+    bench::Section("Continuous retraining (schedule every window/2 rows)");
+    source.Reset();
+    auto db2 = stream::StreamingDatabase::Create(stream_config);
+    serve::ModelRegistry model_registry;
+    stream::ContinuousTrainerConfig trainer_config;
+    trainer_config.pipeline.miner = mine_config;
+    trainer_config.pipeline.mmrfs.coverage_delta = 2;
+    trainer_config.learner_type = "nb";
+    trainer_config.retrain_every = window_capacity / 2;
+    trainer_config.drift_trigger = false;
+    trainer_config.min_window = window_capacity / 2;
+    trainer_config.model_dir =
+        "/tmp/dfp_bench_stream_" + std::to_string(::getpid());
+    auto trainer = stream::ContinuousTrainer::Create(
+        trainer_config, db2->get(), &model_registry);
+    if (!trainer.ok()) {
+        std::fprintf(stderr, "trainer create failed: %s\n",
+                     trainer.status().ToString().c_str());
+        return 1;
+    }
+    double retrain_seconds_total = 0.0;
+    while (!source.exhausted()) {
+        stream::TransactionBatch batch = source.NextBatch(kBatch);
+        if (!(*trainer)->Ingest(std::move(batch)).ok()) {
+            std::fprintf(stderr, "ingest failed\n");
+            return 1;
+        }
+        auto pumped = (*trainer)->MaybeRetrain();
+        if (!pumped.ok()) {
+            std::fprintf(stderr, "retrain failed: %s\n",
+                         pumped.status().ToString().c_str());
+            return 1;
+        }
+        if (*pumped) {
+            retrain_seconds_total += (*trainer)->stats().last_retrain_seconds;
+        }
+    }
+    const stream::TrainerStats stats = (*trainer)->stats();
+    const double retrain_seconds =
+        stats.retrains > 0
+            ? retrain_seconds_total / static_cast<double>(stats.retrains)
+            : 0.0;
+    // Staleness of the replaced model at the last swap, as exported by the
+    // trainer itself (dfp.stream.staleness_seconds).
+    double staleness = 0.0;
+    {
+        const auto snap = registry.Snapshot();
+        if (const auto it = snap.gauges.find("dfp.stream.staleness_seconds");
+            it != snap.gauges.end()) {
+            staleness = it->second;
+        }
+    }
+    TablePrinter table({"retrains", "avg retrain s", "staleness s",
+                        "model version"});
+    table.AddRow({std::to_string(stats.retrains),
+                  StrFormat("%.3f", retrain_seconds),
+                  StrFormat("%.3f", staleness),
+                  std::to_string(stats.last_model_version)});
+    table.Print();
+    registry.GetGauge("dfp.bench.stream.retrains")
+        .Set(static_cast<double>(stats.retrains));
+    registry.GetGauge("dfp.bench.stream.retrain_seconds").Set(retrain_seconds);
+    registry.GetGauge("dfp.bench.stream.staleness_seconds").Set(staleness);
+
+    bench::WriteBenchReport("stream");
+    return 0;
+}

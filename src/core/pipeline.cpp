@@ -158,16 +158,6 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         .GetGauge("dfp.parallel.pipeline_threads")
         .Set(static_cast<double>(resolved_threads));
     const std::size_t guard_mark = GuardLog::Get().size();
-    // Collects the guard events recorded since Train started (the log is
-    // process-wide; run reports drain it separately).
-    auto finalize_report = [&] {
-        std::vector<GuardEvent> events = GuardLog::Get().Snapshot();
-        const std::size_t from = std::min(guard_mark, events.size());
-        budget_report_.events.assign(
-            std::make_move_iterator(events.begin() +
-                                    static_cast<std::ptrdiff_t>(from)),
-            std::make_move_iterator(events.end()));
-    };
     // One wall-clock deadline for the whole run; every stage gets whatever
     // remains of it.
     DeadlineTimer timer(config_.budget.time_budget_ms);
@@ -198,7 +188,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
             MineOutcome<Pattern> outcome = std::move(mined).value();
             if (outcome.breach == BudgetBreach::kCancelled) {
                 budget_report_.mine_breach = outcome.breach;
-                finalize_report();
+                FinalizeReport(guard_mark);
                 return Status::Cancelled(StrFormat(
                     "pipeline training cancelled during mining (%zu patterns "
                     "pooled)",
@@ -253,6 +243,57 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     }
     stats_.num_candidates = candidates_.size();
 
+    return FinishTrain(train, std::move(learner), timer, resolved_threads,
+                       guard_mark);
+}
+
+Status PatternClassifierPipeline::TrainWithCandidates(
+    const TransactionDatabase& train, std::vector<Pattern> candidates,
+    std::unique_ptr<Classifier> learner) {
+    if (learner == nullptr) {
+        return Status::InvalidArgument("pipeline requires a learner");
+    }
+    if (train.num_transactions() == 0) {
+        return Status::InvalidArgument("empty training database");
+    }
+    obs::Span train_span("train");
+    budget_report_ = BudgetReport{};
+    const std::size_t resolved_threads = ResolveNumThreads(config_.num_threads);
+    obs::Registry::Get()
+        .GetGauge("dfp.parallel.pipeline_threads")
+        .Set(static_cast<double>(resolved_threads));
+    const std::size_t guard_mark = GuardLog::Get().size();
+    DeadlineTimer timer(config_.budget.time_budget_ms);
+
+    {
+        // Mirror the mining path's pooling: dedup by itemset, drop singletons
+        // (redundant next to the single-item block of I ∪ F), re-anchor
+        // cover/support/class counts on this training database.
+        obs::Span pool_span("pool_dedup");
+        std::unordered_set<Itemset, ItemsetHash> seen;
+        candidates_.clear();
+        candidates_.reserve(candidates.size());
+        for (Pattern& p : candidates) {
+            if (p.items.size() <= 1) continue;
+            if (seen.insert(p.items).second) {
+                candidates_.push_back(std::move(p));
+            }
+        }
+        AttachMetadata(train, &candidates_);
+        pool_span.Annotate("pooled", static_cast<double>(candidates_.size()));
+        stats_.mine_seconds = pool_span.ElapsedSeconds();
+    }
+    stats_.num_candidates = candidates_.size();
+
+    return FinishTrain(train, std::move(learner), timer, resolved_threads,
+                       guard_mark);
+}
+
+Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
+                                              std::unique_ptr<Classifier> learner,
+                                              DeadlineTimer& timer,
+                                              std::size_t resolved_threads,
+                                              std::size_t guard_mark) {
     std::vector<Pattern> features;
     {
         obs::Span select_span("mmrfs");
@@ -266,7 +307,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
             const MmrfsResult selection = RunMmrfs(train, candidates_, sc);
             if (selection.breach == BudgetBreach::kCancelled) {
                 budget_report_.select_breach = selection.breach;
-                finalize_report();
+                FinalizeReport(guard_mark);
                 return Status::Cancelled(
                     "pipeline training cancelled during feature selection");
             }
@@ -305,13 +346,13 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         learner->SetNumThreads(resolved_threads);
         const Status learned = learner->Train(x, train.labels(), num_classes_);
         if (!learned.ok()) {
-            finalize_report();
+            FinalizeReport(guard_mark);
             return learned;
         }
         stats_.learn_seconds = learn_span.ElapsedSeconds();
     }
     learner_ = std::move(learner);
-    finalize_report();
+    FinalizeReport(guard_mark);
     PublishPipelineStats(stats_);
     if (budget_report_.degraded()) {
         DFP_LOG_WARN(StrFormat(
@@ -328,6 +369,17 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         stats_.num_candidates, stats_.mine_seconds, stats_.num_selected,
         stats_.select_seconds, feature_space_.dim(), stats_.learn_seconds));
     return Status::Ok();
+}
+
+void PatternClassifierPipeline::FinalizeReport(std::size_t guard_mark) {
+    // Collects the guard events recorded since Train started (the log is
+    // process-wide; run reports drain it separately).
+    std::vector<GuardEvent> events = GuardLog::Get().Snapshot();
+    const std::size_t from = std::min(guard_mark, events.size());
+    budget_report_.events.assign(
+        std::make_move_iterator(events.begin() +
+                                static_cast<std::ptrdiff_t>(from)),
+        std::make_move_iterator(events.end()));
 }
 
 ClassLabel PatternClassifierPipeline::Predict(

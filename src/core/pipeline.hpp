@@ -87,6 +87,16 @@ class PatternClassifierPipeline {
     Status Train(const TransactionDatabase& train,
                  std::unique_ptr<Classifier> learner);
 
+    /// Train with an externally mined candidate pool, skipping the mining
+    /// stage: dedups the pool, re-anchors metadata (cover, per-class counts,
+    /// support) on `train`, then runs the same selection → transform → learn
+    /// tail as Train. Candidates need only their itemsets filled. This is the
+    /// streaming entry point: stream::ContinuousTrainer feeds it patterns
+    /// maintained incrementally over the sliding window (DESIGN.md §16).
+    Status TrainWithCandidates(const TransactionDatabase& train,
+                               std::vector<Pattern> candidates,
+                               std::unique_ptr<Classifier> learner);
+
     /// Predicts the class of a raw transaction (sorted item list).
     ClassLabel Predict(const std::vector<ItemId>& transaction) const;
 
@@ -113,6 +123,19 @@ class PatternClassifierPipeline {
     /// partial pool plus the first breach instead of failing.
     Result<MineOutcome<Pattern>> MineCandidatesBudgeted(
         const TransactionDatabase& train, const MinerConfig& mine_config) const;
+
+    /// Shared selection → transform → learn tail. Consumes candidates_ (set
+    /// by the caller), fills stats_/feature_space_/learner_, publishes the
+    /// run's stats and finalizes budget_report_ on every exit path. `timer`
+    /// carries the remaining run deadline.
+    Status FinishTrain(const TransactionDatabase& train,
+                       std::unique_ptr<Classifier> learner,
+                       DeadlineTimer& timer, std::size_t resolved_threads,
+                       std::size_t guard_mark);
+
+    /// Moves the guard events recorded since `guard_mark` into
+    /// budget_report_.events (call before every return from a Train flavour).
+    void FinalizeReport(std::size_t guard_mark);
 
     PipelineConfig config_;
     PipelineStats stats_;

@@ -88,6 +88,7 @@ Result<ServablePtr> ModelRegistry::Reload(const std::string& path) {
         return fail(post);
     }
 
+    MarkPublished();
     RecordPublish(metrics, *servable);
     span.Annotate("version", static_cast<double>(servable->version));
     return servable;
@@ -101,6 +102,7 @@ ServablePtr ModelRegistry::Install(LoadedModel model, std::string source) {
         std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
         current_ = servable;
     }
+    MarkPublished();
     RecordPublish(obs::Registry::Get(), *servable);
     return servable;
 }

@@ -15,6 +15,7 @@
 // taken once per scoring batch, so the mutex is off the per-prediction path.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -81,12 +82,34 @@ class ModelRegistry {
         return snap == nullptr ? 0 : snap->version;
     }
 
+    /// Seconds since the last successful publish (Install, or a Reload that
+    /// survived post-publish verification); negative before any publish.
+    /// This is the served-model staleness signal: the streaming trainer
+    /// exports it per retrain and bench_stream reports it as
+    /// `staleness_seconds`.
+    double SecondsSinceLastPublish() const {
+        std::lock_guard<std::mutex> lock(snapshot_mu_);
+        if (!published_once_) return -1.0;
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - last_publish_)
+            .count();
+    }
+
   private:
     static void RecordPublish(obs::Registry& metrics,
                               const ServableModel& servable);
 
+    /// Stamps last_publish_ (call after a publish sticks).
+    void MarkPublished() {
+        std::lock_guard<std::mutex> lock(snapshot_mu_);
+        last_publish_ = std::chrono::steady_clock::now();
+        published_once_ = true;
+    }
+
     mutable std::mutex snapshot_mu_;  ///< guards current_; pointer-copy only
     ServablePtr current_;
+    std::chrono::steady_clock::time_point last_publish_{};  ///< snapshot_mu_
+    bool published_once_ = false;                           ///< snapshot_mu_
     std::mutex reload_mu_;  ///< serializes writers end to end
     std::uint64_t next_version_ = 1;  ///< guarded by reload_mu_
 };

@@ -1,0 +1,264 @@
+#include "stream/trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "obs/metrics.hpp"
+
+namespace dfp::stream {
+
+namespace {
+
+ClassLabel ScoreWith(const serve::ServableModel& servable,
+                     const std::vector<ItemId>& txn,
+                     serve::PatternMatchIndex::Scratch* scratch) {
+    servable.index.InitScratch(scratch);
+    servable.index.EncodeInto(txn, scratch);
+    return servable.model.learner().Predict(scratch->encoded);
+}
+
+std::vector<double> ClassDistribution(const TransactionDatabase& db) {
+    std::vector<double> dist(db.num_classes(), 0.0);
+    for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+        dist[db.label(t)] += 1.0;
+    }
+    return dist;
+}
+
+}  // namespace
+
+ContinuousTrainer::ContinuousTrainer(ContinuousTrainerConfig config,
+                                     StreamingDatabase* db,
+                                     serve::ModelRegistry* registry)
+    : config_(std::move(config)),
+      db_(db),
+      registry_(registry),
+      miner_(MakeWindowMiner(config_.window_miner, db->config().num_items)),
+      drift_(config_.drift, db->config().num_classes) {}
+
+Result<std::unique_ptr<ContinuousTrainer>> ContinuousTrainer::Create(
+    ContinuousTrainerConfig config, StreamingDatabase* db,
+    serve::ModelRegistry* registry) {
+    if (db == nullptr || registry == nullptr) {
+        return Status::InvalidArgument(
+            "trainer needs a StreamingDatabase and a ModelRegistry");
+    }
+    if (config.model_dir.empty()) {
+        return Status::InvalidArgument("trainer needs a model_dir");
+    }
+    if (config.max_reload_attempts == 0) {
+        return Status::InvalidArgument("max_reload_attempts must be > 0");
+    }
+    if (config.min_window == 0) {
+        return Status::InvalidArgument("min_window must be > 0");
+    }
+    if (config.use_decayed_snapshot && db->config().decay_half_life <= 0.0) {
+        return Status::InvalidArgument(
+            "use_decayed_snapshot requires decay_half_life > 0");
+    }
+    // Fail fast on an unknown learner id instead of on the first retrain.
+    DFP_RETURN_NOT_OK(MakeLearnerByTypeId(config.learner_type).status());
+    std::error_code ec;
+    std::filesystem::create_directories(config.model_dir, ec);
+    if (ec) {
+        return Status::InvalidArgument(StrFormat(
+            "cannot create model_dir '%s': %s", config.model_dir.c_str(),
+            ec.message().c_str()));
+    }
+    return std::unique_ptr<ContinuousTrainer>(
+        new ContinuousTrainer(std::move(config), db, registry));
+}
+
+Result<AppendResult> ContinuousTrainer::Ingest(TransactionBatch batch) {
+    // Canonicalize up front so the rows handed to the window miner are
+    // byte-identical to what the StreamingDatabase stores (its Append
+    // re-canonicalizes, which is then a no-op).
+    for (auto& txn : batch.transactions) {
+        std::sort(txn.begin(), txn.end());
+        txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    }
+    TransactionBatch to_append = batch;  // Append consumes its argument
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Prequential scoring BEFORE the rows become training data: the served
+    // model predicts each incoming row, and correctness feeds the drift
+    // detector. Skipped until a model is serving.
+    if (const serve::ServablePtr snap = registry_->Snapshot()) {
+        for (std::size_t t = 0; t < batch.size(); ++t) {
+            const ClassLabel predicted =
+                ScoreWith(*snap, batch.transactions[t], &scratch_);
+            drift_.ObservePrediction(predicted == batch.labels[t]);
+        }
+    }
+
+    auto appended = db_->Append(std::move(to_append));
+    if (!appended.ok()) return appended.status();  // miner/drift untouched
+
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+        miner_->Insert(batch.transactions[t]);
+        drift_.ObserveLabel(batch.labels[t]);
+    }
+    for (std::size_t t = 0; t < appended->evicted.size(); ++t) {
+        miner_->Evict(appended->evicted.transactions[t]);
+    }
+    rows_since_retrain_ += batch.size();
+    stats_.ingested += batch.size();
+    return appended;
+}
+
+Result<bool> ContinuousTrainer::MaybeRetrain() {
+    std::string trigger;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (db_->window_size() < config_.min_window) return false;
+        if (retry_pending_) {
+            trigger = "retry";
+        } else if (registry_->current_version() == 0) {
+            trigger = "bootstrap";
+        } else if (config_.retrain_every > 0 &&
+                   rows_since_retrain_ >= config_.retrain_every) {
+            trigger = "schedule";
+            ++stats_.schedule_triggers;
+        } else if (config_.drift_trigger) {
+            const DriftVerdict verdict = drift_.Check();
+            if (verdict.drifted) {
+                trigger = verdict.reason;
+                ++stats_.drift_triggers;
+                obs::Registry::Get()
+                    .GetCounter("dfp.stream.drift_detected")
+                    .Inc();
+            }
+        }
+    }
+    if (trigger.empty()) return false;
+    DFP_RETURN_NOT_OK(RetrainNow(trigger));
+    return true;
+}
+
+Status ContinuousTrainer::RetrainNow(const std::string& trigger) {
+    std::lock_guard<std::mutex> retrain_lock(retrain_mu_);
+    const auto started = std::chrono::steady_clock::now();
+
+    // Snapshot phase, under the ingest mutex: the window database and the
+    // incrementally maintained patterns must describe the same window.
+    std::shared_ptr<const TransactionDatabase> window;
+    Result<std::vector<Pattern>> mined = std::vector<Pattern>{};
+    std::uint64_t stream_version = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (db_->window_size() < config_.min_window) {
+            return Status::FailedPrecondition(
+                StrFormat("window has %zu rows, need %zu", db_->window_size(),
+                          config_.min_window));
+        }
+        window = db_->SnapshotWindow();
+        MinerConfig mc = config_.pipeline.miner;
+        // Singletons are redundant next to I in the I ∪ Fs feature space.
+        mc.include_singletons = false;
+        mined = miner_->MineWindow(mc);
+        stream_version = db_->version();
+    }
+    auto fail = [&](Status st) {
+        std::lock_guard<std::mutex> lock(mu_);
+        retry_pending_ = true;
+        ++stats_.retrain_failures;
+        stats_.retry_pending = true;
+        obs::Registry::Get().GetCounter("dfp.stream.retrain_failures").Inc();
+        DFP_LOG_WARN(StrFormat(
+            "stream: retrain (trigger=%s, stream v%llu) failed: %s — "
+            "previous model keeps serving, retry armed",
+            trigger.c_str(), static_cast<unsigned long long>(stream_version),
+            st.message().c_str()));
+        return st;
+    };
+    if (!mined.ok()) return fail(mined.status());
+
+    // Heavy phase, off the ingest path: select → transform → learn, persist,
+    // and publish through the registry's validate-then-swap reload.
+    auto learner = MakeLearnerByTypeId(config_.learner_type);
+    if (!learner.ok()) return fail(learner.status());
+    PatternClassifierPipeline pipeline(config_.pipeline);
+    Status trained = Status::Ok();
+    if (config_.use_decayed_snapshot) {
+        auto decayed = db_->SnapshotDecayed();
+        if (!decayed.ok()) return fail(decayed.status());
+        trained = pipeline.TrainWithCandidates(*decayed, std::move(*mined),
+                                               std::move(*learner));
+    } else {
+        trained = pipeline.TrainWithCandidates(*window, std::move(*mined),
+                                               std::move(*learner));
+    }
+    if (!trained.ok()) return fail(trained);
+
+    const std::string path = ModelPath(stream_version);
+    if (const Status saved = SavePipelineModelToFile(pipeline, path);
+        !saved.ok()) {
+        return fail(saved);
+    }
+
+    // Staleness of the model being replaced, measured at swap time.
+    const double staleness = registry_->SecondsSinceLastPublish();
+    Result<serve::ServablePtr> published =
+        Status::Internal("no reload attempted");
+    for (std::size_t attempt = 0; attempt < config_.max_reload_attempts;
+         ++attempt) {
+        published = registry_->Reload(path);
+        if (published.ok()) break;
+    }
+    if (!published.ok()) return fail(published.status());
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        retry_pending_ = false;
+        rows_since_retrain_ = 0;
+        ++stats_.retrains;
+        stats_.retry_pending = false;
+        stats_.last_stream_version = stream_version;
+        stats_.last_model_version = (*published)->version;
+        stats_.last_retrain_seconds = seconds;
+        // Re-arm drift detection against the fresh model: baseline accuracy
+        // is the training-window fit, baseline labels the window's mix.
+        drift_.SetBaseline(pipeline.Accuracy(*window),
+                           ClassDistribution(*window));
+        drift_.ResetRecent();
+    }
+    auto& metrics = obs::Registry::Get();
+    metrics.GetCounter("dfp.stream.retrains").Inc();
+    metrics.GetGauge("dfp.stream.retrain_seconds").Set(seconds);
+    if (staleness >= 0.0) {
+        metrics.GetGauge("dfp.stream.staleness_seconds").Set(staleness);
+    }
+    DFP_LOG_INFO(StrFormat(
+        "stream: retrained (trigger=%s) on stream v%llu (%zu rows) -> model "
+        "v%llu in %.3fs",
+        trigger.c_str(), static_cast<unsigned long long>(stream_version),
+        window->num_transactions(),
+        static_cast<unsigned long long>((*published)->version), seconds));
+    return Status::Ok();
+}
+
+DriftVerdict ContinuousTrainer::CheckDrift() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drift_.Check();
+}
+
+TrainerStats ContinuousTrainer::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::string ContinuousTrainer::ModelPath(std::uint64_t stream_version) const {
+    return StrFormat("%s/stream_model_v%llu.dfp", config_.model_dir.c_str(),
+                     static_cast<unsigned long long>(stream_version));
+}
+
+}  // namespace dfp::stream

@@ -1,0 +1,211 @@
+// StreamingDatabase unit suite: sequencing/versioning, canonicalization,
+// all-or-nothing validation, FIFO window eviction, snapshot caching,
+// compaction, replay, and the decay-weighted view.
+#include "stream/streaming_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+namespace dfp::stream {
+namespace {
+
+TransactionBatch Batch(std::vector<std::vector<ItemId>> txns,
+                       std::vector<ClassLabel> labels) {
+    TransactionBatch batch;
+    batch.transactions = std::move(txns);
+    batch.labels = std::move(labels);
+    return batch;
+}
+
+StreamConfig SmallConfig() {
+    StreamConfig config;
+    config.num_items = 10;
+    config.num_classes = 2;
+    config.window_capacity = 4;
+    return config;
+}
+
+TEST(StreamingDbTest, ValidatesConfig) {
+    StreamConfig config;
+    EXPECT_FALSE(StreamingDatabase::ValidateConfig(config).ok());
+    config.num_items = 4;
+    EXPECT_FALSE(StreamingDatabase::ValidateConfig(config).ok());
+    config.num_classes = 2;
+    EXPECT_TRUE(StreamingDatabase::ValidateConfig(config).ok());
+    config.window_capacity = 0;
+    EXPECT_FALSE(StreamingDatabase::ValidateConfig(config).ok());
+    config.window_capacity = 8;
+    config.decay_half_life = -1.0;
+    EXPECT_FALSE(StreamingDatabase::ValidateConfig(config).ok());
+    config.decay_half_life = 4.0;
+    config.decay_quantum = 0;
+    EXPECT_FALSE(StreamingDatabase::ValidateConfig(config).ok());
+}
+
+TEST(StreamingDbTest, AppendAssignsSequencesAndVersions) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    auto r1 = (*db)->Append(Batch({{0, 1}, {2}}, {0, 1}));
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(r1->first_seq, 0u);
+    EXPECT_EQ(r1->version, 1u);
+    EXPECT_TRUE(r1->evicted.empty());
+
+    auto r2 = (*db)->Append(Batch({{3}}, {0}));
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->first_seq, 2u);
+    EXPECT_EQ(r2->version, 2u);
+    EXPECT_EQ((*db)->total_appended(), 3u);
+    EXPECT_EQ((*db)->window_size(), 3u);
+}
+
+TEST(StreamingDbTest, CanonicalizesRows) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(Batch({{5, 1, 3, 1, 5}}, {0})).ok());
+    const TransactionBatch window = (*db)->WindowContents();
+    ASSERT_EQ(window.size(), 1u);
+    EXPECT_EQ(window.transactions[0], (std::vector<ItemId>{1, 3, 5}));
+}
+
+TEST(StreamingDbTest, RejectsBadBatchesAtomically) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    // Mismatched arrays.
+    EXPECT_FALSE((*db)->Append(Batch({{1}}, {0, 1})).ok());
+    // Out-of-universe item in the second row: nothing is appended.
+    EXPECT_FALSE((*db)->Append(Batch({{1}, {99}}, {0, 0})).ok());
+    // Out-of-range label.
+    EXPECT_FALSE((*db)->Append(Batch({{1}}, {7})).ok());
+    EXPECT_EQ((*db)->total_appended(), 0u);
+    EXPECT_EQ((*db)->version(), 0u);
+}
+
+TEST(StreamingDbTest, WindowEvictsFifoAndReturnsEvicted) {
+    auto db = StreamingDatabase::Create(SmallConfig());  // capacity 4
+    ASSERT_TRUE(db.ok());
+    for (ItemId i = 0; i < 4; ++i) {
+        ASSERT_TRUE((*db)->Append(Batch({{i}}, {0})).ok());
+    }
+    auto r = (*db)->Append(Batch({{8}, {9}}, {1, 1}));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->evicted.size(), 2u);
+    EXPECT_EQ(r->evicted.transactions[0], (std::vector<ItemId>{0}));
+    EXPECT_EQ(r->evicted.transactions[1], (std::vector<ItemId>{1}));
+    EXPECT_EQ(r->evicted.labels[0], 0);
+    EXPECT_EQ((*db)->window_size(), 4u);
+    EXPECT_EQ((*db)->window_first_seq(), 2u);
+}
+
+TEST(StreamingDbTest, SnapshotWindowIsCachedBetweenAppends) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(Batch({{1}, {2}}, {0, 1})).ok());
+    const auto snap1 = (*db)->SnapshotWindow();
+    const auto snap2 = (*db)->SnapshotWindow();
+    EXPECT_EQ(snap1.get(), snap2.get());
+    EXPECT_EQ(snap1->num_transactions(), 2u);
+
+    ASSERT_TRUE((*db)->Append(Batch({{3}}, {0})).ok());
+    const auto snap3 = (*db)->SnapshotWindow();
+    EXPECT_NE(snap1.get(), snap3.get());
+    EXPECT_EQ(snap3->num_transactions(), 3u);
+    // The old snapshot is still intact for whoever holds it.
+    EXPECT_EQ(snap1->num_transactions(), 2u);
+}
+
+TEST(StreamingDbTest, SnapshotWindowMatchesContents) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(Batch({{0, 1}, {1, 2}, {2, 3}}, {0, 1, 0})).ok());
+    const auto snap = (*db)->SnapshotWindow();
+    ASSERT_EQ(snap->num_transactions(), 3u);
+    EXPECT_EQ(snap->num_items(), 10u);
+    EXPECT_EQ(snap->num_classes(), 2u);
+    EXPECT_EQ(snap->transaction(1), (std::vector<ItemId>{1, 2}));
+    EXPECT_EQ(snap->label(1), 1);
+}
+
+TEST(StreamingDbTest, CompactionTrimsRetainedRows) {
+    StreamConfig config = SmallConfig();
+    config.window_capacity = 4;
+    config.compact_every = 6;
+    auto db = StreamingDatabase::Create(config);
+    ASSERT_TRUE(db.ok());
+    // 5 appends: retained grows past the window (evicted prefix kept).
+    for (ItemId i = 0; i < 5; ++i) {
+        ASSERT_TRUE((*db)->Append(Batch({{i % 8}}, {0})).ok());
+    }
+    EXPECT_EQ((*db)->compactions(), 0u);
+    EXPECT_EQ((*db)->retained_rows(), 5u);
+    // The 6th row crosses compact_every: the evicted prefix is dropped.
+    ASSERT_TRUE((*db)->Append(Batch({{5}}, {0})).ok());
+    EXPECT_EQ((*db)->compactions(), 1u);
+    EXPECT_EQ((*db)->retained_rows(), 4u);
+    EXPECT_EQ((*db)->window_size(), 4u);
+}
+
+TEST(StreamingDbTest, ReplaySinceReturnsSuffixAndFailsWhenCompacted) {
+    StreamConfig config = SmallConfig();
+    config.window_capacity = 3;
+    config.compact_every = 100;  // no compaction during this test
+    auto db = StreamingDatabase::Create(config);
+    ASSERT_TRUE(db.ok());
+    for (ItemId i = 0; i < 5; ++i) {
+        ASSERT_TRUE((*db)->Append(Batch({{i}}, {0})).ok());
+    }
+    auto replay = (*db)->ReplaySince(2);
+    ASSERT_TRUE(replay.ok());
+    ASSERT_EQ(replay->size(), 3u);
+    EXPECT_EQ(replay->transactions[0], (std::vector<ItemId>{2}));
+    // Past the end: empty, not an error.
+    auto empty = (*db)->ReplaySince(100);
+    ASSERT_TRUE(empty.ok());
+    EXPECT_TRUE(empty->empty());
+
+    // Force a compaction, then ask for a compacted-away seq.
+    StreamConfig tight = SmallConfig();
+    tight.window_capacity = 2;
+    tight.compact_every = 3;
+    auto db2 = StreamingDatabase::Create(tight);
+    ASSERT_TRUE(db2.ok());
+    for (ItemId i = 0; i < 6; ++i) {
+        ASSERT_TRUE((*db2)->Append(Batch({{i}}, {0})).ok());
+    }
+    ASSERT_GT((*db2)->compactions(), 0u);
+    const auto gone = (*db2)->ReplaySince(0);
+    EXPECT_EQ(gone.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StreamingDbTest, DecayedSnapshotReplicatesByAge) {
+    StreamConfig config = SmallConfig();
+    config.window_capacity = 8;
+    config.decay_half_life = 1.0;  // weight halves every row of age
+    config.decay_quantum = 4;
+    auto db = StreamingDatabase::Create(config);
+    ASSERT_TRUE(db.ok());
+    // Ages 2, 1, 0 → weights 0.25, 0.5, 1.0 → replicas 1, 2, 4.
+    ASSERT_TRUE((*db)->Append(Batch({{0}, {1}, {2}}, {0, 0, 0})).ok());
+    auto decayed = (*db)->SnapshotDecayed();
+    ASSERT_TRUE(decayed.ok());
+    EXPECT_EQ(decayed->num_transactions(), 7u);
+    std::size_t newest = 0;
+    for (std::size_t t = 0; t < decayed->num_transactions(); ++t) {
+        if (decayed->transaction(t) == std::vector<ItemId>{2}) ++newest;
+    }
+    EXPECT_EQ(newest, 4u);
+}
+
+TEST(StreamingDbTest, DecayedSnapshotRequiresHalfLife) {
+    auto db = StreamingDatabase::Create(SmallConfig());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(Batch({{1}}, {0})).ok());
+    EXPECT_EQ((*db)->SnapshotDecayed().status().code(),
+              StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dfp::stream

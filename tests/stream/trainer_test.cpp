@@ -1,0 +1,264 @@
+// ContinuousTrainer unit suite: config validation, bootstrap/schedule/drift
+// retrain triggers, prequential drift detection across a concept change, and
+// failpoint-injected reload failure (previous model keeps serving, retry
+// armed and eventually succeeding).
+#include "stream/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "common/failpoint.hpp"
+#include "serve/registry.hpp"
+#include "stream/drift.hpp"
+#include "stream/streaming_db.hpp"
+#include "testutil/drift_source.hpp"
+
+namespace dfp::stream {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+  protected:
+    void SetUp() override { FailpointRegistry::Get().DisableAll(); }
+    void TearDown() override { FailpointRegistry::Get().DisableAll(); }
+
+    static std::string ModelDir(const std::string& tag) {
+        return ::testing::TempDir() + "/dfp_stream_" + tag + "_" +
+               std::to_string(::getpid());
+    }
+};
+
+testutil::DriftSourceConfig SourceConfig(std::uint64_t seed) {
+    testutil::DriftSourceConfig config;
+    config.num_phases = 2;
+    config.rows_per_phase = 900;
+    config.eval_rows = 250;
+    config.attributes = 8;
+    config.arity = 3;
+    config.seed = seed;
+    return config;
+}
+
+ContinuousTrainerConfig TrainerConfig(const std::string& model_dir) {
+    ContinuousTrainerConfig config;
+    config.pipeline.miner.min_sup_rel = 0.12;
+    config.pipeline.miner.max_pattern_len = 4;
+    config.pipeline.mmrfs.coverage_delta = 2;
+    config.learner_type = "nb";
+    config.min_window = 200;
+    config.drift.window = 160;
+    config.drift.min_observations = 80;
+    config.drift.accuracy_drop = 0.12;
+    config.drift.class_shift = 0.35;
+    config.model_dir = model_dir;
+    return config;
+}
+
+/// Accuracy of the currently served model over a held-out database, scored
+/// through the same index path the engine uses.
+double ServedAccuracy(const serve::ModelRegistry& registry,
+                      const TransactionDatabase& eval) {
+    const serve::ServablePtr snap = registry.Snapshot();
+    if (snap == nullptr || eval.num_transactions() == 0) return 0.0;
+    serve::PatternMatchIndex::Scratch scratch;
+    std::size_t correct = 0;
+    for (std::size_t t = 0; t < eval.num_transactions(); ++t) {
+        snap->index.InitScratch(&scratch);
+        snap->index.EncodeInto(eval.transaction(t), &scratch);
+        if (snap->model.learner().Predict(scratch.encoded) == eval.label(t)) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(eval.num_transactions());
+}
+
+StreamConfig StreamFor(const testutil::DriftSource& source,
+                       std::size_t capacity) {
+    StreamConfig config;
+    config.num_items = source.num_items();
+    config.num_classes = source.num_classes();
+    config.window_capacity = capacity;
+    return config;
+}
+
+TEST_F(TrainerTest, CreateValidatesConfig) {
+    testutil::DriftSource source(SourceConfig(3));
+    auto db = StreamingDatabase::Create(StreamFor(source, 256));
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+
+    EXPECT_FALSE(
+        ContinuousTrainer::Create(TrainerConfig(""), db->get(), &registry)
+            .ok());
+    EXPECT_FALSE(ContinuousTrainer::Create(TrainerConfig("/tmp/x"), nullptr,
+                                           &registry)
+                     .ok());
+    ContinuousTrainerConfig bad_learner = TrainerConfig("/tmp/x");
+    bad_learner.learner_type = "no-such-learner";
+    EXPECT_FALSE(
+        ContinuousTrainer::Create(bad_learner, db->get(), &registry).ok());
+    ContinuousTrainerConfig decayed = TrainerConfig("/tmp/x");
+    decayed.use_decayed_snapshot = true;  // stream has no decay configured
+    EXPECT_FALSE(
+        ContinuousTrainer::Create(decayed, db->get(), &registry).ok());
+}
+
+TEST_F(TrainerTest, BootstrapsFirstModelOnceWindowFills) {
+    testutil::DriftSource source(SourceConfig(4));
+    auto db = StreamingDatabase::Create(StreamFor(source, 400));
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+    auto trainer = ContinuousTrainer::Create(TrainerConfig(ModelDir("boot")),
+                                             db->get(), &registry);
+    ASSERT_TRUE(trainer.ok()) << trainer.status();
+
+    // Below min_window: the pump does nothing.
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(100)).ok());
+    auto pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok());
+    EXPECT_FALSE(*pumped);
+    EXPECT_EQ(registry.current_version(), 0u);
+
+    // Window filled: bootstrap retrain publishes model v1.
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(200)).ok());
+    pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+    EXPECT_TRUE(*pumped);
+    EXPECT_EQ(registry.current_version(), 1u);
+    const TrainerStats stats = (*trainer)->stats();
+    EXPECT_EQ(stats.retrains, 1u);
+    EXPECT_EQ(stats.retrain_failures, 0u);
+    EXPECT_GT(stats.last_model_version, 0u);
+
+    // The bootstrapped model actually fits the phase it trained on.
+    EXPECT_GE(ServedAccuracy(registry, source.EvalSet(0)), 0.70);
+}
+
+TEST_F(TrainerTest, ScheduleTriggersRetrainEveryNRows) {
+    testutil::DriftSource source(SourceConfig(5));
+    auto db = StreamingDatabase::Create(StreamFor(source, 400));
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+    ContinuousTrainerConfig config = TrainerConfig(ModelDir("sched"));
+    config.retrain_every = 300;
+    config.drift_trigger = false;
+    auto trainer = ContinuousTrainer::Create(config, db->get(), &registry);
+    ASSERT_TRUE(trainer.ok());
+
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(300)).ok());
+    ASSERT_TRUE((*trainer)->MaybeRetrain().ok());  // bootstrap
+    ASSERT_EQ(registry.current_version(), 1u);
+
+    // 299 rows since retrain: no trigger. One more row: schedule fires.
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(299)).ok());
+    auto pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok());
+    EXPECT_FALSE(*pumped);
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(1)).ok());
+    pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+    EXPECT_TRUE(*pumped);
+    EXPECT_EQ(registry.current_version(), 2u);
+    EXPECT_EQ((*trainer)->stats().schedule_triggers, 1u);
+}
+
+TEST_F(TrainerTest, DetectsDriftAndRecovers) {
+    testutil::DriftSource source(SourceConfig(6));
+    auto db = StreamingDatabase::Create(StreamFor(source, 500));
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+    auto trainer = ContinuousTrainer::Create(TrainerConfig(ModelDir("drift")),
+                                             db->get(), &registry);
+    ASSERT_TRUE(trainer.ok());
+
+    // Phase 0: fill the window and bootstrap.
+    while (source.PhaseOf(source.position()) == 0 && !source.exhausted()) {
+        ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(50)).ok());
+        ASSERT_TRUE((*trainer)->MaybeRetrain().ok());
+    }
+    const std::uint64_t phase0_version = registry.current_version();
+    ASSERT_GT(phase0_version, 0u);
+    const double phase0_acc = ServedAccuracy(registry, source.EvalSet(0));
+    EXPECT_GE(phase0_acc, 0.70);
+
+    // Phase 1: the concept changed. Prequential accuracy collapses, the
+    // detector fires, the trainer retrains on the new window.
+    while (!source.exhausted()) {
+        ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(50)).ok());
+        ASSERT_TRUE((*trainer)->MaybeRetrain().ok());
+    }
+    const TrainerStats stats = (*trainer)->stats();
+    EXPECT_GT(stats.drift_triggers, 0u);
+    EXPECT_GT(registry.current_version(), phase0_version);
+    const double phase1_acc = ServedAccuracy(registry, source.EvalSet(1));
+    EXPECT_GE(phase1_acc, phase0_acc - 0.10)
+        << "accuracy did not recover after drift";
+}
+
+TEST_F(TrainerTest, ReloadFailureLeavesPreviousModelServingAndRetries) {
+    testutil::DriftSource source(SourceConfig(7));
+    auto db = StreamingDatabase::Create(StreamFor(source, 400));
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+    ContinuousTrainerConfig config = TrainerConfig(ModelDir("failpoint"));
+    config.retrain_every = 200;
+    config.drift_trigger = false;
+    auto trainer = ContinuousTrainer::Create(config, db->get(), &registry);
+    ASSERT_TRUE(trainer.ok());
+
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(300)).ok());
+    ASSERT_TRUE((*trainer)->MaybeRetrain().ok());
+    ASSERT_EQ(registry.current_version(), 1u);
+
+    // Arm a one-shot validation failure: the next reload fails after a full
+    // train cycle, the previous version must keep serving.
+    ASSERT_TRUE(FailpointRegistry::Get()
+                    .Configure("serve.registry.validate=nth(1)", 1)
+                    .ok());
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(200)).ok());
+    auto pumped = (*trainer)->MaybeRetrain();
+    EXPECT_FALSE(pumped.ok());  // the triggered retrain failed to publish
+    EXPECT_EQ(registry.current_version(), 1u) << "failed reload evicted model";
+    TrainerStats stats = (*trainer)->stats();
+    EXPECT_EQ(stats.retrain_failures, 1u);
+    EXPECT_TRUE(stats.retry_pending);
+
+    // The failpoint was one-shot: the armed retry succeeds on the next pump
+    // without any new data.
+    pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+    EXPECT_TRUE(*pumped);
+    EXPECT_EQ(registry.current_version(), 2u);
+    stats = (*trainer)->stats();
+    EXPECT_FALSE(stats.retry_pending);
+    EXPECT_EQ(stats.retrains, 2u);
+}
+
+TEST_F(TrainerTest, DecayedSnapshotTrainingWorksEndToEnd) {
+    testutil::DriftSource source(SourceConfig(8));
+    StreamConfig stream_config = StreamFor(source, 400);
+    stream_config.decay_half_life = 200.0;
+    stream_config.decay_quantum = 4;
+    auto db = StreamingDatabase::Create(stream_config);
+    ASSERT_TRUE(db.ok());
+    serve::ModelRegistry registry;
+    ContinuousTrainerConfig config = TrainerConfig(ModelDir("decay"));
+    config.use_decayed_snapshot = true;
+    // Also exercises the non-default maintenance strategy inside the trainer.
+    config.window_miner = WindowMinerKind::kIncremental;
+    auto trainer = ContinuousTrainer::Create(config, db->get(), &registry);
+    ASSERT_TRUE(trainer.ok()) << trainer.status();
+
+    ASSERT_TRUE((*trainer)->Ingest(source.NextBatch(400)).ok());
+    auto pumped = (*trainer)->MaybeRetrain();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+    EXPECT_TRUE(*pumped);
+    EXPECT_GE(ServedAccuracy(registry, source.EvalSet(0)), 0.65);
+}
+
+}  // namespace
+}  // namespace dfp::stream

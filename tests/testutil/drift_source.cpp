@@ -1,0 +1,85 @@
+#include "testutil/drift_source.hpp"
+
+#include <cassert>
+
+#include "data/synthetic.hpp"
+
+namespace dfp::testutil {
+
+namespace {
+
+SyntheticSpec PhaseSpec(const DriftSourceConfig& config, std::size_t phase) {
+    SyntheticSpec spec;
+    spec.name = "drift_phase";
+    spec.classes = config.classes;
+    spec.attributes = config.attributes;
+    spec.arity = config.arity;
+    spec.label_noise = config.label_noise;
+    // Strong planted patterns and mild marginals: the concept lives in value
+    // combinations, so a drifted phase genuinely requires re-mining.
+    spec.carrier_prob = 0.75;
+    spec.marginal_skew = 0.30;
+    spec.leak_prob = 0.05;
+    // A distinct seed per phase replants the concepts — that IS the drift.
+    spec.seed = config.seed * 7919 + phase * 104729 + 17;
+    return spec;
+}
+
+}  // namespace
+
+DriftSource::DriftSource(DriftSourceConfig config) : config_(config) {
+    assert(config_.num_phases > 0);
+    stream_.reserve(config_.num_phases * config_.rows_per_phase);
+    labels_.reserve(config_.num_phases * config_.rows_per_phase);
+    eval_sets_.reserve(config_.num_phases);
+
+    for (std::size_t phase = 0; phase < config_.num_phases; ++phase) {
+        // One dataset per phase covering stream + eval rows: the generator
+        // plants the phase's concepts from the seed, then draws rows i.i.d.
+        // from them. The first rows_per_phase rows stream; the remaining
+        // eval_rows form the held-out set of the same concept.
+        SyntheticSpec spec = PhaseSpec(config_, phase);
+        spec.rows = config_.rows_per_phase + config_.eval_rows;
+        const Dataset data = GenerateSynthetic(spec);
+
+        // The schema depends only on the shape (shared by every phase), so
+        // the item universe is identical across phases.
+        auto encoder = ItemEncoder::FromSchema(data);
+        assert(encoder.ok());
+        if (phase == 0) num_items_ = encoder->num_items();
+        assert(encoder->num_items() == num_items_);
+
+        std::vector<std::vector<ItemId>> eval_txns;
+        std::vector<ClassLabel> eval_labels;
+        eval_txns.reserve(config_.eval_rows);
+        eval_labels.reserve(config_.eval_rows);
+        for (std::size_t r = 0; r < data.num_rows(); ++r) {
+            if (r < config_.rows_per_phase) {
+                stream_.push_back(encoder->EncodeRow(data, r));
+                labels_.push_back(data.label(r));
+            } else {
+                eval_txns.push_back(encoder->EncodeRow(data, r));
+                eval_labels.push_back(data.label(r));
+            }
+        }
+        eval_sets_.push_back(TransactionDatabase::FromTransactions(
+            std::move(eval_txns), std::move(eval_labels), num_items_,
+            config_.classes));
+    }
+}
+
+stream::TransactionBatch DriftSource::NextBatch(std::size_t n) {
+    stream::TransactionBatch batch;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(position_ + n, total_rows());
+    batch.transactions.reserve(static_cast<std::size_t>(end - position_));
+    batch.labels.reserve(static_cast<std::size_t>(end - position_));
+    for (; position_ < end; ++position_) {
+        batch.transactions.push_back(
+            stream_[static_cast<std::size_t>(position_)]);
+        batch.labels.push_back(labels_[static_cast<std::size_t>(position_)]);
+    }
+    return batch;
+}
+
+}  // namespace dfp::testutil

@@ -1,0 +1,86 @@
+// Deterministic concept-drifting stream source for tests and benches.
+//
+// Piecewise-stationary: the stream is a sequence of phases, each a seeded
+// synthetic dataset (data/synthetic) with the SAME shape — rows, attributes,
+// arity, classes — but a DIFFERENT generator seed. Identical shape means an
+// identical schema and therefore an identical ItemEncoder and item universe
+// across phases; a different seed means different planted concept patterns
+// and different class-conditional distributions. Crossing a phase boundary is
+// therefore a pure concept drift: the vocabulary stays fixed while the
+// pattern→class mapping changes, which is exactly what the ContinuousTrainer
+// must detect and retrain through.
+//
+// Every phase also carries a held-out evaluation database drawn from the same
+// phase distribution (disjoint seed), so tests can measure "accuracy on the
+// current concept" at any point in the stream.
+//
+// Deterministic in config.seed: batches, boundaries and eval sets are
+// identical across runs, platforms, and sanitizers. Used by tests/stream/
+// (scenario + golden-equivalence suites) and bench/bench_stream.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "data/transaction_db.hpp"
+#include "stream/streaming_db.hpp"
+
+namespace dfp::testutil {
+
+struct DriftSourceConfig {
+    std::size_t num_phases = 3;
+    std::size_t rows_per_phase = 1800;
+    std::size_t eval_rows = 300;  ///< held-out rows per phase
+    std::size_t attributes = 8;
+    std::size_t arity = 3;
+    std::size_t classes = 2;
+    double label_noise = 0.02;
+    std::uint64_t seed = 1;
+};
+
+class DriftSource {
+  public:
+    explicit DriftSource(DriftSourceConfig config);
+
+    std::size_t num_items() const { return num_items_; }
+    std::size_t num_classes() const { return config_.classes; }
+    std::size_t num_phases() const { return config_.num_phases; }
+    std::uint64_t total_rows() const {
+        return static_cast<std::uint64_t>(config_.num_phases) *
+               config_.rows_per_phase;
+    }
+
+    /// Phase of the row at stream position `row` (0-based).
+    std::size_t PhaseOf(std::uint64_t row) const {
+        return static_cast<std::size_t>(row / config_.rows_per_phase);
+    }
+
+    /// Stream cursor: rows handed out so far.
+    std::uint64_t position() const { return position_; }
+    bool exhausted() const { return position_ >= total_rows(); }
+
+    /// Next `n` rows (canonical transactions + labels), advancing the cursor;
+    /// a batch may straddle a phase boundary. Returns fewer than `n` rows
+    /// (possibly zero) at the end of the stream.
+    stream::TransactionBatch NextBatch(std::size_t n);
+
+    /// Rewinds the cursor to the start of the stream.
+    void Reset() { position_ = 0; }
+
+    /// Held-out evaluation database of one phase.
+    const TransactionDatabase& EvalSet(std::size_t phase) const {
+        return eval_sets_[phase];
+    }
+
+  private:
+    DriftSourceConfig config_;
+    std::size_t num_items_ = 0;
+    /// All stream rows, phase-major: row r of the stream is stream_[r].
+    std::vector<std::vector<ItemId>> stream_;
+    std::vector<ClassLabel> labels_;
+    std::vector<TransactionDatabase> eval_sets_;
+    std::uint64_t position_ = 0;
+};
+
+}  // namespace dfp::testutil

@@ -9,20 +9,30 @@
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
 // requests finish and their responses flush, then the process exits 0.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/failpoint.hpp"
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
 #include "obs/export.hpp"
 #include "obs/reqtrace.hpp"
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "stream/streaming_db.hpp"
+#include "stream/trainer.hpp"
 
 namespace {
 
@@ -55,6 +65,14 @@ void Usage(const char* argv0) {
         "                          with per-stage breakdown (default: off)\n"
         "  --io-timeout-s <s>      per-connection read/write deadline in\n"
         "                          seconds (slow-loris defense; default: off)\n"
+        "  --stream-ingest         manual soak mode: a background thread\n"
+        "                          streams a rotating-seed synthetic source\n"
+        "                          through the ContinuousTrainer, which\n"
+        "                          retrains on drift and hot-reloads the\n"
+        "                          serving model (DESIGN.md section 16)\n"
+        "  --stream-rate <n>       soak ingest rate in rows/s (default 500)\n"
+        "  --stream-drift-every <n> rows between synthetic concept drifts\n"
+        "                          (seed rotation; default 5000)\n"
         "  --failpoints <spec>     arm deterministic failpoints, e.g.\n"
         "                          'serve.socket.write=prob(0.1):error;\n"
         "                          serve.registry.swap=nth(3)' (chaos testing;\n"
@@ -76,6 +94,9 @@ int main(int argc, char** argv) {
     std::string snapshot_out;
     std::string failpoint_spec;
     std::uint64_t failpoint_seed = 1;
+    bool stream_ingest = false;
+    std::size_t stream_rate = 500;
+    std::size_t stream_drift_every = 5000;
     ServerConfig server_config;
     EngineConfig engine_config;
 
@@ -122,6 +143,14 @@ int main(int argc, char** argv) {
             const double seconds = std::atof(flag_value(i, "--io-timeout-s"));
             server_config.read_timeout_s = seconds;
             server_config.write_timeout_s = seconds;
+        } else if (std::strcmp(argv[i], "--stream-ingest") == 0) {
+            stream_ingest = true;
+        } else if (std::strcmp(argv[i], "--stream-rate") == 0) {
+            stream_rate = static_cast<std::size_t>(
+                std::strtoull(flag_value(i, "--stream-rate"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--stream-drift-every") == 0) {
+            stream_drift_every = static_cast<std::size_t>(std::strtoull(
+                flag_value(i, "--stream-drift-every"), nullptr, 10));
         } else if (std::strcmp(argv[i], "--failpoints") == 0) {
             failpoint_spec = flag_value(i, "--failpoints");
         } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -191,6 +220,99 @@ int main(int argc, char** argv) {
             snapshot_out, /*period_seconds=*/2.0);
     }
 
+    // --stream-ingest: a background soak streams a rotating-seed synthetic
+    // source through the ContinuousTrainer, which retrains on drift and hot-
+    // reloads the serving model through the same registry the server reads.
+    std::atomic<bool> stream_stop{false};
+    std::thread stream_thread;
+    std::unique_ptr<stream::StreamingDatabase> stream_db;
+    std::unique_ptr<stream::ContinuousTrainer> stream_trainer;
+    if (stream_ingest) {
+        // The item universe comes from the synthetic shape (shared by every
+        // phase); the first scheduled retrain swaps a matching model in.
+        SyntheticSpec shape;
+        shape.classes = 2;
+        shape.attributes = 10;
+        shape.arity = 3;
+        shape.rows = 1;
+        const auto probe = ItemEncoder::FromSchema(GenerateSynthetic(shape));
+        stream::StreamConfig stream_config;
+        stream_config.num_items = probe->num_items();
+        stream_config.num_classes = shape.classes;
+        stream_config.window_capacity = 2048;
+        auto created_db = stream::StreamingDatabase::Create(stream_config);
+        if (!created_db.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         created_db.status().ToString().c_str());
+            return 1;
+        }
+        stream_db = std::move(*created_db);
+        stream::ContinuousTrainerConfig trainer_config;
+        trainer_config.pipeline.miner.min_sup_rel = 0.10;
+        trainer_config.pipeline.miner.max_pattern_len = 4;
+        trainer_config.pipeline.mmrfs.coverage_delta = 2;
+        trainer_config.retrain_every = 1024;
+        trainer_config.min_window = 512;
+        trainer_config.model_dir =
+            "/tmp/dfp_serve_stream_" + std::to_string(::getpid());
+        auto created_trainer = stream::ContinuousTrainer::Create(
+            trainer_config, stream_db.get(), &registry);
+        if (!created_trainer.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         created_trainer.status().ToString().c_str());
+            return 1;
+        }
+        stream_trainer = std::move(*created_trainer);
+        std::printf(
+            "dfp_serve: stream-ingest soak on (%zu rows/s, drift every %zu "
+            "rows, models in %s)\n",
+            stream_rate, stream_drift_every,
+            trainer_config.model_dir.c_str());
+
+        stream_thread = std::thread([&, shape] {
+            constexpr std::size_t kBatch = 64;
+            const auto batch_interval = std::chrono::duration<double>(
+                static_cast<double>(kBatch) /
+                static_cast<double>(std::max<std::size_t>(1, stream_rate)));
+            std::uint64_t phase = 0;
+            while (!stream_stop.load(std::memory_order_relaxed)) {
+                SyntheticSpec spec = shape;
+                spec.rows = stream_drift_every;
+                spec.seed = 1 + phase * 104729;  // rotate the concept
+                const Dataset data = GenerateSynthetic(spec);
+                const auto encoder = ItemEncoder::FromSchema(data);
+                std::size_t row = 0;
+                while (row < data.num_rows() &&
+                       !stream_stop.load(std::memory_order_relaxed)) {
+                    stream::TransactionBatch batch;
+                    const std::size_t end =
+                        std::min(row + kBatch, data.num_rows());
+                    for (; row < end; ++row) {
+                        batch.transactions.push_back(
+                            encoder->EncodeRow(data, row));
+                        batch.labels.push_back(data.label(row));
+                    }
+                    const auto appended =
+                        stream_trainer->Ingest(std::move(batch));
+                    if (!appended.ok()) {
+                        std::fprintf(stderr, "stream-ingest: %s\n",
+                                     appended.status().ToString().c_str());
+                        return;
+                    }
+                    const auto pumped = stream_trainer->MaybeRetrain();
+                    if (!pumped.ok()) {
+                        // A failed retrain keeps the previous model serving
+                        // and stays armed for retry; the soak carries on.
+                        std::fprintf(stderr, "stream-ingest: retrain: %s\n",
+                                     pumped.status().ToString().c_str());
+                    }
+                    std::this_thread::sleep_for(batch_interval);
+                }
+                ++phase;
+            }
+        });
+    }
+
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
     sigset_t wait_set;
@@ -200,6 +322,20 @@ int main(int argc, char** argv) {
     }
 
     std::printf("dfp_serve: draining...\n");
+    if (stream_thread.joinable()) {
+        stream_stop.store(true);
+        stream_thread.join();
+        const stream::TrainerStats stats = stream_trainer->stats();
+        std::printf(
+            "dfp_serve: stream-ingest soak: %llu rows, %llu retrains "
+            "(%llu drift, %llu schedule), %llu failures, model v%llu\n",
+            static_cast<unsigned long long>(stats.ingested),
+            static_cast<unsigned long long>(stats.retrains),
+            static_cast<unsigned long long>(stats.drift_triggers),
+            static_cast<unsigned long long>(stats.schedule_triggers),
+            static_cast<unsigned long long>(stats.retrain_failures),
+            static_cast<unsigned long long>(stats.last_model_version));
+    }
     server.Stop();
     engine.Stop();
     if (snapshot_writer != nullptr) snapshot_writer->Stop();
