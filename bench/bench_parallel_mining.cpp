@@ -1,23 +1,37 @@
-// Parallel mining throughput: each miner on a dense synthetic corpus at
-// 1 / 2 / N worker threads (N from --threads=, default 4).
+// Parallel-layer throughput: each miner plus MMRFS selection on a dense
+// synthetic corpus at 1 / 2 / 4 / 8 worker threads (ceiling from --threads=,
+// default 8).
 //
-// The parallel layer's contract is "same patterns, less wall clock": the
-// equivalence suite (ctest -L dfp_parallel) certifies the first half, this
-// bench records the second. Results land in BENCH_parallel.json as
-//   dfp.bench.parallel.<miner>.t<k>.seconds / .speedup
+// The parallel layer's contract is "same output, less wall clock": the
+// equivalence + decomposition suites (ctest -L dfp_parallel) certify the
+// first half, this bench records the second. Results land in
+// BENCH_parallel.json as
+//   dfp.bench.parallel.<miner>.t<k>.seconds / .speedup / .efficiency
+//   dfp.bench.parallel.mmrfs.t<k>.seconds / .speedup / .efficiency
 // plus the usual dfp.parallel.* pool counters, so the perf trajectory of the
-// fan-out is machine-tracked alongside the paper tables. On a single-core
-// host the speedups degenerate to ~1.0x (scheduling overhead only) — the
-// numbers that matter are taken on multicore CI hardware.
+// recursive fan-out is machine-tracked alongside the paper tables.
+//
+// Efficiency is speedup normalised by the *usable* hardware parallelism:
+//   efficiency(t) = speedup(t) / min(t, hardware_concurrency)
+// so the number is portable across hosts — on an 8-way box 6x at 8 threads
+// reads 0.75, while on a single-core container (where every thread count
+// time-slices one core and raw speedup degenerates to ~1.0x) it reads the
+// scheduling overhead directly. The bench_diff gate in
+// bench/baselines/parallel.json bounds efficiency, not raw speedup, for
+// exactly this reason; the raw >=6x mining / >=4x MMRFS targets at 8 threads
+// correspond to efficiency >= 0.75 / 0.50 on >=8-way hardware.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/string_util.hpp"
+#include "core/mmrfs.hpp"
 #include "exp/table_printer.hpp"
 #include "fpm/closed_miner.hpp"
 #include "fpm/eclat.hpp"
@@ -29,7 +43,8 @@ using namespace dfp;
 namespace {
 
 // Dense random transactions: enough structure that mining fans out over many
-// first-level subproblems, dense enough that each subproblem has real work.
+// first-level subproblems, dense enough that each subproblem has real work
+// below the first level (so the recursive decomposition actually splits).
 TransactionDatabase DenseCorpus(std::size_t rows, std::size_t items,
                                 double density, std::uint64_t seed) {
     Rng rng(seed);
@@ -51,15 +66,43 @@ struct MinerRow {
     std::unique_ptr<Miner> miner;
 };
 
+double HardwareThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1.0 : static_cast<double>(hw);
+}
+
+// speedup normalised by the parallelism the host can actually deliver at
+// this thread count; 1.0 = perfect scaling on this hardware.
+double Efficiency(double speedup, std::size_t threads) {
+    const double usable = std::min(static_cast<double>(threads),
+                                   HardwareThreads());
+    return usable > 0.0 ? speedup / usable : speedup;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const std::size_t max_threads = static_cast<std::size_t>(
-        bench::FlagValue(argc, argv, "threads", 4));
+        bench::FlagValue(argc, argv, "threads", 8));
     bench::BeginBenchObservability(max_threads);
+    auto& registry = obs::Registry::Get();
+    registry.GetGauge("dfp.bench.parallel.hw_threads").Set(HardwareThreads());
 
-    std::printf("Parallel mining throughput (1 / 2 / %zu threads)\n\n",
-                max_threads);
+    // 1 / 2 / 4 / 8 capped by --threads=, with the cap itself appended when
+    // it is not a member (e.g. --threads=6 measures 1/2/4/6).
+    std::vector<std::size_t> thread_counts;
+    for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+        if (t <= max_threads) thread_counts.push_back(t);
+    }
+    if (thread_counts.empty() || thread_counts.back() != max_threads) {
+        thread_counts.push_back(max_threads);
+    }
+
+    std::printf("Parallel mining + MMRFS throughput (threads:");
+    for (const std::size_t t : thread_counts) std::printf(" %zu", t);
+    std::printf("; host hw_threads=%.0f)\n\n", HardwareThreads());
+
     const auto db = DenseCorpus(/*rows=*/4000, /*items=*/30, /*density=*/0.40,
                                 /*seed=*/11);
     MinerConfig config;
@@ -70,12 +113,8 @@ int main(int argc, char** argv) {
     miners.push_back({"eclat", std::make_unique<EclatMiner>()});
     miners.push_back({"closed", std::make_unique<ClosedMiner>()});
 
-    std::vector<std::size_t> thread_counts = {1, 2};
-    if (max_threads > 2) thread_counts.push_back(max_threads);
-
-    TablePrinter table({"miner", "threads", "patterns", "seconds",
-                        "patterns/s", "speedup"});
-    auto& registry = obs::Registry::Get();
+    TablePrinter table({"stage", "threads", "output", "seconds", "speedup",
+                        "efficiency"});
     for (const auto& row : miners) {
         double serial_seconds = 0.0;
         for (const std::size_t threads : thread_counts) {
@@ -92,19 +131,59 @@ int main(int argc, char** argv) {
             }
             if (threads == 1) serial_seconds = seconds;
             const double speedup = seconds > 0.0 ? serial_seconds / seconds : 1.0;
-            const double rate =
-                seconds > 0.0 ? static_cast<double>(mined->size()) / seconds : 0.0;
+            const double efficiency = Efficiency(speedup, threads);
             table.AddRow({row.name, StrFormat("%zu", threads),
-                          StrFormat("%zu", mined->size()),
-                          StrFormat("%.3f", seconds), StrFormat("%.0f", rate),
-                          StrFormat("%.2fx", speedup)});
+                          StrFormat("%zu patterns", mined->size()),
+                          StrFormat("%.3f", seconds),
+                          StrFormat("%.2fx", speedup),
+                          StrFormat("%.2f", efficiency)});
             const std::string prefix =
                 "dfp.bench.parallel." + row.name + ".t" + std::to_string(threads);
             registry.GetGauge(prefix + ".seconds").Set(seconds);
             registry.GetGauge(prefix + ".speedup").Set(speedup);
+            registry.GetGauge(prefix + ".efficiency").Set(efficiency);
             registry.GetGauge(prefix + ".patterns")
                 .Set(static_cast<double>(mined->size()));
         }
+    }
+
+    // MMRFS selection over the closed pool of the same corpus: the fused
+    // refresh + argmax round is the parallel section; the selected sequence
+    // is thread-count-invariant (certified by the dfp_parallel suite), so
+    // only the wall clock moves.
+    auto pool_result = ClosedMiner().Mine(db, config);
+    if (!pool_result.ok()) {
+        std::fprintf(stderr, "closed pool mining failed: %s\n",
+                     pool_result.status().ToString().c_str());
+        return 1;
+    }
+    std::vector<Pattern> candidates = std::move(*pool_result);
+    AttachMetadata(db, &candidates);
+    MmrfsConfig select;
+    select.coverage_delta = 3;
+    double mmrfs_serial_seconds = 0.0;
+    for (const std::size_t threads : thread_counts) {
+        select.num_threads = threads;
+        (void)RunMmrfs(db, candidates, select);  // warm-up
+        Stopwatch watch;
+        const MmrfsResult result = RunMmrfs(db, candidates, select);
+        const double seconds = watch.ElapsedSeconds();
+        if (threads == 1) mmrfs_serial_seconds = seconds;
+        const double speedup =
+            seconds > 0.0 ? mmrfs_serial_seconds / seconds : 1.0;
+        const double efficiency = Efficiency(speedup, threads);
+        table.AddRow({"mmrfs", StrFormat("%zu", threads),
+                      StrFormat("%zu selected", result.selected.size()),
+                      StrFormat("%.3f", seconds),
+                      StrFormat("%.2fx", speedup),
+                      StrFormat("%.2f", efficiency)});
+        const std::string prefix =
+            "dfp.bench.parallel.mmrfs.t" + std::to_string(threads);
+        registry.GetGauge(prefix + ".seconds").Set(seconds);
+        registry.GetGauge(prefix + ".speedup").Set(speedup);
+        registry.GetGauge(prefix + ".efficiency").Set(efficiency);
+        registry.GetGauge(prefix + ".selected")
+            .Set(static_cast<double>(result.selected.size()));
     }
     table.Print();
 

@@ -13,9 +13,12 @@
 //     the two strategies emit identical pattern sets.
 //  3. Retrain latency + staleness — a full ContinuousTrainer loop (stream →
 //     mine → select → train → save → hot reload through ModelRegistry) on a
-//     row-count schedule; the end-to-end retrain latency and the staleness of
-//     the replaced model at swap time land as
-//       dfp.bench.stream.{retrain_seconds,staleness_seconds,retrains}.
+//     row-count schedule, run serial then with the pipeline's worker threads
+//     opened up (--threads=, default 4); the end-to-end retrain latency, its
+//     threaded counterpart and the staleness of the replaced model at swap
+//     time land as dfp.bench.stream.{retrain_seconds,
+//     retrain_seconds_threaded,retrain_threads_speedup,staleness_seconds,
+//     retrains}.
 //
 // tools/bench_diff gates these against bench/baselines/stream.json.
 #include <unistd.h>
@@ -180,69 +183,111 @@ int main(int argc, char** argv) {
     registry.GetGauge("dfp.bench.stream.mine_speedup").Set(mine_speedup);
 
     // --- Phase 3: end-to-end retrain latency + staleness --------------------
+    // Run the full trainer loop twice: serial pipeline, then the pipeline's
+    // worker threads opened up (--threads=, default 4) — the retrained models
+    // are thread-count-invariant (DESIGN.md §17), so the delta is pure
+    // retrain-latency. Both land in the report:
+    //   dfp.bench.stream.retrain_seconds          (serial, the gated gauge)
+    //   dfp.bench.stream.retrain_seconds_threaded (threads = N)
+    //   dfp.bench.stream.retrain_threads_speedup  (serial / threaded)
     bench::Section("Continuous retraining (schedule every window/2 rows)");
-    source.Reset();
-    auto db2 = stream::StreamingDatabase::Create(stream_config);
-    serve::ModelRegistry model_registry;
-    stream::ContinuousTrainerConfig trainer_config;
-    trainer_config.pipeline.miner = mine_config;
-    trainer_config.pipeline.mmrfs.coverage_delta = 2;
-    trainer_config.learner_type = "nb";
-    trainer_config.retrain_every = window_capacity / 2;
-    trainer_config.drift_trigger = false;
-    trainer_config.min_window = window_capacity / 2;
-    trainer_config.model_dir =
-        "/tmp/dfp_bench_stream_" + std::to_string(::getpid());
-    auto trainer = stream::ContinuousTrainer::Create(
-        trainer_config, db2->get(), &model_registry);
-    if (!trainer.ok()) {
-        std::fprintf(stderr, "trainer create failed: %s\n",
-                     trainer.status().ToString().c_str());
-        return 1;
-    }
-    double retrain_seconds_total = 0.0;
-    while (!source.exhausted()) {
-        stream::TransactionBatch batch = source.NextBatch(kBatch);
-        if (!(*trainer)->Ingest(std::move(batch)).ok()) {
-            std::fprintf(stderr, "ingest failed\n");
-            return 1;
+    struct RetrainRun {
+        std::size_t retrains = 0;
+        double avg_seconds = 0.0;
+        double staleness = 0.0;
+        std::uint64_t version = 0;
+    };
+    auto run_retrain_phase = [&](std::size_t threads,
+                                 RetrainRun* out) -> bool {
+        source.Reset();
+        auto db2 = stream::StreamingDatabase::Create(stream_config);
+        serve::ModelRegistry model_registry;
+        stream::ContinuousTrainerConfig trainer_config;
+        trainer_config.pipeline.miner = mine_config;
+        trainer_config.pipeline.mmrfs.coverage_delta = 2;
+        trainer_config.pipeline.num_threads = threads;
+        trainer_config.learner_type = "nb";
+        trainer_config.retrain_every = window_capacity / 2;
+        trainer_config.drift_trigger = false;
+        trainer_config.min_window = window_capacity / 2;
+        trainer_config.model_dir = "/tmp/dfp_bench_stream_" +
+                                   std::to_string(::getpid()) + "_t" +
+                                   std::to_string(threads);
+        auto trainer = stream::ContinuousTrainer::Create(
+            trainer_config, db2->get(), &model_registry);
+        if (!trainer.ok()) {
+            std::fprintf(stderr, "trainer create failed: %s\n",
+                         trainer.status().ToString().c_str());
+            return false;
         }
-        auto pumped = (*trainer)->MaybeRetrain();
-        if (!pumped.ok()) {
-            std::fprintf(stderr, "retrain failed: %s\n",
-                         pumped.status().ToString().c_str());
-            return 1;
+        double retrain_seconds_total = 0.0;
+        while (!source.exhausted()) {
+            stream::TransactionBatch batch = source.NextBatch(kBatch);
+            if (!(*trainer)->Ingest(std::move(batch)).ok()) {
+                std::fprintf(stderr, "ingest failed\n");
+                return false;
+            }
+            auto pumped = (*trainer)->MaybeRetrain();
+            if (!pumped.ok()) {
+                std::fprintf(stderr, "retrain failed: %s\n",
+                             pumped.status().ToString().c_str());
+                return false;
+            }
+            if (*pumped) {
+                retrain_seconds_total +=
+                    (*trainer)->stats().last_retrain_seconds;
+            }
         }
-        if (*pumped) {
-            retrain_seconds_total += (*trainer)->stats().last_retrain_seconds;
-        }
-    }
-    const stream::TrainerStats stats = (*trainer)->stats();
-    const double retrain_seconds =
-        stats.retrains > 0
-            ? retrain_seconds_total / static_cast<double>(stats.retrains)
-            : 0.0;
-    // Staleness of the replaced model at the last swap, as exported by the
-    // trainer itself (dfp.stream.staleness_seconds).
-    double staleness = 0.0;
-    {
+        const stream::TrainerStats stats = (*trainer)->stats();
+        out->retrains = stats.retrains;
+        out->avg_seconds =
+            stats.retrains > 0
+                ? retrain_seconds_total / static_cast<double>(stats.retrains)
+                : 0.0;
+        out->version = stats.last_model_version;
+        // Staleness of the replaced model at the last swap, as exported by
+        // the trainer itself (dfp.stream.staleness_seconds).
         const auto snap = registry.Snapshot();
         if (const auto it = snap.gauges.find("dfp.stream.staleness_seconds");
             it != snap.gauges.end()) {
-            staleness = it->second;
+            out->staleness = it->second;
         }
-    }
-    TablePrinter table({"retrains", "avg retrain s", "staleness s",
+        return true;
+    };
+    const auto retrain_threads = static_cast<std::size_t>(
+        bench::FlagValue(argc, argv, "threads", 4));
+    RetrainRun serial_run;
+    RetrainRun threaded_run;
+    if (!run_retrain_phase(1, &serial_run)) return 1;
+    if (!run_retrain_phase(retrain_threads, &threaded_run)) return 1;
+    const double retrain_speedup =
+        threaded_run.avg_seconds > 0.0
+            ? serial_run.avg_seconds / threaded_run.avg_seconds
+            : 1.0;
+    TablePrinter table({"threads", "retrains", "avg retrain s", "staleness s",
                         "model version"});
-    table.AddRow({std::to_string(stats.retrains),
-                  StrFormat("%.3f", retrain_seconds),
-                  StrFormat("%.3f", staleness),
-                  std::to_string(stats.last_model_version)});
+    table.AddRow({"1", std::to_string(serial_run.retrains),
+                  StrFormat("%.3f", serial_run.avg_seconds),
+                  StrFormat("%.3f", serial_run.staleness),
+                  std::to_string(serial_run.version)});
+    table.AddRow({std::to_string(retrain_threads),
+                  std::to_string(threaded_run.retrains),
+                  StrFormat("%.3f", threaded_run.avg_seconds),
+                  StrFormat("%.3f", threaded_run.staleness),
+                  std::to_string(threaded_run.version)});
     table.Print();
+    std::printf("retrain speedup at %zu threads: %.2fx\n", retrain_threads,
+                retrain_speedup);
     registry.GetGauge("dfp.bench.stream.retrains")
-        .Set(static_cast<double>(stats.retrains));
-    registry.GetGauge("dfp.bench.stream.retrain_seconds").Set(retrain_seconds);
-    registry.GetGauge("dfp.bench.stream.staleness_seconds").Set(staleness);
+        .Set(static_cast<double>(serial_run.retrains));
+    registry.GetGauge("dfp.bench.stream.retrain_seconds")
+        .Set(serial_run.avg_seconds);
+    registry.GetGauge("dfp.bench.stream.retrain_seconds_threaded")
+        .Set(threaded_run.avg_seconds);
+    registry.GetGauge("dfp.bench.stream.retrain_threads_speedup")
+        .Set(retrain_speedup);
+    registry.GetGauge("dfp.bench.stream.staleness_seconds")
+        .Set(serial_run.staleness);
 
     bench::WriteBenchReport("stream");
     return 0;

@@ -18,17 +18,21 @@ namespace {
 // and how many instances were still under δ coverage at the stop.
 void FlushMmrfsMetrics(std::size_t iterations, std::size_t accepted,
                        std::size_t discarded, const std::vector<double>& gains,
-                       std::size_t under_covered, std::size_t pool_size) {
+                       std::size_t under_covered, std::size_t pool_size,
+                       std::size_t redundancy_evals) {
     auto& registry = obs::Registry::Get();
     static auto& iter_c = registry.GetCounter("dfp.core.mmrfs.iterations");
     static auto& accept_c = registry.GetCounter("dfp.core.mmrfs.accepted");
     static auto& discard_c = registry.GetCounter("dfp.core.mmrfs.discarded");
+    static auto& red_c =
+        registry.GetCounter("dfp.core.mmrfs.redundancy_evals");
     static auto& gain_h = registry.GetHistogram(
         "dfp.core.mmrfs.gain",
         {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
     iter_c.Inc(iterations);
     accept_c.Inc(accepted);
     discard_c.Inc(discarded);
+    red_c.Inc(redundancy_evals);
     for (double g : gains) gain_h.Observe(g);
     registry.GetGauge("dfp.core.mmrfs.under_covered_final")
         .Set(static_cast<double>(under_covered));
@@ -135,51 +139,104 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
         return hit;
     };
 
+    // Greedy loop, one fused parallel pass per round: refresh each remaining
+    // candidate's cached max_{β ∈ Fs} R(α, β) against the β selected *last*
+    // round (nothing else changed — the incremental-cache invariant), compute
+    // its marginal gain, and take a chunk-local argmax. Chunk argmaxes merge
+    // in chunk-index order with a strict `>`, which keeps the lowest-index
+    // candidate among equal gains — exactly the serial left-to-right scan's
+    // tie-break, for any chunking. With incremental_cache off the max is
+    // recomputed over all of Fs in selection order instead: the same max()
+    // over the same doubles, so the certificate path is bitwise identical.
     std::size_t iterations = 0;
+    std::size_t redundancy_evals = 0;
+    std::size_t last_selected = candidates.size();  // none yet
+    const std::size_t chunk_size = std::max<std::size_t>(
+        64, (candidates.size() + threads * 4 - 1) / (threads * 4));
+    const std::size_t num_chunks =
+        (candidates.size() + chunk_size - 1) / chunk_size;
+    struct ChunkBest {
+        double gain = -std::numeric_limits<double>::infinity();
+        std::size_t idx = 0;
+        std::size_t evals = 0;
+    };
+    std::vector<ChunkBest> chunk_best(num_chunks);
     while (under_covered > 0 && result.selected.size() < config.max_features) {
         if (guard.Check(result.selected.size()) != BudgetBreach::kNone) {
             result.breach = guard.breach();
             break;
         }
         ++iterations;
-        // Candidate with maximum marginal gain among the remaining pool.
+        chunk_best.assign(num_chunks, ChunkBest{});
+        ParallelFor(
+            pool.get(), num_chunks,
+            [&](std::size_t cb, std::size_t ce) {
+                for (std::size_t c = cb; c < ce; ++c) {
+                    const std::size_t begin = c * chunk_size;
+                    const std::size_t end =
+                        std::min(candidates.size(), begin + chunk_size);
+                    ChunkBest local;
+                    local.idx = candidates.size();
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (done[i]) continue;
+                        if (config.incremental_cache) {
+                            if (last_selected < candidates.size()) {
+                                const double r = Redundancy(
+                                    candidates[i], candidates[last_selected],
+                                    result.relevance[i],
+                                    result.relevance[last_selected]);
+                                ++local.evals;
+                                max_red[i] = std::max(max_red[i], r);
+                            }
+                        } else if (!result.selected.empty()) {
+                            double m = 0.0;
+                            for (std::size_t s : result.selected) {
+                                const double r = Redundancy(
+                                    candidates[i], candidates[s],
+                                    result.relevance[i], result.relevance[s]);
+                                ++local.evals;
+                                m = std::max(m, r);
+                            }
+                            max_red[i] = m;
+                        }
+                        const double gain = result.relevance[i] - max_red[i];
+                        if (gain > local.gain) {
+                            local.gain = gain;
+                            local.idx = i;
+                        }
+                    }
+                    chunk_best[c] = local;
+                }
+            },
+            /*min_grain=*/1);
         std::size_t best = candidates.size();
         double best_gain = -std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < candidates.size(); ++i) {
-            if (done[i]) continue;
-            const double gain = result.relevance[i] - max_red[i];
-            if (gain > best_gain) {
-                best_gain = gain;
-                best = i;
+        for (const ChunkBest& cb : chunk_best) {
+            redundancy_evals += cb.evals;
+            if (cb.idx < candidates.size() && cb.gain > best_gain) {
+                best_gain = cb.gain;
+                best = cb.idx;
             }
         }
         if (best == candidates.size()) break;  // pool exhausted
         done[best] = 1;
 
-        if (!correctly_covers_needy(best)) continue;  // discard, don't select
+        if (!correctly_covers_needy(best)) {
+            // Discard, don't select: Fs is unchanged, so the next round has
+            // no new β to fold into the cache.
+            last_selected = candidates.size();
+            continue;
+        }
 
         result.selected.push_back(best);
         result.gains.push_back(best_gain);
+        last_selected = best;
         // Update coverage over correctly covered instances.
         candidates[best].cover.ForEach([&](std::uint32_t t) {
             if (db.label(t) != majority[best]) return;
             if (result.coverage[t] == config.coverage_delta - 1) --under_covered;
             if (result.coverage[t] < config.coverage_delta) ++result.coverage[t];
         });
-        // Refresh each remaining candidate's max redundancy against Fs. Each
-        // index writes only its own slot, so the parallel refresh computes
-        // exactly the serial values.
-        ParallelFor(pool.get(), candidates.size(),
-                    [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                            if (done[i]) continue;
-                            const double r = Redundancy(
-                                candidates[i], candidates[best],
-                                result.relevance[i], result.relevance[best]);
-                            max_red[i] = std::max(max_red[i], r);
-                        }
-                    },
-                    /*min_grain=*/64);
     }
     if (result.breach != BudgetBreach::kNone) {
         RecordBreach("core.mmrfs", result.breach,
@@ -187,7 +244,7 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
     }
     FlushMmrfsMetrics(iterations, result.selected.size(),
                       iterations - result.selected.size(), result.gains,
-                      under_covered, candidates.size());
+                      under_covered, candidates.size(), redundancy_evals);
     return result;
 }
 

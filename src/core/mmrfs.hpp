@@ -29,11 +29,20 @@ struct MmrfsConfig {
     std::size_t coverage_delta = 3;
     /// Hard cap on |Fs| (the paper's algorithm has none; useful in sweeps).
     std::size_t max_features = std::numeric_limits<std::size_t>::max();
-    /// Worker threads for the per-candidate scoring inside each greedy round
-    /// (relevance scan + redundancy refresh; the greedy argmax and coverage
-    /// update stay serial). The selected sequence is identical for every
-    /// thread count. 1 = serial; 0 = hardware_concurrency.
+    /// Worker threads for the per-candidate work inside each greedy round:
+    /// the relevance scan and the fused redundancy-refresh + marginal-gain
+    /// argmax run over sharded candidate ranges (chunk-local argmaxes merged
+    /// in chunk order reproduce the serial lowest-index tie-break exactly;
+    /// only the coverage update stays serial). The selected sequence is
+    /// identical for every thread count. 1 = serial; 0 = hardware_concurrency.
     std::size_t num_threads = 1;
+    /// Incremental-redundancy caching: keep max_{β ∈ Fs} R(α, β) per
+    /// candidate α and update it only against the β *newly added* last round,
+    /// making each round O(|F|) instead of O(|F|·|Fs|). Off recomputes the
+    /// max over all of Fs from scratch every round — same doubles bitwise
+    /// (max over an identical value sequence), kept as the certificate path
+    /// the dfp_parallel suite asserts `==` against (DESIGN.md §17).
+    bool incremental_cache = true;
     /// Execution limits; a breach stops the greedy loop early, keeping the
     /// features selected so far (each selection is individually valid).
     ExecutionBudget budget;

@@ -158,6 +158,11 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
         .GetGauge("dfp.parallel.pipeline_threads")
         .Set(static_cast<double>(resolved_threads));
     const std::size_t guard_mark = GuardLog::Get().size();
+    // Worker-utilization bookends: the stage pools fold their busy/wall time
+    // into process-wide counters when they retire, so the delta across Train
+    // is exactly this run's pools (DESIGN.md §17).
+    const std::uint64_t busy_mark = ThreadPool::ProcessBusyNs();
+    const std::uint64_t wall_mark = ThreadPool::ProcessWorkerWallNs();
     // One wall-clock deadline for the whole run; every stage gets whatever
     // remains of it.
     DeadlineTimer timer(config_.budget.time_budget_ms);
@@ -244,7 +249,7 @@ Status PatternClassifierPipeline::Train(const TransactionDatabase& train,
     stats_.num_candidates = candidates_.size();
 
     return FinishTrain(train, std::move(learner), timer, resolved_threads,
-                       guard_mark);
+                       guard_mark, busy_mark, wall_mark);
 }
 
 Status PatternClassifierPipeline::TrainWithCandidates(
@@ -263,6 +268,8 @@ Status PatternClassifierPipeline::TrainWithCandidates(
         .GetGauge("dfp.parallel.pipeline_threads")
         .Set(static_cast<double>(resolved_threads));
     const std::size_t guard_mark = GuardLog::Get().size();
+    const std::uint64_t busy_mark = ThreadPool::ProcessBusyNs();
+    const std::uint64_t wall_mark = ThreadPool::ProcessWorkerWallNs();
     DeadlineTimer timer(config_.budget.time_budget_ms);
 
     {
@@ -286,14 +293,16 @@ Status PatternClassifierPipeline::TrainWithCandidates(
     stats_.num_candidates = candidates_.size();
 
     return FinishTrain(train, std::move(learner), timer, resolved_threads,
-                       guard_mark);
+                       guard_mark, busy_mark, wall_mark);
 }
 
 Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
                                               std::unique_ptr<Classifier> learner,
                                               DeadlineTimer& timer,
                                               std::size_t resolved_threads,
-                                              std::size_t guard_mark) {
+                                              std::size_t guard_mark,
+                                              std::uint64_t busy_mark,
+                                              std::uint64_t wall_mark) {
     std::vector<Pattern> features;
     {
         obs::Span select_span("mmrfs");
@@ -353,6 +362,16 @@ Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
     }
     learner_ = std::move(learner);
     FinalizeReport(guard_mark);
+    // Fraction of worker wall time the run's pools spent executing tasks
+    // (1.0 when the run was serial and no pool existed): the at-a-glance
+    // "did the fan-out actually keep the workers fed" gauge per train.
+    const std::uint64_t busy_ns = ThreadPool::ProcessBusyNs() - busy_mark;
+    const std::uint64_t wall_ns = ThreadPool::ProcessWorkerWallNs() - wall_mark;
+    obs::Registry::Get()
+        .GetGauge("dfp.parallel.train_utilization")
+        .Set(wall_ns > 0 ? static_cast<double>(busy_ns) /
+                               static_cast<double>(wall_ns)
+                         : 1.0);
     PublishPipelineStats(stats_);
     if (budget_report_.degraded()) {
         DFP_LOG_WARN(StrFormat(

@@ -127,11 +127,15 @@ class PatternClassifierPipeline {
     /// Shared selection → transform → learn tail. Consumes candidates_ (set
     /// by the caller), fills stats_/feature_space_/learner_, publishes the
     /// run's stats and finalizes budget_report_ on every exit path. `timer`
-    /// carries the remaining run deadline.
+    /// carries the remaining run deadline; `busy_mark`/`wall_mark` are the
+    /// ThreadPool::ProcessBusyNs()/ProcessWorkerWallNs() values at Train
+    /// entry, diffed on success into the per-train
+    /// dfp.parallel.train_utilization gauge.
     Status FinishTrain(const TransactionDatabase& train,
                        std::unique_ptr<Classifier> learner,
                        DeadlineTimer& timer, std::size_t resolved_threads,
-                       std::size_t guard_mark);
+                       std::size_t guard_mark, std::uint64_t busy_mark,
+                       std::uint64_t wall_mark);
 
     /// Moves the guard events recorded since `guard_mark` into
     /// budget_report_.events (call before every return from a Train flavour).

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <unordered_set>
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fpgrowth.hpp"
+#include "fpm/shard.hpp"
 #include "obs/metrics.hpp"
 
 namespace dfp {
@@ -177,6 +179,266 @@ bool ClosedTopLevel(ClosedContext& ctx, const Itemset& root_closed, ItemId i) {
     return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel path: recursive LCM decomposition with sharded emission
+// (DESIGN.md §17). The DFS mirrors ClosedDfs/ClosedTopLevel exactly — same
+// extension order, same closure/prefix-preservation scans, same guard
+// placement — but a closure subtree whose estimated work (tidset rows ×
+// remaining extension items) exceeds the split threshold is copied into a
+// heap-owned holder and re-submitted to the TaskGroup. Workers reuse
+// per-slot membership/cover scratch across tasks; emissions land in
+// DFS-position-keyed shards whose merge reproduces the serial emission
+// sequence bit for bit.
+// ---------------------------------------------------------------------------
+
+// A spawned closure subtree: the closed set, its cover (copied — the
+// spawning task's per-depth cover slot is overwritten as it continues), and
+// the core item / depth the child DFS resumes from.
+struct ClosedSubtreeHolder {
+    Itemset closed;
+    BitVector tidset;
+    ItemId core = 0;
+    std::size_t depth = 0;
+};
+
+// Per-slot scratch: closed-set membership and per-depth cover slots, both
+// re-initialized per task (membership from the task's holder, covers only
+// grown — the bit storage itself is reused).
+struct ParClosedScratch {
+    std::vector<char> in_closed;
+    std::vector<BitVector> cover_scratch;
+};
+
+struct ParClosedShared {
+    const TransactionDatabase* db = nullptr;
+    std::vector<ItemId> frequent;
+    std::size_t min_sup = 0;
+    std::size_t max_patterns = 0;
+    std::size_t split_threshold = 0;
+    const ExecutionBudget* budget = nullptr;
+    DeadlineTimer timer;
+    SharedMineProgress progress;
+    ShardCollector shards;
+    TaskGroup* group = nullptr;
+    WorkerLocal<ParClosedScratch>* scratch = nullptr;
+    std::size_t num_workers = 0;
+    std::atomic<int> breach{static_cast<int>(BudgetBreach::kNone)};
+    std::atomic<std::uint64_t> nodes{0};
+    std::atomic<std::uint64_t> closures{0};
+
+    ParClosedShared(const MinerConfig& config, std::size_t min_sup_in)
+        : min_sup(min_sup_in),
+          max_patterns(config.max_patterns),
+          split_threshold(config.split_work_threshold),
+          budget(&config.budget),
+          timer(config.budget.time_budget_ms) {}
+
+    void RecordFirstBreach(BudgetBreach b) {
+        int expected = static_cast<int>(BudgetBreach::kNone);
+        breach.compare_exchange_strong(expected, static_cast<int>(b),
+                                       std::memory_order_relaxed);
+    }
+};
+
+struct ParClosedCtx {
+    ParClosedShared* sh;
+    BudgetGuard* guard;
+    ShardEmitter* emitter;
+    ParClosedScratch* scratch;
+    std::size_t slot;
+    std::size_t nodes = 0;
+    std::size_t closure_checks = 0;
+};
+
+void SpawnClosedSubtree(ParClosedCtx& ctx, const Itemset& closure,
+                        const BitVector& tidset, ItemId core,
+                        std::size_t depth);
+
+bool ParClosedDfs(ParClosedCtx& ctx, const Itemset& closed,
+                  const BitVector& tidset, ItemId core, std::size_t depth) {
+    ParClosedShared& sh = *ctx.sh;
+    std::vector<char>& in_closed = ctx.scratch->in_closed;
+    for (std::size_t fi = 0; fi < sh.frequent.size(); ++fi) {
+        const ItemId i = sh.frequent[fi];
+        if (i <= core) continue;
+        if (in_closed[i]) continue;
+        const std::size_t support = tidset.AndCount(sh.db->ItemCover(i));
+        ++ctx.nodes;
+        if (ctx.guard->Check(
+                sh.progress.emitted.load(std::memory_order_relaxed),
+                sh.progress.est_bytes.load(std::memory_order_relaxed)) !=
+            BudgetBreach::kNone) {
+            return false;
+        }
+        if (support < sh.min_sup) continue;
+        BitVector& extended = ctx.scratch->cover_scratch[depth];
+        extended.AssignAnd(tidset, sh.db->ItemCover(i));
+
+        ++ctx.closure_checks;
+        Itemset closure;
+        bool prefix_ok = true;
+        for (ItemId j : sh.frequent) {
+            if (in_closed[j]) {
+                closure.push_back(j);
+                continue;
+            }
+            if (extended.IsSubsetOf(sh.db->ItemCover(j))) {
+                if (j < i) {
+                    prefix_ok = false;
+                    break;
+                }
+                closure.push_back(j);
+            }
+        }
+        if (!prefix_ok) continue;
+
+        std::sort(closure.begin(), closure.end());
+        ctx.emitter->PushRank(static_cast<std::uint32_t>(fi));
+        Pattern p;
+        p.items = closure;
+        p.support = support;
+        const std::size_t bytes =
+            sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+        sh.progress.AddEmitted();
+        sh.progress.AddBytes(bytes);
+        ctx.emitter->Emit(std::move(p));
+
+        // Estimated subtree work: cover rows × extension items still ahead.
+        const std::size_t est = support * (sh.frequent.size() - fi);
+        if (est > sh.split_threshold) {
+            SpawnClosedSubtree(ctx, closure, extended, i, depth + 1);
+        } else {
+            for (ItemId j : closure) in_closed[j] = 1;
+            const bool ok = ParClosedDfs(ctx, closure, extended, i, depth + 1);
+            std::fill(in_closed.begin(), in_closed.end(), 0);
+            for (ItemId j : closed) in_closed[j] = 1;
+            if (!ok) {
+                ctx.emitter->PopRank();
+                return false;
+            }
+        }
+        ctx.emitter->PopRank();
+    }
+    return true;
+}
+
+void RunClosedSubtreeTask(ParClosedShared* sh,
+                          std::shared_ptr<ClosedSubtreeHolder> holder,
+                          ShardKey path, std::size_t slot) {
+    ParClosedScratch& scratch = sh->scratch->At(slot);
+    scratch.in_closed.assign(sh->db->num_items(), 0);
+    for (ItemId j : holder->closed) scratch.in_closed[j] = 1;
+    if (scratch.cover_scratch.size() < sh->frequent.size()) {
+        scratch.cover_scratch.resize(sh->frequent.size());
+    }
+    BudgetGuard guard(TaskBudget(*sh->budget, sh->timer), sh->max_patterns);
+    ShardEmitter emitter(&sh->shards, std::move(path));
+    ParClosedCtx ctx{sh, &guard, &emitter, &scratch, slot};
+    if (!ParClosedDfs(ctx, holder->closed, holder->tidset, holder->core,
+                      holder->depth)) {
+        sh->RecordFirstBreach(guard.breach());
+    }
+    emitter.Flush();
+    sh->nodes.fetch_add(ctx.nodes, std::memory_order_relaxed);
+    sh->closures.fetch_add(ctx.closure_checks, std::memory_order_relaxed);
+}
+
+void SpawnClosedSubtree(ParClosedCtx& ctx, const Itemset& closure,
+                        const BitVector& tidset, ItemId core,
+                        std::size_t depth) {
+    ParClosedShared& sh = *ctx.sh;
+    auto holder = std::make_shared<ClosedSubtreeHolder>();
+    holder->closed = closure;
+    holder->tidset = tidset;
+    holder->core = core;
+    holder->depth = depth;
+    ctx.emitter->Flush();  // contiguity rule: shard ends at the spawn
+    ShardKey child_path = ctx.emitter->path();
+    const std::size_t from =
+        ctx.slot < sh.num_workers ? ctx.slot : ThreadPool::kNoQueue;
+    sh.group->SubmitSlotted(
+        [sh_ptr = &sh, holder = std::move(holder),
+         child_path = std::move(child_path)](std::size_t slot) mutable {
+            RunClosedSubtreeTask(sh_ptr, std::move(holder),
+                                 std::move(child_path), slot);
+        },
+        from);
+}
+
+// The root task: iterates the top-level core items in serial order, emitting
+// each core's closure and descending (inline or via split) into its subtree.
+void RunClosedRootTask(ParClosedShared* sh, const Itemset& root_closed,
+                       const std::vector<ItemId>& cores, std::size_t slot) {
+    ParClosedScratch& scratch = sh->scratch->At(slot);
+    scratch.in_closed.assign(sh->db->num_items(), 0);
+    for (ItemId j : root_closed) scratch.in_closed[j] = 1;
+    if (scratch.cover_scratch.size() < sh->frequent.size()) {
+        scratch.cover_scratch.resize(sh->frequent.size());
+    }
+    BudgetGuard guard(TaskBudget(*sh->budget, sh->timer), sh->max_patterns);
+    ShardEmitter emitter(&sh->shards, {});
+    ParClosedCtx ctx{sh, &guard, &emitter, &scratch, slot};
+    const TransactionDatabase& db = *sh->db;
+    bool ok = true;
+    for (std::size_t k = 0; k < cores.size() && ok; ++k) {
+        const ItemId i = cores[k];
+        // Top-level tidset: the item's own cover — borrowed, not copied.
+        const BitVector& tidset = db.ItemCover(i);
+        const std::size_t support = tidset.Count();
+        ++ctx.nodes;
+        if (guard.Check(sh->progress.emitted.load(std::memory_order_relaxed),
+                        sh->progress.est_bytes.load(
+                            std::memory_order_relaxed)) !=
+            BudgetBreach::kNone) {
+            ok = false;
+            break;
+        }
+        if (support < sh->min_sup) continue;
+        ++ctx.closure_checks;
+        Itemset closure;
+        bool prefix_ok = true;
+        for (ItemId j : sh->frequent) {
+            if (scratch.in_closed[j]) {
+                closure.push_back(j);
+                continue;
+            }
+            if (tidset.IsSubsetOf(db.ItemCover(j))) {
+                if (j < i) {
+                    prefix_ok = false;
+                    break;
+                }
+                closure.push_back(j);
+            }
+        }
+        if (!prefix_ok) continue;
+        std::sort(closure.begin(), closure.end());
+        emitter.PushRank(static_cast<std::uint32_t>(k));
+        Pattern p;
+        p.items = closure;
+        p.support = support;
+        const std::size_t bytes =
+            sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+        sh->progress.AddEmitted();
+        sh->progress.AddBytes(bytes);
+        emitter.Emit(std::move(p));
+
+        const std::size_t est = support * sh->frequent.size();
+        if (est > sh->split_threshold) {
+            SpawnClosedSubtree(ctx, closure, tidset, i, /*depth=*/0);
+        } else {
+            for (ItemId j : closure) scratch.in_closed[j] = 1;
+            ok = ParClosedDfs(ctx, closure, tidset, i, /*depth=*/0);
+            std::fill(scratch.in_closed.begin(), scratch.in_closed.end(), 0);
+            for (ItemId j : root_closed) scratch.in_closed[j] = 1;
+        }
+        emitter.PopRank();
+    }
+    if (!ok) sh->RecordFirstBreach(guard.breach());
+    emitter.Flush();
+    sh->nodes.fetch_add(ctx.nodes, std::memory_order_relaxed);
+    sh->closures.fetch_add(ctx.closure_checks, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
@@ -238,71 +500,50 @@ Result<MineOutcome<Pattern>> ClosedMiner::MineBudgeted(
         nodes = ctx.nodes_expanded;
         closures = ctx.closure_checks;
     } else {
-        // Fan out: task k owns core item cores[k]'s subproblem with its own
-        // closed-set store (in_closed scratch + output slot). LCM's
-        // prefix-preservation makes the per-task CFI stores disjoint, so the
-        // merge concatenates in core order (the serial emission sequence);
-        // the subsumption pass below certifies the no-duplicates invariant.
-        const std::size_t tasks_n = cores.size();
-        std::vector<std::vector<Pattern>> slots(tasks_n);
-        std::vector<ClosedContext> contexts(tasks_n);
-        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
-        SharedMineProgress progress;
-        progress.AddEmitted(out.size());  // the root-closure pattern, if any
-        DeadlineTimer timer(config.budget.time_budget_ms);
-
+        // Recursive decomposition (DESIGN.md §17): one root task walks the
+        // core items in serial order; any closure subtree whose estimated
+        // work exceeds the split threshold is copied into a holder and
+        // re-submitted to the TaskGroup, so parallelism follows the
+        // (exponentially skewed) subtree sizes instead of the first level's
+        // core count. Workers reuse per-slot membership/cover scratch across
+        // tasks; the DFS-keyed shard merge reproduces the serial emission
+        // sequence bit for bit, and a defensive dedup pass guards the
+        // closed-set uniqueness invariant under mid-task truncation.
         ThreadPool pool(threads);
+        WorkerLocal<ParClosedScratch> scratch(pool.num_slots());
         TaskGroup group(pool);
-        for (std::size_t k = 0; k < tasks_n; ++k) {
-            group.Submit([&, k] {
-                BudgetGuard task_guard(TaskBudget(config.budget, timer),
-                                       config.max_patterns);
-                ClosedContext& tctx = contexts[k];
-                tctx.db = &db;
-                tctx.frequent = ctx.frequent;
-                tctx.min_sup = min_sup;
-                tctx.guard = &task_guard;
-                tctx.in_closed = ctx.in_closed;  // == root closure membership
-                tctx.cover_scratch.assign(tctx.frequent.size(), BitVector());
-                tctx.out = &slots[k];
-                tctx.shared = &progress;
-                if (!ClosedTopLevel(tctx, root_closed, cores[k])) {
-                    breaches[k] = task_guard.breach();
-                }
-            });
-        }
+        ParClosedShared shared(config, min_sup);
+        shared.db = &db;
+        shared.frequent = ctx.frequent;
+        shared.group = &group;
+        shared.scratch = &scratch;
+        shared.num_workers = pool.num_workers();
+        shared.progress.AddEmitted(out.size());  // root-closure pattern, if any
+        group.SubmitSlotted([&shared, &root_closed, &cores](std::size_t slot) {
+            RunClosedRootTask(&shared, root_closed, cores, slot);
+        });
         group.Wait();
 
-        std::size_t total = out.size();
-        for (const ClosedContext& tctx : contexts) {
-            nodes += tctx.nodes_expanded;
-            closures += tctx.closure_checks;
-        }
-        for (const auto& slot : slots) total += slot.size();
-        out.reserve(total);
-        // Merge + subsumption pass: drop any itemset already merged. With
-        // complete subproblems this drops nothing (closed sets are unique per
-        // core item); it guards the invariant under mid-task truncation.
+        std::vector<Pattern> merged;
+        shared.shards.MergeInto(&merged);
+        // Dedup: with complete subtrees closed sets are unique (LCM's
+        // prefix-preservation), so this drops nothing; it guards the
+        // invariant when a budget truncated some tasks mid-subtree.
         std::unordered_set<std::string> seen;
-        seen.reserve(total);
+        seen.reserve(out.size() + merged.size());
         auto key = [](const Itemset& items) {
             return std::string(reinterpret_cast<const char*>(items.data()),
                                items.size() * sizeof(ItemId));
         };
         for (const Pattern& p : out) seen.insert(key(p.items));
-        for (std::size_t k = 0; k < tasks_n; ++k) {
-            for (Pattern& p : slots[k]) {
-                if (seen.insert(key(p.items)).second) {
-                    out.push_back(std::move(p));
-                }
-            }
+        out.reserve(out.size() + merged.size());
+        for (Pattern& p : merged) {
+            if (seen.insert(key(p.items)).second) out.push_back(std::move(p));
         }
-        for (BudgetBreach b : breaches) {
-            if (b != BudgetBreach::kNone) {
-                outcome.breach = b;
-                break;
-            }
-        }
+        outcome.breach = static_cast<BudgetBreach>(
+            shared.breach.load(std::memory_order_relaxed));
+        nodes = shared.nodes.load(std::memory_order_relaxed);
+        closures = shared.closures.load(std::memory_order_relaxed);
     }
 
     if (outcome.truncated()) {

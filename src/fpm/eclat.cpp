@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "common/parallel.hpp"
 #include "common/string_util.hpp"
+#include "fpm/shard.hpp"
 #include "obs/metrics.hpp"
 
 namespace dfp {
@@ -178,6 +180,225 @@ bool MineOne(EclatContext& ctx, Itemset& prefix, const Member* members,
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel path: recursive equivalence-class decomposition with sharded
+// emission (DESIGN.md §17). The DFS mirrors MineClass/MineOne exactly —
+// identical candidate staging, identical tidset/diffset switching, identical
+// guard placement — but a child class whose estimated work (surviving
+// siblings × class-cover rows) exceeds the split threshold is copied into a
+// heap-owned holder and re-submitted to the TaskGroup. Workers reuse a
+// per-slot EclatScratch (the level pools that made per-task construction the
+// old fan-out's 0.91× regression), and emit into DFS-position-keyed shards
+// whose merge reproduces the serial emission sequence bit for bit.
+// ---------------------------------------------------------------------------
+
+// A spawned class: its prefix, its members, and the bitvector storage the
+// members point into (copied out of the spawning task's level pool, which is
+// overwritten as that task continues mining its own siblings).
+struct EclatClassHolder {
+    Itemset prefix;
+    std::vector<BitVector> sets;
+    std::vector<Member> members;
+    bool diffset_form = false;
+    std::size_t depth = 0;
+};
+
+struct ParEclatShared {
+    std::size_t min_sup = 0;
+    std::size_t max_len = 0;
+    std::size_t max_patterns = 0;
+    std::size_t split_threshold = 0;
+    std::size_t max_depth = 0;  // root class size: sizes per-slot level pools
+    const ExecutionBudget* budget = nullptr;
+    DeadlineTimer timer;
+    SharedMineProgress progress;
+    ShardCollector shards;
+    TaskGroup* group = nullptr;
+    WorkerLocal<EclatScratch>* scratch = nullptr;
+    std::size_t num_workers = 0;
+    std::atomic<int> breach{static_cast<int>(BudgetBreach::kNone)};
+    std::atomic<std::uint64_t> intersections{0};
+    std::atomic<std::uint64_t> diffset_classes{0};
+
+    ParEclatShared(const MinerConfig& config, std::size_t min_sup_in)
+        : min_sup(min_sup_in),
+          max_len(config.max_pattern_len),
+          max_patterns(config.max_patterns),
+          split_threshold(config.split_work_threshold),
+          budget(&config.budget),
+          timer(config.budget.time_budget_ms) {}
+
+    void RecordFirstBreach(BudgetBreach b) {
+        int expected = static_cast<int>(BudgetBreach::kNone);
+        breach.compare_exchange_strong(expected, static_cast<int>(b),
+                                       std::memory_order_relaxed);
+    }
+};
+
+struct ParEclatCtx {
+    ParEclatShared* sh;
+    BudgetGuard* guard;
+    ShardEmitter* emitter;
+    EclatScratch* scratch;
+    std::size_t slot;
+    std::size_t intersections = 0;
+    std::size_t diffset_classes = 0;
+};
+
+void RunEclatClassTask(ParEclatShared* sh,
+                       std::shared_ptr<EclatClassHolder> holder, ShardKey path,
+                       std::size_t slot);
+
+bool ParMineOne(ParEclatCtx& ctx, Itemset& prefix, const Member* members,
+                std::size_t m, std::size_t k, bool diffset_form,
+                std::size_t depth);
+
+bool ParMineClass(ParEclatCtx& ctx, Itemset& prefix, const Member* members,
+                  std::size_t m, bool diffset_form, std::size_t depth) {
+    for (std::size_t k = 0; k < m; ++k) {
+        if (!ParMineOne(ctx, prefix, members, m, k, diffset_form, depth)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool ParMineOne(ParEclatCtx& ctx, Itemset& prefix, const Member* members,
+                std::size_t m, std::size_t k, bool diffset_form,
+                std::size_t depth) {
+    ParEclatShared& sh = *ctx.sh;
+    const Member& x = members[k];
+    if (ctx.guard->Check(
+            sh.progress.emitted.load(std::memory_order_relaxed),
+            sh.progress.est_bytes.load(std::memory_order_relaxed)) !=
+        BudgetBreach::kNone) {
+        return false;
+    }
+
+    ctx.emitter->PushRank(static_cast<std::uint32_t>(k));
+    prefix.push_back(x.item);
+    Pattern p;
+    p.items = prefix;
+    p.support = x.support;
+    const std::size_t bytes =
+        sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+    sh.progress.AddEmitted();
+    sh.progress.AddBytes(bytes);
+    ctx.emitter->Emit(std::move(p));
+
+    bool ok = true;
+    if (prefix.size() < sh.max_len && k + 1 < m) {
+        EclatLevel& lvl = ctx.scratch->levels[depth];
+        lvl.staged.clear();
+        std::size_t tidset_mass = 0;
+        std::size_t diffset_mass = 0;
+        for (std::size_t j = k + 1; j < m; ++j) {
+            const Member& y = members[j];
+            const std::size_t support =
+                diffset_form ? x.support - y.set->AndNotCount(*x.set)
+                             : x.set->AndCount(*y.set);
+            ++ctx.intersections;
+            if (support < sh.min_sup) continue;
+            lvl.staged.emplace_back(j, support);
+            tidset_mass += support;
+            diffset_mass += x.support - support;
+        }
+        if (!lvl.staged.empty()) {
+            const bool child_diffsets =
+                diffset_form || diffset_mass < tidset_mass;
+            if (child_diffsets) ++ctx.diffset_classes;
+            // Estimated class work: surviving siblings × class-cover rows.
+            const std::size_t est = lvl.staged.size() * x.support;
+            if (est > sh.split_threshold) {
+                // Split: materialize the child class into its own holder
+                // (this task's level pool is reused for its next sibling)
+                // and hand the whole class to the pool.
+                auto holder = std::make_shared<EclatClassHolder>();
+                holder->prefix = prefix;
+                holder->diffset_form = child_diffsets;
+                holder->depth = depth + 1;
+                holder->sets.resize(lvl.staged.size());
+                holder->members.reserve(lvl.staged.size());
+                for (std::size_t s = 0; s < lvl.staged.size(); ++s) {
+                    const auto [j, support] = lvl.staged[s];
+                    const Member& y = members[j];
+                    BitVector& slot_set = holder->sets[s];
+                    if (diffset_form) {
+                        slot_set.AssignAndNot(*y.set, *x.set);
+                    } else if (child_diffsets) {
+                        slot_set.AssignAndNot(*x.set, *y.set);
+                    } else {
+                        slot_set.AssignAnd(*x.set, *y.set);
+                    }
+                    holder->members.push_back(
+                        Member{y.item, support, &slot_set});
+                }
+                ctx.emitter->Flush();  // contiguity: shard ends at the spawn
+                ShardKey child_path = ctx.emitter->path();
+                const std::size_t from = ctx.slot < sh.num_workers
+                                             ? ctx.slot
+                                             : ThreadPool::kNoQueue;
+                sh.group->SubmitSlotted(
+                    [sh_ptr = &sh, holder = std::move(holder),
+                     child_path =
+                         std::move(child_path)](std::size_t slot) mutable {
+                        RunEclatClassTask(sh_ptr, std::move(holder),
+                                          std::move(child_path), slot);
+                    },
+                    from);
+            } else {
+                if (lvl.pool.size() < lvl.staged.size()) {
+                    lvl.pool.resize(lvl.staged.size());
+                }
+                lvl.members.clear();
+                for (std::size_t s = 0; s < lvl.staged.size(); ++s) {
+                    const auto [j, support] = lvl.staged[s];
+                    const Member& y = members[j];
+                    BitVector& slot_set = lvl.pool[s];
+                    if (diffset_form) {
+                        slot_set.AssignAndNot(*y.set, *x.set);
+                    } else if (child_diffsets) {
+                        slot_set.AssignAndNot(*x.set, *y.set);
+                    } else {
+                        slot_set.AssignAnd(*x.set, *y.set);
+                    }
+                    lvl.members.push_back(Member{y.item, support, &slot_set});
+                }
+                ok = ParMineClass(ctx, prefix, lvl.members.data(),
+                                  lvl.members.size(), child_diffsets,
+                                  depth + 1);
+            }
+        }
+    }
+    prefix.pop_back();
+    ctx.emitter->PopRank();
+    return ok;
+}
+
+void RunEclatClassTask(ParEclatShared* sh,
+                       std::shared_ptr<EclatClassHolder> holder, ShardKey path,
+                       std::size_t slot) {
+    EclatScratch& scratch = sh->scratch->At(slot);
+    // Level pools are indexed by absolute depth; depth never exceeds the root
+    // class size. Sized once per slot (idempotent across tasks of one mine).
+    if (scratch.levels.size() < sh->max_depth) {
+        scratch.levels.resize(sh->max_depth);
+    }
+    BudgetGuard guard(TaskBudget(*sh->budget, sh->timer), sh->max_patterns);
+    ShardEmitter emitter(&sh->shards, std::move(path));
+    ParEclatCtx ctx{sh, &guard, &emitter, &scratch, slot};
+    Itemset prefix = holder->prefix;
+    if (!ParMineClass(ctx, prefix, holder->members.data(),
+                      holder->members.size(), holder->diffset_form,
+                      holder->depth)) {
+        sh->RecordFirstBreach(guard.breach());
+    }
+    emitter.Flush();
+    sh->intersections.fetch_add(ctx.intersections, std::memory_order_relaxed);
+    sh->diffset_classes.fetch_add(ctx.diffset_classes,
+                                  std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
@@ -217,57 +438,37 @@ Result<MineOutcome<Pattern>> EclatMiner::MineBudgeted(
         intersections = ctx.intersections;
         diffset_classes = ctx.diffset_classes;
     } else {
-        // Fan out over first-level equivalence-class prefixes: task k mines
-        // the {root[k]}-prefixed class into a private slot; slots concatenate
-        // in item order — the serial emission sequence exactly.
-        const std::size_t tasks_n = root.size();
-        std::vector<std::vector<Pattern>> slots(tasks_n);
-        std::vector<EclatContext> contexts(
-            tasks_n,
-            EclatContext{min_sup, config.max_pattern_len, nullptr, nullptr,
-                         nullptr});
-        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
-        SharedMineProgress progress;
-        DeadlineTimer timer(config.budget.time_budget_ms);
-
+        // Recursive decomposition (DESIGN.md §17): one root task walks the
+        // class tree in serial order; any child class whose estimated work
+        // exceeds the split threshold is copied into a holder and
+        // re-submitted to the TaskGroup, so parallelism follows the
+        // (exponentially skewed) class sizes instead of the first level's
+        // item count. Workers reuse per-slot level pools across tasks —
+        // the per-task scratch construction of the old fan-out was the
+        // 0.91× regression — and emissions land in DFS-keyed shards whose
+        // merge reproduces the serial sequence bit for bit.
         ThreadPool pool(threads);
+        WorkerLocal<EclatScratch> scratch(pool.num_slots());
         TaskGroup group(pool);
-        for (std::size_t k = 0; k < tasks_n; ++k) {
-            group.Submit([&, k] {
-                BudgetGuard guard(TaskBudget(config.budget, timer),
-                                  config.max_patterns);
-                EclatScratch scratch;
-                scratch.levels.resize(tasks_n);
-                EclatContext& ctx = contexts[k];
-                ctx.guard = &guard;
-                ctx.out = &slots[k];
-                ctx.scratch = &scratch;
-                ctx.shared = &progress;
-                Itemset prefix;
-                if (!MineOne(ctx, prefix, root.data(), root.size(), k,
-                             /*diffset_form=*/false, /*depth=*/0)) {
-                    breaches[k] = guard.breach();
-                }
-            });
-        }
+        ParEclatShared shared(config, min_sup);
+        shared.max_depth = root.size();
+        shared.group = &group;
+        shared.scratch = &scratch;
+        shared.num_workers = pool.num_workers();
+        // Root "class": members borrow the database's item covers (no copy).
+        auto root_holder = std::make_shared<EclatClassHolder>();
+        root_holder->members = root;
+        group.SubmitSlotted([&shared, root_holder](std::size_t slot) {
+            RunEclatClassTask(&shared, root_holder, {}, slot);
+        });
         group.Wait();
 
-        std::size_t total = 0;
-        for (const EclatContext& ctx : contexts) {
-            intersections += ctx.intersections;
-            diffset_classes += ctx.diffset_classes;
-        }
-        for (const auto& slot : slots) total += slot.size();
-        out.reserve(total);
-        for (std::size_t k = 0; k < tasks_n; ++k) {
-            for (Pattern& p : slots[k]) out.push_back(std::move(p));
-        }
-        for (BudgetBreach b : breaches) {
-            if (b != BudgetBreach::kNone) {
-                outcome.breach = b;
-                break;
-            }
-        }
+        shared.shards.MergeInto(&out);
+        outcome.breach = static_cast<BudgetBreach>(
+            shared.breach.load(std::memory_order_relaxed));
+        intersections = shared.intersections.load(std::memory_order_relaxed);
+        diffset_classes =
+            shared.diffset_classes.load(std::memory_order_relaxed);
     }
 
     if (outcome.truncated()) {

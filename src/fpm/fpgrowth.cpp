@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "common/arena.hpp"
 #include "common/parallel.hpp"
 #include "common/string_util.hpp"
 #include "fpm/fptree.hpp"
+#include "fpm/shard.hpp"
 #include "obs/metrics.hpp"
 
 namespace dfp {
@@ -133,6 +135,163 @@ bool GrowOne(const FpTree& tree, std::size_t idx, std::vector<ItemId>& suffix,
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel path: recursive task decomposition with sharded emission
+// (DESIGN.md §17). The DFS mirrors Grow/GrowOne node for node — same
+// iteration order, same guard placement, same emission contents — but a
+// conditional subtree whose estimated work exceeds the split threshold is
+// built into a heap-owned holder and re-submitted to the TaskGroup instead of
+// being mined inline. Patterns flow into DFS-position-keyed shards whose
+// merge reproduces the serial emission sequence exactly.
+// ---------------------------------------------------------------------------
+
+// A spawned subtree's conditional FP-tree and the arena that owns its nodes.
+// Heap-allocated (shared_ptr in the task closure) because the spawning task's
+// scratch arena is rewound when its frame returns.
+struct CondHolder {
+    Arena arena;
+    FpTree tree;
+};
+
+// State shared by every task of one parallel mine.
+struct ParGrowthShared {
+    std::size_t min_sup = 0;
+    std::size_t max_len = 0;
+    std::size_t max_patterns = 0;
+    std::size_t split_threshold = 0;
+    const ExecutionBudget* budget = nullptr;
+    DeadlineTimer timer;
+    SharedMineProgress progress;
+    ShardCollector shards;
+    TaskGroup* group = nullptr;
+    WorkerLocal<GrowthScratch>* scratch = nullptr;
+    std::size_t num_workers = 0;
+    std::atomic<int> breach{static_cast<int>(BudgetBreach::kNone)};
+    std::atomic<std::uint64_t> nodes{0};
+    std::atomic<std::uint64_t> trees{0};
+
+    explicit ParGrowthShared(const MinerConfig& config, std::size_t min_sup_in)
+        : min_sup(min_sup_in),
+          max_len(config.max_pattern_len),
+          max_patterns(config.max_patterns),
+          split_threshold(config.split_work_threshold),
+          budget(&config.budget),
+          timer(config.budget.time_budget_ms) {}
+
+    void RecordFirstBreach(BudgetBreach b) {
+        int expected = static_cast<int>(BudgetBreach::kNone);
+        breach.compare_exchange_strong(expected, static_cast<int>(b),
+                                       std::memory_order_relaxed);
+    }
+};
+
+// Per-task mining state (one stack frame chain, one guard, one emitter).
+struct ParGrowCtx {
+    ParGrowthShared* sh;
+    BudgetGuard* guard;
+    ShardEmitter* emitter;
+    GrowthScratch* scratch;
+    std::size_t slot;
+    std::size_t nodes = 0;
+    std::size_t trees = 0;
+};
+
+void RunGrowTask(ParGrowthShared* sh, const FpTree& tree,
+                 std::vector<ItemId> suffix, ShardKey path, std::size_t slot);
+
+bool ParGrowOne(ParGrowCtx& ctx, const FpTree& tree, std::size_t idx,
+                std::vector<ItemId>& suffix);
+
+bool ParGrow(ParGrowCtx& ctx, const FpTree& tree, std::vector<ItemId>& suffix) {
+    if (tree.empty()) return true;
+    const auto& header = tree.header();
+    for (std::size_t idx = header.size(); idx-- > 0;) {
+        if (!ParGrowOne(ctx, tree, idx, suffix)) return false;
+    }
+    return true;
+}
+
+bool ParGrowOne(ParGrowCtx& ctx, const FpTree& tree, std::size_t idx,
+                std::vector<ItemId>& suffix) {
+    ParGrowthShared& sh = *ctx.sh;
+    const auto& entry = tree.header()[idx];
+    ++ctx.nodes;
+    if (ctx.guard->Check(
+            sh.progress.emitted.load(std::memory_order_relaxed),
+            sh.progress.est_bytes.load(std::memory_order_relaxed)) !=
+        BudgetBreach::kNone) {
+        return false;
+    }
+    // Rank = position in the serial reverse-header iteration.
+    ctx.emitter->PushRank(
+        static_cast<std::uint32_t>(tree.header().size() - 1 - idx));
+    suffix.push_back(entry.item);
+    Pattern p;
+    p.items = suffix;
+    std::sort(p.items.begin(), p.items.end());
+    p.support = entry.count;
+    const std::size_t bytes =
+        sizeof(Pattern) + p.items.capacity() * sizeof(ItemId);
+    sh.progress.AddEmitted();
+    sh.progress.AddBytes(bytes);
+    ctx.emitter->Emit(std::move(p));
+
+    bool ok = true;
+    if (suffix.size() < ctx.sh->max_len) {
+        GrowthScratch& scratch = *ctx.scratch;
+        FpTree::PathBuffer& base = scratch.BaseAt(suffix.size() - 1);
+        tree.AppendConditionalBase(idx, &base);
+        // Estimated subtree work: conditional-base rows × items that can
+        // still extend the suffix (entries above idx in this tree's header).
+        const std::size_t est = base.num_paths() * idx;
+        if (est > sh.split_threshold) {
+            // Split: build the conditional tree into its own holder (the
+            // slot arena is rewound before the child runs) and hand the whole
+            // subtree to the pool. Locality: the child lands on this worker's
+            // own queue (LIFO pop → depth-first order) unless stolen.
+            auto holder = std::make_shared<CondHolder>();
+            holder->tree = FpTree::Build(base, sh.min_sup, holder->arena,
+                                         tree.universe(), scratch.build);
+            ++ctx.trees;
+            ctx.emitter->Flush();  // contiguity rule: shard ends at the spawn
+            ShardKey child_path = ctx.emitter->path();
+            std::vector<ItemId> child_suffix = suffix;
+            const std::size_t from = ctx.slot < sh.num_workers
+                                         ? ctx.slot
+                                         : ThreadPool::kNoQueue;
+            sh.group->SubmitSlotted(
+                [sh_ptr = &sh, holder = std::move(holder),
+                 child_suffix = std::move(child_suffix),
+                 child_path = std::move(child_path)](std::size_t slot) mutable {
+                    RunGrowTask(sh_ptr, holder->tree, std::move(child_suffix),
+                                std::move(child_path), slot);
+                },
+                from);
+        } else {
+            const Arena::Mark mark = scratch.arena.Position();
+            const FpTree cond = FpTree::Build(base, sh.min_sup, scratch.arena,
+                                              tree.universe(), scratch.build);
+            ++ctx.trees;
+            ok = ParGrow(ctx, cond, suffix);
+            scratch.arena.Rewind(mark);
+        }
+    }
+    suffix.pop_back();
+    ctx.emitter->PopRank();
+    return ok;
+}
+
+void RunGrowTask(ParGrowthShared* sh, const FpTree& tree,
+                 std::vector<ItemId> suffix, ShardKey path, std::size_t slot) {
+    BudgetGuard guard(TaskBudget(*sh->budget, sh->timer), sh->max_patterns);
+    ShardEmitter emitter(&sh->shards, std::move(path));
+    ParGrowCtx ctx{sh, &guard, &emitter, &sh->scratch->At(slot), slot};
+    if (!ParGrow(ctx, tree, suffix)) sh->RecordFirstBreach(guard.breach());
+    emitter.Flush();
+    sh->nodes.fetch_add(ctx.nodes, std::memory_order_relaxed);
+    sh->trees.fetch_add(ctx.trees, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
@@ -163,57 +322,30 @@ Result<MineOutcome<Pattern>> FpGrowthMiner::MineBudgeted(
         nodes = ctx.nodes_expanded;
         trees_built = ctx.cond_trees_built;
     } else {
-        // Fan out over first-level conditional trees: task t owns header entry
-        // header[H-1-t] (the serial reverse-header order), mines its whole
-        // conditional subtree into a private slot, and the slots concatenate
-        // in task order — reproducing the serial emission sequence exactly.
-        const auto& header = tree.header();
-        const std::size_t tasks_n = header.size();
-        std::vector<std::vector<Pattern>> slots(tasks_n);
-        std::vector<GrowthContext> contexts(tasks_n);
-        std::vector<BudgetBreach> breaches(tasks_n, BudgetBreach::kNone);
-        SharedMineProgress progress;
-        DeadlineTimer timer(config.budget.time_budget_ms);
-
+        // Recursive decomposition (DESIGN.md §17): one root task walks the
+        // tree in serial order; any conditional subtree whose estimated work
+        // exceeds the split threshold is re-submitted to the TaskGroup, so
+        // parallelism follows the (exponentially skewed) subtree sizes
+        // instead of the first level's item count. Workers reuse per-slot
+        // arenas/scratch across tasks; emissions land in DFS-keyed shards
+        // whose merge reproduces the serial sequence bit for bit.
         ThreadPool pool(threads);
+        WorkerLocal<GrowthScratch> scratch(pool.num_slots());
         TaskGroup group(pool);
-        for (std::size_t t = 0; t < tasks_n; ++t) {
-            group.Submit([&, t] {
-                const std::size_t idx = tasks_n - 1 - t;
-                BudgetGuard guard(TaskBudget(config.budget, timer),
-                                  config.max_patterns);
-                GrowthScratch scratch;
-                GrowthContext& ctx = contexts[t];
-                ctx.min_sup = min_sup;
-                ctx.max_len = config.max_pattern_len;
-                ctx.guard = &guard;
-                ctx.out = &slots[t];
-                ctx.scratch = &scratch;
-                ctx.shared = &progress;
-                std::vector<ItemId> suffix;
-                if (!GrowOne(tree, idx, suffix, ctx)) {
-                    breaches[t] = guard.breach();
-                }
-            });
-        }
+        ParGrowthShared shared(config, min_sup);
+        shared.group = &group;
+        shared.scratch = &scratch;
+        shared.num_workers = pool.num_workers();
+        group.SubmitSlotted([&shared, &tree](std::size_t slot) {
+            RunGrowTask(&shared, tree, {}, {}, slot);
+        });
         group.Wait();
 
-        std::size_t total = 0;
-        for (const GrowthContext& ctx : contexts) {
-            nodes += ctx.nodes_expanded;
-            trees_built += ctx.cond_trees_built;
-        }
-        for (const auto& slot : slots) total += slot.size();
-        outcome.patterns.reserve(total);
-        for (std::size_t t = 0; t < tasks_n; ++t) {
-            for (Pattern& p : slots[t]) outcome.patterns.push_back(std::move(p));
-        }
-        for (BudgetBreach b : breaches) {
-            if (b != BudgetBreach::kNone) {
-                outcome.breach = b;
-                break;
-            }
-        }
+        shared.shards.MergeInto(&outcome.patterns);
+        outcome.breach =
+            static_cast<BudgetBreach>(shared.breach.load(std::memory_order_relaxed));
+        nodes = shared.nodes.load(std::memory_order_relaxed);
+        trees_built = shared.trees.load(std::memory_order_relaxed);
     }
 
     if (outcome.truncated()) {

@@ -45,12 +45,22 @@ struct MinerConfig {
     /// Emit single-item patterns too (the framework's feature space is I ∪ F,
     /// so singletons are usually redundant as patterns; default keeps them).
     bool include_singletons = true;
-    /// Worker threads for the mining fan-out (FP-growth / Eclat / closed fan
-    /// out over first-level conditional subproblems; Apriori stays level-wise
-    /// serial). 1 = today's serial code exactly; 0 = hardware_concurrency.
-    /// The complete pattern set is identical for every thread count — only
-    /// budget-truncated prefixes may differ (see DESIGN.md §11).
+    /// Worker threads for the mining fan-out (FP-growth / Eclat / closed
+    /// decompose recursively over conditional subproblems; Apriori stays
+    /// level-wise serial). 1 = today's serial code exactly;
+    /// 0 = hardware_concurrency. The complete pattern set — and its emission
+    /// order — is identical for every thread count; only budget-truncated
+    /// runs may differ, and those are subsequences of the serial emission
+    /// sequence (see DESIGN.md §17).
     std::size_t num_threads = 1;
+    /// Recursive-split granularity for the parallel miners: a conditional
+    /// subproblem whose estimated work (conditional-base rows × remaining
+    /// items) exceeds this re-submits to the task pool instead of being mined
+    /// inline by its discoverer. Lower = more, finer tasks (tests use 1 to
+    /// force splits everywhere); the default keeps task overhead under ~1% on
+    /// the bench corpus while still decomposing every first- and second-level
+    /// subtree.
+    std::size_t split_work_threshold = 8192;
     /// Execution limits (deadline, memory, cancellation). Default = unlimited.
     ExecutionBudget budget;
 };

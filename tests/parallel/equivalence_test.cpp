@@ -2,7 +2,8 @@
 // must produce results identical to the serial path (num_threads == 1) for
 // every thread count — miners' pattern sets (sorted, with supports), MMRFS's
 // selected sequence, OvO SVM predictions, CV fold accuracies and the grid
-// search winner. 20 random databases × threads ∈ {1, 2, 8}.
+// search winner. 20 random databases × threads ∈ {1, 2, 3, 5, 8, 16}
+// (non-power-of-two and oversubscribed counts included).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -20,7 +21,7 @@
 namespace dfp {
 namespace {
 
-constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kThreadCounts[] = {1, 2, 3, 5, 8, 16};
 constexpr std::uint64_t kNumSeeds = 20;
 
 TransactionDatabase RandomDb(std::uint64_t seed, std::size_t n = 40,

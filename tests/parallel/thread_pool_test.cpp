@@ -119,6 +119,38 @@ TEST(ThreadPoolTest, DestructorPublishesParallelMetrics) {
     EXPECT_DOUBLE_EQ(registry.GetGauge("dfp.parallel.workers").value(), 3.0);
 }
 
+// The scheduling telemetry added for the recursive decomposition: every task
+// spawn is counted, steal_count mirrors steals, the queue high-water mark is
+// recorded, and per-pool utilization lands in [0, 1]. The same busy/wall
+// tallies accumulate into the process-wide counters FinishTrain diffs for
+// dfp.parallel.train_utilization.
+TEST(ThreadPoolTest, DestructorPublishesSchedulingTelemetry) {
+    auto& registry = obs::Registry::Get();
+    const auto spawned_before =
+        registry.GetCounter("dfp.parallel.tasks_spawned").value();
+    const auto busy_before = ThreadPool::ProcessBusyNs();
+    const auto wall_before = ThreadPool::ProcessWorkerWallNs();
+    {
+        ThreadPool pool(2);
+        TaskGroup group(pool);
+        for (int i = 0; i < 32; ++i) group.Submit([] {});
+        group.Wait();
+        EXPECT_GE(pool.tasks_spawned(), 32u);
+        EXPECT_GE(pool.max_queue_depth(), 1u);
+        EXPECT_EQ(registry.GetCounter("dfp.parallel.steal_count").value(),
+                  registry.GetCounter("dfp.parallel.steals").value());
+    }
+    EXPECT_GE(registry.GetCounter("dfp.parallel.tasks_spawned").value(),
+              spawned_before + 32);
+    EXPECT_GE(registry.GetGauge("dfp.parallel.max_queue_depth").value(), 1.0);
+    const double utilization =
+        registry.GetGauge("dfp.parallel.utilization").value();
+    EXPECT_GE(utilization, 0.0);
+    EXPECT_LE(utilization, 1.0);
+    EXPECT_GE(ThreadPool::ProcessBusyNs(), busy_before);
+    EXPECT_GT(ThreadPool::ProcessWorkerWallNs(), wall_before);
+}
+
 TEST(SharedMineProgressTest, TalliesAccumulateAcrossCallers) {
     SharedMineProgress progress;
     EXPECT_EQ(progress.AddEmitted(), 1u);

@@ -49,7 +49,9 @@ void Usage(const char* argv0) {
         "  --model <path>          dfp-model v1 bundle to serve (required;\n"
         "                          also the default target of {\"op\":\"reload\"})\n"
         "  --port <n>              TCP port on 127.0.0.1 (default 7070; 0 = ephemeral)\n"
-        "  --threads <n>           scoring workers (default 1; 0 = all cores)\n"
+        "  --threads <n>           scoring workers, also the retrain pipeline's\n"
+        "                          thread budget under --stream-ingest\n"
+        "                          (default 1; 0 = all cores)\n"
         "  --max-batch <n>         micro-batch size cap (default 64)\n"
         "  --max-delay-ms <ms>     batch fill window (default 0.5)\n"
         "  --queue-capacity <n>    admission queue bound (default 1024)\n"
@@ -251,6 +253,11 @@ int main(int argc, char** argv) {
         trainer_config.pipeline.miner.min_sup_rel = 0.10;
         trainer_config.pipeline.miner.max_pattern_len = 4;
         trainer_config.pipeline.mmrfs.coverage_delta = 2;
+        // Retrains use the same worker-thread budget as scoring: the mining
+        // fan-out, MMRFS rounds and OvO training all parallelise, and the
+        // retrained model is thread-count-invariant (DESIGN.md §17), so
+        // --threads shortens the retrain critical path for free.
+        trainer_config.pipeline.num_threads = engine_config.num_threads;
         trainer_config.retrain_every = 1024;
         trainer_config.min_window = 512;
         trainer_config.model_dir =
