@@ -16,6 +16,9 @@
 // Serving smoke path (save → load → in-process scoring engine → verify the
 // served predictions match offline exactly):
 //               ./build/examples/quickstart --serve
+// Statistical-significance filter in front of MMRFS (chi2 | fisher | odds,
+// multiple-testing correction across the candidate set; DESIGN.md §18):
+//               ./build/examples/quickstart --sig-test=chi2 --alpha 0.05 --correction=bh
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,8 +46,14 @@ int main(int argc, char** argv) {
     //   --metrics-out <path>     final Prometheus snapshot of every dfp.*
     //                            metric (atomic write; point a file-based
     //                            scraper at it)
+    //   --sig-test <t>           significance filter: none|chi2|fisher|odds
+    //   --alpha <a>              significance level (default 0.05)
+    //   --correction <c>         multiple-testing correction: none|bonferroni|bh
     std::string report_path;
     std::string metrics_out;
+    std::string sig_test = "none";
+    std::string correction = "bh";
+    double alpha = 0.05;
     double time_budget_ms = -1.0;
     std::size_t max_patterns = 0;
     std::size_t threads = 0;
@@ -81,6 +90,18 @@ int main(int argc, char** argv) {
             metrics_out = flag_value(i, "--metrics-out");
         } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
             metrics_out = argv[i] + 14;
+        } else if (std::strcmp(argv[i], "--sig-test") == 0) {
+            sig_test = flag_value(i, "--sig-test");
+        } else if (std::strncmp(argv[i], "--sig-test=", 11) == 0) {
+            sig_test = argv[i] + 11;
+        } else if (std::strcmp(argv[i], "--alpha") == 0) {
+            alpha = std::atof(flag_value(i, "--alpha"));
+        } else if (std::strncmp(argv[i], "--alpha=", 8) == 0) {
+            alpha = std::atof(argv[i] + 8);
+        } else if (std::strcmp(argv[i], "--correction") == 0) {
+            correction = flag_value(i, "--correction");
+        } else if (std::strncmp(argv[i], "--correction=", 13) == 0) {
+            correction = argv[i] + 13;
         } else if (std::strcmp(argv[i], "--serve") == 0) {
             serve = true;
         }
@@ -118,6 +139,24 @@ int main(int argc, char** argv) {
     // 0 = hardware_concurrency; the resolved count lands in the run report
     // as the dfp.parallel.pipeline_threads gauge.
     config.num_threads = threads;
+    // Optional significance filter in front of MMRFS: candidates whose
+    // 2×2 association with the label fails the corrected test never reach
+    // selection (stats/significance.hpp, DESIGN.md §18).
+    {
+        auto parsed_test = ParseSigTest(sig_test);
+        auto parsed_corr = ParseCorrection(correction);
+        if (!parsed_test.ok() || !parsed_corr.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         (!parsed_test.ok() ? parsed_test.status()
+                                            : parsed_corr.status())
+                             .ToString()
+                             .c_str());
+            return 2;
+        }
+        config.significance.test = *parsed_test;
+        config.significance.alpha = alpha;
+        config.significance.correction = *parsed_corr;
+    }
 
     // 3. Train a linear SVM on single items + selected patterns.
     PatternClassifierPipeline pipeline(config);
@@ -130,6 +169,11 @@ int main(int argc, char** argv) {
     // 4. Evaluate, and peek at what the pipeline built.
     std::printf("candidates mined : %zu closed patterns\n",
                 pipeline.stats().num_candidates);
+    if (config.significance.test != SigTest::kNone) {
+        std::printf("significance     : %s/%s alpha=%g rejected %zu candidates\n",
+                    sig_test.c_str(), correction.c_str(), alpha,
+                    pipeline.stats().num_sig_rejected);
+    }
     std::printf("features selected: %zu patterns (+ %zu single items)\n",
                 pipeline.stats().num_selected, train.num_items());
     std::printf("test accuracy    : %.2f%%\n", 100.0 * pipeline.Accuracy(test));

@@ -28,6 +28,19 @@ FeatureStats StatsOfPattern(const TransactionDatabase& db, const Pattern& patter
     return s;
 }
 
+stats::Table2x2 OneVsRestTable(const FeatureStats& fs, ClassLabel c) {
+    const std::size_t in_class =
+        c < fs.class_totals.size() ? fs.class_totals[c] : 0;
+    const std::size_t hit =
+        c < fs.class_support.size() ? fs.class_support[c] : 0;
+    stats::Table2x2 t;
+    t.a = hit;
+    t.b = fs.support - hit;
+    t.c = in_class - hit;
+    t.d = (fs.n - fs.support) - t.c;
+    return t;
+}
+
 double ClassEntropy(const FeatureStats& stats) {
     return EntropyCounts(stats.class_totals);
 }

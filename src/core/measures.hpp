@@ -12,6 +12,7 @@
 
 #include "data/transaction_db.hpp"
 #include "fpm/itemset.hpp"
+#include "stats/dist.hpp"
 
 namespace dfp {
 
@@ -32,6 +33,12 @@ FeatureStats StatsOfCover(const TransactionDatabase& db, const BitVector& cover)
 
 /// Builds FeatureStats for a mined pattern (requires attached metadata).
 FeatureStats StatsOfPattern(const TransactionDatabase& db, const Pattern& pattern);
+
+/// One-vs-rest 2×2 contingency table of the binary feature against class
+/// `c`: rows X = 1 / X = 0, columns C = c / C ≠ c. Classes outside the
+/// database's range count as empty. This is the significance layer's input
+/// (stats/significance.hpp).
+stats::Table2x2 OneVsRestTable(const FeatureStats& fs, ClassLabel c);
 
 /// H(C) in bits.
 double ClassEntropy(const FeatureStats& stats);

@@ -50,6 +50,13 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
     result.coverage.assign(n, 0);
     result.relevance.resize(candidates.size());
     if (candidates.empty() || n == 0) return result;
+    assert((config.candidate_mask == nullptr ||
+            config.candidate_mask->size() == candidates.size()) &&
+           "candidate_mask must match the candidate count");
+    const std::vector<char>* mask = config.candidate_mask;
+    auto masked_out = [mask](std::size_t i) {
+        return mask != nullptr && (*mask)[i] == 0;
+    };
 
     // The effective feature cap folds budget.max_patterns into max_features;
     // selections emitted so far play the "pattern count" role for the guard.
@@ -67,6 +74,7 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
 
     if (pool == nullptr) {
         for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (masked_out(i)) continue;  // filtered: stays at relevance 0
             assert(candidates[i].cover.size() == n && "metadata not attached");
             result.relevance[i] =
                 PatternRelevance(config.relevance, db, candidates[i]);
@@ -91,6 +99,7 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
                                                     std::size_t>::max(),
                                                 /*clock_stride=*/1);
                         for (std::size_t i = begin; i < end; ++i) {
+                            if (masked_out(i)) continue;
                             assert(candidates[i].cover.size() == n &&
                                    "metadata not attached");
                             result.relevance[i] = PatternRelevance(
@@ -117,6 +126,12 @@ MmrfsResult RunMmrfs(const TransactionDatabase& db,
     // selection round is a single O(|F|) scan.
     std::vector<char> done(candidates.size(), 0);
     std::vector<double> max_red(candidates.size(), 0.0);
+    if (mask != nullptr) {
+        // Masked-out candidates enter the greedy loop pre-discarded.
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if ((*mask)[i] == 0) done[i] = 1;
+        }
+    }
 
     // An instance is "correctly covered" by α when α is present in it and α's
     // majority class matches its label. Precompute per-candidate majority.

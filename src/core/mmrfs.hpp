@@ -43,6 +43,15 @@ struct MmrfsConfig {
     /// (max over an identical value sequence), kept as the certificate path
     /// the dfp_parallel suite asserts `==` against (DESIGN.md §17).
     bool incremental_cache = true;
+    /// Optional per-candidate keep-mask from the significance filter
+    /// (stats/significance.hpp). Masked-out candidates (mask value 0) are
+    /// never relevance-scored, never scanned in greedy rounds and never
+    /// selected — exactly as if pre-discarded — but candidate *indices* are
+    /// preserved, so MmrfsResult::selected still indexes the original vector.
+    /// Null (the default) leaves the unfiltered code path untouched,
+    /// instruction for instruction. Size must equal the candidate count.
+    /// Borrowed, not owned.
+    const std::vector<char>* candidate_mask = nullptr;
     /// Execution limits; a breach stops the greedy loop early, keeping the
     /// features selected so far (each selection is individually valid).
     ExecutionBudget budget;

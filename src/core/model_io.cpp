@@ -33,9 +33,13 @@ Status SaveFeatureSpace(const FeatureSpace& space, std::ostream& out) {
     return Status::Ok();
 }
 
-Result<FeatureSpace> LoadFeatureSpace(std::istream& in) {
+namespace {
+
+// Body of the feature-space format, after the "feature-space" tag has been
+// consumed (LoadPipelineModel peeks one token ahead of the tag to accept the
+// optional provenance line).
+Result<FeatureSpace> LoadFeatureSpaceAfterTag(std::istream& in) {
     TokenReader reader(in);
-    DFP_RETURN_NOT_OK(reader.Expect("feature-space"));
     std::size_t num_items = 0;
     std::size_t num_patterns = 0;
     DFP_RETURN_NOT_OK(reader.ReadCount(&num_items));
@@ -80,6 +84,14 @@ Result<FeatureSpace> LoadFeatureSpace(std::istream& in) {
     return FeatureSpace::Build(num_items, std::move(patterns));
 }
 
+}  // namespace
+
+Result<FeatureSpace> LoadFeatureSpace(std::istream& in) {
+    TokenReader reader(in);
+    DFP_RETURN_NOT_OK(reader.Expect("feature-space"));
+    return LoadFeatureSpaceAfterTag(in);
+}
+
 Result<std::unique_ptr<Classifier>> MakeLearnerByTypeId(const std::string& id) {
     if (id == "svm") return std::unique_ptr<Classifier>(new SvmClassifier());
     if (id == "c4.5") return std::unique_ptr<Classifier>(new C45Classifier());
@@ -101,6 +113,15 @@ Status SavePipelineModel(const PatternClassifierPipeline& pipeline,
                                           "' is not serializable");
     }
     out << kMagic << ' ' << kVersion << ' ' << learner->TypeId() << '\n';
+    // Provenance is emitted only when present (significance-filtered runs):
+    // unfiltered bundles stay byte-identical to the pre-provenance format.
+    if (!pipeline.provenance().empty()) {
+        out << "provenance " << pipeline.provenance().size();
+        for (const auto& [key, value] : pipeline.provenance()) {
+            out << ' ' << key << '=' << value;
+        }
+        out << '\n';
+    }
     DFP_RETURN_NOT_OK(SaveFeatureSpace(pipeline.feature_space(), out));
     return learner->SaveModel(out);
 }
@@ -131,12 +152,38 @@ Result<LoadedModel> LoadPipelineModel(std::istream& in) {
     DFP_RETURN_NOT_OK(reader.Expect(kVersion));
     std::string type_id;
     DFP_RETURN_NOT_OK(reader.Read(&type_id));
-    auto space = LoadFeatureSpace(in);
+    // Optional provenance line between the header and the feature space.
+    std::string token;
+    DFP_RETURN_NOT_OK(reader.Read(&token));
+    std::vector<std::pair<std::string, std::string>> provenance;
+    if (token == "provenance") {
+        std::size_t count = 0;
+        DFP_RETURN_NOT_OK(reader.ReadCount(&count, /*max_value=*/64));
+        provenance.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::string kv;
+            DFP_RETURN_NOT_OK(reader.Read(&kv));
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                return Status::InvalidArgument(
+                    "malformed provenance entry '" + kv + "'");
+            }
+            provenance.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+        }
+        DFP_RETURN_NOT_OK(reader.Read(&token));
+    }
+    if (token != "feature-space") {
+        return Status::ParseError("expected 'feature-space', got '" + token +
+                                  "'");
+    }
+    auto space = LoadFeatureSpaceAfterTag(in);
     if (!space.ok()) return space.status();
     auto learner = MakeLearnerByTypeId(type_id);
     if (!learner.ok()) return learner.status();
     DFP_RETURN_NOT_OK((*learner)->LoadModel(in));
-    return LoadedModel(std::move(*space), std::move(*learner));
+    LoadedModel model(std::move(*space), std::move(*learner));
+    model.set_provenance(std::move(provenance));
+    return model;
 }
 
 namespace {

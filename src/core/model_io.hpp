@@ -4,12 +4,19 @@
 // selected pattern itemsets) plus a learner. Both serialize to a line-oriented
 // text format ("dfp-model v1"), human-inspectable and stable across platforms.
 // Covers and training-time metadata are not persisted — prediction only needs
-// the itemsets.
+// the itemsets. One exception: when the significance filter shaped the model,
+// an optional "provenance <n> key=value ..." line after the header records
+// how (sig_test/alpha/correction/...), so a served model can always answer
+// "which test pruned these patterns". Models trained without the filter have
+// no provenance line and their bundles are byte-identical to the pre-filter
+// format; the loader accepts both.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 #include "core/feature_space.hpp"
@@ -44,10 +51,22 @@ class LoadedModel {
     double Accuracy(const TransactionDatabase& test) const;
     const FeatureSpace& feature_space() const { return space_; }
     const Classifier& learner() const { return *learner_; }
+    /// Training provenance carried in the bundle (empty on legacy models and
+    /// models trained without the significance filter): sig_test, alpha,
+    /// correction, sig_rejected, ... — see PatternClassifierPipeline::
+    /// provenance().
+    const std::vector<std::pair<std::string, std::string>>& provenance() const {
+        return provenance_;
+    }
+    void set_provenance(
+        std::vector<std::pair<std::string, std::string>> provenance) {
+        provenance_ = std::move(provenance);
+    }
 
   private:
     FeatureSpace space_;
     std::unique_ptr<Classifier> learner_;
+    std::vector<std::pair<std::string, std::string>> provenance_;
     mutable std::vector<double> encode_buffer_;  // scratch for Predict
 };
 

@@ -48,7 +48,11 @@ void PublishPipelineStats(const PipelineStats& stats) {
         .Set(static_cast<double>(stats.num_candidates));
     registry.GetGauge("dfp.core.pipeline.num_selected")
         .Set(static_cast<double>(stats.num_selected));
+    registry.GetGauge("dfp.core.pipeline.num_sig_rejected")
+        .Set(static_cast<double>(stats.num_sig_rejected));
     registry.GetGauge("dfp.core.pipeline.mine_seconds").Set(stats.mine_seconds);
+    registry.GetGauge("dfp.core.pipeline.significance_seconds")
+        .Set(stats.significance_seconds);
     registry.GetGauge("dfp.core.pipeline.select_seconds")
         .Set(stats.select_seconds);
     registry.GetGauge("dfp.core.pipeline.transform_seconds")
@@ -303,6 +307,46 @@ Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
                                               std::size_t guard_mark,
                                               std::uint64_t busy_mark,
                                               std::uint64_t wall_mark) {
+    provenance_.clear();
+    stats_.num_sig_rejected = 0;
+    stats_.significance_seconds = 0.0;
+    SignificanceResult sig;
+    const std::vector<char>* sig_mask = nullptr;
+    if (config_.significance.test != SigTest::kNone && !candidates_.empty()) {
+        obs::Span sig_span("significance");
+        SignificanceConfig sig_config = config_.significance;
+        sig_config.num_threads = resolved_threads;
+        if (sig_config.budget.cancel == nullptr) {
+            sig_config.budget.cancel = config_.budget.cancel;
+        }
+        sig_config.budget.time_budget_ms = timer.remaining_ms();
+        sig = RunSignificanceFilter(train, candidates_, sig_config);
+        if (sig.breach == BudgetBreach::kCancelled) {
+            budget_report_.select_breach = sig.breach;
+            FinalizeReport(guard_mark);
+            return Status::Cancelled(
+                "pipeline training cancelled during significance filtering");
+        }
+        // Non-cancel breach = the filter failed open (kept everything, guard
+        // event already recorded); a null mask reproduces that exactly.
+        if (sig.breach == BudgetBreach::kNone) sig_mask = &sig.keep;
+        stats_.num_sig_rejected = sig.rejected;
+        stats_.significance_seconds = sig_span.ElapsedSeconds();
+        sig_span.Annotate("rejected", static_cast<double>(sig.rejected));
+        provenance_.emplace_back("sig_test",
+                                 SigTestName(config_.significance.test));
+        provenance_.emplace_back(
+            "alpha", StrFormat("%g", config_.significance.alpha));
+        provenance_.emplace_back(
+            "correction", CorrectionName(config_.significance.correction));
+        if (config_.significance.test == SigTest::kOddsRatio) {
+            provenance_.emplace_back(
+                "min_odds_ratio",
+                StrFormat("%g", config_.significance.min_odds_ratio));
+        }
+        provenance_.emplace_back("sig_rejected", std::to_string(sig.rejected));
+    }
+
     std::vector<Pattern> features;
     {
         obs::Span select_span("mmrfs");
@@ -313,6 +357,7 @@ Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
                 sc.budget.cancel = config_.budget.cancel;
             }
             sc.budget.time_budget_ms = timer.remaining_ms();
+            sc.candidate_mask = sig_mask;
             const MmrfsResult selection = RunMmrfs(train, candidates_, sc);
             if (selection.breach == BudgetBreach::kCancelled) {
                 budget_report_.select_breach = selection.breach;
@@ -326,6 +371,12 @@ Status PatternClassifierPipeline::FinishTrain(const TransactionDatabase& train,
             features.reserve(selection.selected.size());
             for (std::size_t i : selection.selected) {
                 features.push_back(candidates_[i]);
+            }
+        } else if (sig_mask != nullptr) {
+            // Pat_All with the filter on: the keep-mask is the whole story.
+            features.reserve(candidates_.size() - sig.rejected);
+            for (std::size_t i = 0; i < candidates_.size(); ++i) {
+                if ((*sig_mask)[i] != 0) features.push_back(candidates_[i]);
             }
         } else {
             features = candidates_;

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/budget.hpp"
@@ -12,6 +14,7 @@
 #include "data/transaction_db.hpp"
 #include "fpm/miner.hpp"
 #include "ml/classifier.hpp"
+#include "stats/significance.hpp"
 
 namespace dfp {
 
@@ -30,6 +33,14 @@ struct PipelineConfig {
     /// Run MMRFS (Pat_FS). When false all candidates become features (Pat_All).
     bool feature_selection = true;
     MmrfsConfig mmrfs;
+    /// Statistical-significance filter over the candidate set, run before
+    /// MMRFS (stats/significance.hpp, DESIGN.md §18). Default test = kNone:
+    /// the stage is skipped and the pipeline is bit-identical to the
+    /// unfiltered path. With a test enabled, candidates failing the corrected
+    /// test are masked out of selection (or dropped from Pat_All when
+    /// feature_selection is off), and the trained model records
+    /// sig_test/alpha/correction provenance (core/model_io).
+    SignificanceConfig significance;
     /// Include the single items I in the feature space (the paper always does).
     bool include_single_items = true;
     /// Worker threads for every stage (mining fan-out, MMRFS scoring, OvO
@@ -66,7 +77,10 @@ struct PipelineConfig {
 struct PipelineStats {
     std::size_t num_candidates = 0;  ///< |F| after per-class pooling + dedup
     std::size_t num_selected = 0;    ///< |Fs|
+    /// Candidates rejected by the significance filter (0 when disabled).
+    std::size_t num_sig_rejected = 0;
     double mine_seconds = 0.0;
+    double significance_seconds = 0.0;
     double select_seconds = 0.0;
     double transform_seconds = 0.0;
     double learn_seconds = 0.0;
@@ -110,6 +124,12 @@ class PatternClassifierPipeline {
     const FeatureSpace& feature_space() const { return feature_space_; }
     const std::vector<Pattern>& candidates() const { return candidates_; }
     const Classifier* learner() const { return learner_.get(); }
+    /// Key/value provenance of the last Train run, persisted into saved
+    /// models (core/model_io). Empty unless the significance filter ran:
+    /// sig_test, alpha, correction, sig_rejected (+ min_odds_ratio for odds).
+    const std::vector<std::pair<std::string, std::string>>& provenance() const {
+        return provenance_;
+    }
 
     /// Mines and pools candidates exactly as Train does, without training —
     /// for benches that inspect the candidate set. Strict semantics: a
@@ -144,6 +164,7 @@ class PatternClassifierPipeline {
     PipelineConfig config_;
     PipelineStats stats_;
     BudgetReport budget_report_;
+    std::vector<std::pair<std::string, std::string>> provenance_;
     FeatureSpace feature_space_;
     std::vector<Pattern> candidates_;
     std::unique_ptr<Classifier> learner_;

@@ -224,6 +224,7 @@ Status ContinuousTrainer::RetrainNow(const std::string& trigger) {
         stats_.retry_pending = false;
         stats_.last_stream_version = stream_version;
         stats_.last_model_version = (*published)->version;
+        stats_.last_sig_rejected = pipeline.stats().num_sig_rejected;
         stats_.last_retrain_seconds = seconds;
         // Re-arm drift detection against the fresh model: baseline accuracy
         // is the training-window fit, baseline labels the window's mix.

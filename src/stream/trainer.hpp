@@ -83,6 +83,9 @@ struct TrainerStats {
     std::uint64_t schedule_triggers = 0;
     std::uint64_t last_stream_version = 0;  ///< stream version last trained on
     std::uint64_t last_model_version = 0;   ///< registry version last published
+    /// Candidates the significance filter rejected in the last retrain
+    /// (0 when pipeline.significance.test == kNone; stats/significance.hpp).
+    std::uint64_t last_sig_rejected = 0;
     double last_retrain_seconds = 0.0;
     bool retry_pending = false;
 };

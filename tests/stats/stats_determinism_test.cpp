@@ -1,0 +1,106 @@
+// 20-seed determinism certificate for the significance filter: the parallel
+// p-value scan writes disjoint per-candidate slots of a shared vector and the
+// correction pass is serial, so keep-mask, p-values and threshold must be
+// bit-identical at every thread count (DESIGN.md §18, mirroring the MMRFS
+// certificate of §11/§17).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model_io.hpp"
+#include "core/pipeline.hpp"
+#include "data/encoder.hpp"
+#include "data/synthetic.hpp"
+#include "data/transaction_db.hpp"
+#include "ml/nb/naive_bayes.hpp"
+#include "stats/significance.hpp"
+
+namespace dfp {
+namespace {
+
+TransactionDatabase SeededDb(std::uint64_t seed) {
+    // Small mixed corpus: XOR signal pairs + 4 distractor attributes give a
+    // spread of p-values on both sides of any reasonable threshold.
+    const Dataset data = GenerateXor(240, 4, 0.05, seed);
+    auto encoder = ItemEncoder::FromSchema(data);
+    return TransactionDatabase::FromDataset(data, *encoder);
+}
+
+PipelineConfig MiningConfig() {
+    PipelineConfig config;
+    config.miner.min_sup_rel = 0.1;
+    config.miner.max_pattern_len = 3;
+    config.mmrfs.coverage_delta = 3;
+    return config;
+}
+
+TEST(StatsDeterminismTest, FilterIsBitIdenticalAcrossThreadCounts20Seeds) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const auto db = SeededDb(seed);
+        PatternClassifierPipeline miner(MiningConfig());
+        auto candidates = miner.MineCandidates(db);
+        ASSERT_TRUE(candidates.ok()) << "seed " << seed;
+        ASSERT_FALSE(candidates->empty()) << "seed " << seed;
+
+        // Alternate the test per seed so chi2, fisher and odds all get the
+        // multi-thread treatment.
+        SignificanceConfig config;
+        config.test = seed % 3 == 0   ? SigTest::kOddsRatio
+                      : seed % 3 == 1 ? SigTest::kChi2
+                                      : SigTest::kFisher;
+        config.alpha = 0.05;
+        config.correction = Correction::kBenjaminiHochberg;
+
+        SignificanceConfig serial = config;
+        serial.num_threads = 1;
+        const SignificanceResult one =
+            RunSignificanceFilter(db, *candidates, serial);
+
+        SignificanceConfig parallel = config;
+        parallel.num_threads = 8;
+        const SignificanceResult eight =
+            RunSignificanceFilter(db, *candidates, parallel);
+
+        ASSERT_EQ(one.p_values.size(), eight.p_values.size());
+        for (std::size_t i = 0; i < one.p_values.size(); ++i) {
+            EXPECT_EQ(one.p_values[i], eight.p_values[i])  // bitwise
+                << "seed " << seed << " candidate " << i;
+        }
+        EXPECT_EQ(one.keep, eight.keep) << "seed " << seed;
+        EXPECT_EQ(one.threshold, eight.threshold) << "seed " << seed;
+        EXPECT_EQ(one.rejected, eight.rejected) << "seed " << seed;
+    }
+}
+
+TEST(StatsDeterminismTest, FilteredPipelineFeatureSpaceMatchesAcrossThreads) {
+    // End-to-end: the whole filtered train (mine → significance → MMRFS)
+    // must emit the same feature space at 1 and 8 threads.
+    for (std::uint64_t seed : {3u, 7u, 12u}) {
+        const auto db = SeededDb(seed);
+
+        auto train = [&](std::size_t threads) {
+            PipelineConfig config = MiningConfig();
+            config.num_threads = threads;
+            config.significance.test = SigTest::kChi2;
+            config.significance.alpha = 0.05;
+            config.significance.correction = Correction::kBenjaminiHochberg;
+            PatternClassifierPipeline pipeline(config);
+            EXPECT_TRUE(
+                pipeline.Train(db, std::make_unique<NaiveBayesClassifier>())
+                    .ok())
+                << "seed " << seed << " threads " << threads;
+            std::ostringstream out;
+            EXPECT_TRUE(SaveFeatureSpace(pipeline.feature_space(), out).ok());
+            return out.str();
+        };
+
+        EXPECT_EQ(train(1), train(8)) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace dfp

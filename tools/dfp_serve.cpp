@@ -75,6 +75,13 @@ void Usage(const char* argv0) {
         "  --stream-rate <n>       soak ingest rate in rows/s (default 500)\n"
         "  --stream-drift-every <n> rows between synthetic concept drifts\n"
         "                          (seed rotation; default 5000)\n"
+        "  --sig-test <t>          significance filter in front of MMRFS for\n"
+        "                          --stream-ingest retrains: none|chi2|fisher|\n"
+        "                          odds (default none; stats/significance.hpp)\n"
+        "  --alpha <a>             significance level for --sig-test\n"
+        "                          (default 0.05)\n"
+        "  --correction <c>        multiple-testing correction for --sig-test:\n"
+        "                          none|bonferroni|bh (default bh)\n"
         "  --failpoints <spec>     arm deterministic failpoints, e.g.\n"
         "                          'serve.socket.write=prob(0.1):error;\n"
         "                          serve.registry.swap=nth(3)' (chaos testing;\n"
@@ -99,6 +106,9 @@ int main(int argc, char** argv) {
     bool stream_ingest = false;
     std::size_t stream_rate = 500;
     std::size_t stream_drift_every = 5000;
+    std::string sig_test = "none";
+    std::string correction = "bh";
+    double alpha = 0.05;
     ServerConfig server_config;
     EngineConfig engine_config;
 
@@ -153,6 +163,12 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--stream-drift-every") == 0) {
             stream_drift_every = static_cast<std::size_t>(std::strtoull(
                 flag_value(i, "--stream-drift-every"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--sig-test") == 0) {
+            sig_test = flag_value(i, "--sig-test");
+        } else if (std::strcmp(argv[i], "--alpha") == 0) {
+            alpha = std::atof(flag_value(i, "--alpha"));
+        } else if (std::strcmp(argv[i], "--correction") == 0) {
+            correction = flag_value(i, "--correction");
         } else if (std::strcmp(argv[i], "--failpoints") == 0) {
             failpoint_spec = flag_value(i, "--failpoints");
         } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -170,6 +186,18 @@ int main(int argc, char** argv) {
     }
     if (model_path.empty()) {
         Usage(argv[0]);
+        return 2;
+    }
+    // Validate the significance flags up front (typos fail fast, even when
+    // --stream-ingest is off and they would otherwise go unused).
+    const auto parsed_sig_test = ParseSigTest(sig_test);
+    const auto parsed_correction = ParseCorrection(correction);
+    if (!parsed_sig_test.ok() || !parsed_correction.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     (!parsed_sig_test.ok() ? parsed_sig_test.status()
+                                            : parsed_correction.status())
+                         .ToString()
+                         .c_str());
         return 2;
     }
 
@@ -258,6 +286,12 @@ int main(int argc, char** argv) {
         // retrained model is thread-count-invariant (DESIGN.md §17), so
         // --threads shortens the retrain critical path for free.
         trainer_config.pipeline.num_threads = engine_config.num_threads;
+        // Optional significance filter on every retrain: candidates failing
+        // the corrected test are masked out of MMRFS, and the rejection count
+        // surfaces in TrainerStats::last_sig_rejected / dfp.stats.* metrics.
+        trainer_config.pipeline.significance.test = *parsed_sig_test;
+        trainer_config.pipeline.significance.alpha = alpha;
+        trainer_config.pipeline.significance.correction = *parsed_correction;
         trainer_config.retrain_every = 1024;
         trainer_config.min_window = 512;
         trainer_config.model_dir =
@@ -275,6 +309,12 @@ int main(int argc, char** argv) {
             "rows, models in %s)\n",
             stream_rate, stream_drift_every,
             trainer_config.model_dir.c_str());
+        if (*parsed_sig_test != SigTest::kNone) {
+            std::printf(
+                "dfp_serve: retrain significance filter: %s alpha=%g "
+                "correction=%s\n",
+                sig_test.c_str(), alpha, correction.c_str());
+        }
 
         stream_thread = std::thread([&, shape] {
             constexpr std::size_t kBatch = 64;
